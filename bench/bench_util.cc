@@ -1,0 +1,207 @@
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/log.hh"
+
+namespace lpbench
+{
+
+using namespace lp;
+
+BenchSettings
+settings()
+{
+    BenchSettings s;
+    if (const char *v = std::getenv("LP_BENCH_FULL"); v && v[0] == '1') {
+        s.full = true;
+        s.scale = 1.0;
+        s.maxSampleSize = 2000;
+    }
+    if (const char *v = std::getenv("LP_BENCH_SCALE"))
+        s.scale = std::atof(v);
+    if (const char *v = std::getenv("LP_BENCH_MAXN"))
+        s.maxSampleSize = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("LP_BENCH_CACHE"))
+        s.cacheDir = v;
+    std::filesystem::create_directories(s.cacheDir);
+    return s;
+}
+
+std::vector<std::string>
+quickSet()
+{
+    return {"perlbmk", "gcc-2", "gzip-1", "mcf",   "parser",
+            "eon-2",   "swim",  "mgrid",  "ammp"};
+}
+
+namespace
+{
+
+PreparedBench
+prepare(WorkloadProfile p, const BenchSettings &s)
+{
+    p.targetInsts = static_cast<InstCount>(
+        static_cast<double>(p.targetInsts) * s.scale);
+    if (p.targetInsts < 2'000'000)
+        p.targetInsts = 2'000'000;
+    // Keep the phase/reuse structure proportional to the scaled length
+    // (see suite.cc) so MRRL warming fractions stay paper-like.
+    p.phaseInsts = std::clamp<InstCount>(
+        p.targetInsts / (400 * static_cast<InstCount>(p.phases)),
+        5'000, 150'000);
+    PreparedBench b;
+    b.profile = p;
+    b.prog = generateProgram(p);
+    b.length = measureProgramLength(b.prog);
+    return b;
+}
+
+} // namespace
+
+std::vector<PreparedBench>
+prepareSuite(const BenchSettings &s)
+{
+    std::vector<PreparedBench> out;
+    if (s.full) {
+        for (const WorkloadProfile &p : spec2kSuite())
+            out.push_back(prepare(p, s));
+    } else {
+        for (const std::string &name : quickSet())
+            out.push_back(prepare(findProfile(name), s));
+    }
+    return out;
+}
+
+PreparedBench
+prepareOne(const std::string &name, const BenchSettings &s)
+{
+    return prepare(findProfile(name), s);
+}
+
+double
+pilotCov(const PreparedBench &b, const CoreConfig &cfg,
+         const BenchSettings &s)
+{
+    const std::string path =
+        s.cacheDir + "/pilot-" + b.profile.name + "-" + cfg.name + "-" +
+        std::to_string(b.length) + ".txt";
+    if (FILE *f = std::fopen(path.c_str(), "r")) {
+        double cov = 0.0;
+        const int got = std::fscanf(f, "%lf", &cov);
+        std::fclose(f);
+        if (got == 1)
+            return cov;
+    }
+    const SampleDesign pilot = SampleDesign::systematic(
+        b.length, 40, 1000, cfg.detailedWarming);
+    const SampledEstimate e = runSmarts(b.prog, cfg, pilot);
+    const double cov = e.stat.cov();
+    if (FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "%.9f\n", cov);
+        std::fclose(f);
+    }
+    return cov;
+}
+
+std::uint64_t
+sampleSize(const PreparedBench &b, const CoreConfig &cfg,
+           const BenchSettings &s, ConfidenceSpec spec)
+{
+    std::uint64_t n = requiredSampleSize(pilotCov(b, cfg, s), spec);
+    n = std::min(n, s.maxSampleSize);
+    n = std::min(n, SampleDesign::maxCount(b.length, 1000,
+                                           cfg.detailedWarming));
+    return std::max<std::uint64_t>(n, minCltSample);
+}
+
+LivePointLibrary
+cachedLibrary(const PreparedBench &b, const SampleDesign &design,
+              const LivePointBuilderConfig &bc, const BenchSettings &s,
+              double *creation_seconds)
+{
+    std::string bpKeys;
+    for (const BpredConfig &c : bc.bpredConfigs)
+        bpKeys += "-" + c.key();
+    const std::string path = strfmt(
+        "%s/lib-%s-n%llu-w%llu-L2.%llu%s.lpl", s.cacheDir.c_str(),
+        b.profile.name.c_str(),
+        static_cast<unsigned long long>(design.count),
+        static_cast<unsigned long long>(design.warmLen),
+        static_cast<unsigned long long>(bc.maxL2.sizeBytes),
+        bpKeys.c_str());
+    if (std::filesystem::exists(path)) {
+        if (creation_seconds)
+            *creation_seconds = 0.0;
+        LivePointLibrary lib = LivePointLibrary::load(path);
+        if (lib.design() == design)
+            return lib;
+        // Stale cache entry (e.g. length changed): rebuild below.
+    }
+    LivePointBuilder builder(bc);
+    LivePointLibrary lib = builder.build(b.prog, design);
+    if (creation_seconds)
+        *creation_seconds = builder.stats().wallSeconds;
+    lib.save(path);
+    return lib;
+}
+
+LivePointBuilderConfig
+defaultBuilderConfig()
+{
+    LivePointBuilderConfig bc;
+    const CoreConfig e8 = CoreConfig::eightWay();
+    const CoreConfig s16 = CoreConfig::sixteenWay();
+    bc.maxL1i = s16.mem.l1i;
+    bc.maxL1d = s16.mem.l1d;
+    bc.maxL2 = s16.mem.l2;
+    bc.maxItlb = s16.mem.itlb;
+    bc.maxDtlb = s16.mem.dtlb;
+    bc.bpredConfigs = {e8.bpred, s16.bpred};
+    return bc;
+}
+
+std::string
+fmtTime(double seconds)
+{
+    if (seconds < 0.001)
+        return strfmt("%.2f ms", seconds * 1000.0);
+    if (seconds < 120.0)
+        return strfmt("%.2f s", seconds);
+    if (seconds < 7200.0)
+        return strfmt("%.1f m", seconds / 60.0);
+    if (seconds < 48.0 * 3600.0)
+        return strfmt("%.1f h", seconds / 3600.0);
+    return strfmt("%.1f d", seconds / 86400.0);
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    if (bytes < 10ull * 1024)
+        return strfmt("%llu B", static_cast<unsigned long long>(bytes));
+    if (bytes < 10ull * 1024 * 1024)
+        return strfmt("%.1f KB", static_cast<double>(bytes) / 1024.0);
+    if (bytes < 10ull * 1024 * 1024 * 1024)
+        return strfmt("%.1f MB",
+                      static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return strfmt("%.1f GB",
+                  static_cast<double>(bytes) /
+                      (1024.0 * 1024.0 * 1024.0));
+}
+
+void
+printHeader(const std::string &title)
+{
+    std::printf("\n");
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("  %s\n", title.c_str());
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+} // namespace lpbench

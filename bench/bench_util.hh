@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction bench binaries:
+ * benchmark-suite selection and scaling, live-point library caching on
+ * disk, pilot-variance caching, and table formatting.
+ *
+ * Environment knobs (all optional):
+ *   LP_BENCH_FULL=1    run the full 24-benchmark suite at full length
+ *                      (default: an 8-benchmark subset at 1/4 length)
+ *   LP_BENCH_SCALE=f   override the benchmark-length scale factor
+ *   LP_BENCH_MAXN=n    override the sample-size cap per benchmark
+ *   LP_BENCH_CACHE=dir live-point/pilot cache directory
+ *                      (default ./lp-cache)
+ */
+
+#ifndef LP_BENCH_BENCH_UTIL_HH
+#define LP_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/builder.hh"
+#include "core/library.hh"
+#include "core/runners.hh"
+#include "uarch/config.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace lpbench
+{
+
+/** Resolved bench-wide settings. */
+struct BenchSettings
+{
+    bool full = false;
+    double scale = 0.25;
+    std::uint64_t maxSampleSize = 300;
+    std::string cacheDir = "lp-cache";
+};
+
+/** Read settings from the environment. */
+BenchSettings settings();
+
+/** One prepared benchmark: program + measured length. */
+struct PreparedBench
+{
+    lp::WorkloadProfile profile;
+    lp::Program prog;
+    lp::InstCount length = 0;
+};
+
+/** The benchmark names used in quick (subset) mode. */
+std::vector<std::string> quickSet();
+
+/**
+ * Prepare the bench suite: quick subset or full suite, with lengths
+ * scaled by settings().scale.
+ */
+std::vector<PreparedBench> prepareSuite(const BenchSettings &s);
+
+/** Prepare one named benchmark at the configured scale. */
+PreparedBench prepareOne(const std::string &name,
+                         const BenchSettings &s);
+
+/**
+ * Pilot CPI coefficient-of-variation for (benchmark, config), cached
+ * in the cache directory (one SMARTS pass with 40 windows).
+ */
+double pilotCov(const PreparedBench &b, const lp::CoreConfig &cfg,
+                const BenchSettings &s);
+
+/** Sample size for a benchmark: required n, capped and fitted. */
+std::uint64_t sampleSize(const PreparedBench &b,
+                         const lp::CoreConfig &cfg,
+                         const BenchSettings &s,
+                         lp::ConfidenceSpec spec = {});
+
+/**
+ * Build (or load from cache) a live-point library for the benchmark
+ * with the given design and builder configuration. The creation wall
+ * time (0 when loaded from cache) is written to @p creation_seconds.
+ */
+lp::LivePointLibrary cachedLibrary(const PreparedBench &b,
+                                   const lp::SampleDesign &design,
+                                   const lp::LivePointBuilderConfig &bc,
+                                   const BenchSettings &s,
+                                   double *creation_seconds = nullptr);
+
+/** Default builder config covering both Table 1 configurations. */
+lp::LivePointBuilderConfig defaultBuilderConfig();
+
+/** Format seconds as the paper does (s / m / h / d). */
+std::string fmtTime(double seconds);
+
+/** Format a byte count as KB/MB/GB with one decimal. */
+std::string fmtBytes(std::uint64_t bytes);
+
+/** Print a horizontal rule + centered title. */
+void printHeader(const std::string &title);
+
+} // namespace lpbench
+
+#endif // LP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Section 6.1 — online (anytime) result reporting. Processes a
+ * shuffled live-point library and prints the running CPI estimate and
+ * its confidence as the sample grows; also contrasts the random-order
+ * trajectory with program-order processing, which is biased early
+ * (a program-order prefix over-represents the benchmark's beginning).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "util/log.hh"
+
+using namespace lp;
+using namespace lpbench;
+
+int
+main()
+{
+    setQuiet(true);
+    const BenchSettings s = settings();
+    printHeader("Section 6.1: online results and convergence (ammp, "
+                "8-way)");
+    const PreparedBench b = prepareOne("ammp", s);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const std::uint64_t n = sampleSize(b, cfg, s);
+    const SampleDesign design =
+        SampleDesign::systematic(b.length, n, 1000, cfg.detailedWarming);
+    LivePointBuilderConfig bc = defaultBuilderConfig();
+    const LivePointLibrary lib = cachedLibrary(b, design, bc, s);
+
+    LivePointRunOptions shuffled;
+    shuffled.shuffleSeed = 97;
+    shuffled.recordTrajectory = true;
+    const LivePointRunResult rs = runLivePoints(b.prog, lib, cfg,
+                                                shuffled);
+
+    LivePointRunOptions inOrder;
+    inOrder.recordTrajectory = true;
+    const LivePointRunResult ro = runLivePoints(b.prog, lib, cfg,
+                                                inOrder);
+
+    const double final = rs.cpi();
+    std::printf("final estimate: CPI = %.4f over %zu live-points\n\n",
+                final, rs.processed);
+    std::printf("%8s | %21s | %21s\n", "n",
+                "random order (unbiased)", "program order (biased)");
+    std::printf("%8s | %10s %10s | %10s %10s\n", "", "CPI", "+/-%",
+                "CPI", "+/-%");
+    for (std::size_t i : {29ul, 49ul, 99ul, 199ul, 399ul, 799ul}) {
+        if (i >= rs.trajectory.size())
+            break;
+        const OnlineSnapshot &a = rs.trajectory[i];
+        const OnlineSnapshot &c = ro.trajectory[i];
+        std::printf("%8zu | %10.4f %9.1f%% | %10.4f %9.1f%%\n", i + 1,
+                    a.mean, 100 * a.relHalfWidth, c.mean,
+                    100 * c.relHalfWidth);
+    }
+    const std::size_t last = rs.trajectory.size() - 1;
+    std::printf("%8zu | %10.4f %9.1f%% | %10.4f %9.1f%%\n", last + 1,
+                rs.trajectory[last].mean,
+                100 * rs.trajectory[last].relHalfWidth,
+                ro.trajectory[last].mean,
+                100 * ro.trajectory[last].relHalfWidth);
+
+    // Early-prefix error vs the final value, both orders.
+    const std::size_t probe =
+        std::min<std::size_t>(minCltSample + 20, last);
+    const double errRandom =
+        std::fabs(rs.trajectory[probe].mean - final) / final;
+    const double errOrder =
+        std::fabs(ro.trajectory[probe].mean - final) / final;
+    std::printf("\nerror of the n=%zu prefix estimate: random order "
+                "%.1f%%, program order %.1f%%\n",
+                probe + 1, 100 * errRandom, 100 * errOrder);
+    std::printf("paper: a shuffled prefix is always an unbiased random "
+                "sub-sample; confidence tightens as n grows and the "
+                "simulation can stop at any time.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * create_library — command-line tool that generates a live-point
+ * library for a named benchmark of the SPEC2K-analog suite and saves
+ * it to disk (the paper's Figure 6, steps 1-3: size the sample, run
+ * the one-time full-warming creation pass, shuffle).
+ *
+ * Usage: create_library <benchmark> [output.lpl] [--n <windows>]
+ *        create_library --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/builder.hh"
+#include "core/runners.hh"
+#include "uarch/config.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace lp;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <benchmark> [output.lpl] [--n N]\n"
+                     "       %s --list\n",
+                     argv[0], argv[0]);
+        return 1;
+    }
+    if (std::strcmp(argv[1], "--list") == 0) {
+        std::printf("available benchmarks:\n");
+        for (const WorkloadProfile &p : spec2kSuite())
+            std::printf("  %-10s %6.0fM instructions, %4llu MiB "
+                        "footprint\n",
+                        p.name.c_str(),
+                        static_cast<double>(p.targetInsts) / 1e6,
+                        static_cast<unsigned long long>(
+                            p.footprintBytes >> 20));
+        return 0;
+    }
+
+    const std::string name = argv[1];
+    std::string output = name + ".lpl";
+    std::uint64_t forcedN = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc)
+            forcedN = std::strtoull(argv[++i], nullptr, 10);
+        else
+            output = argv[i];
+    }
+
+    const WorkloadProfile profile = findProfile(name);
+    inform("generating synthetic benchmark '%s'...", name.c_str());
+    const Program prog = generateProgram(profile);
+    const InstCount length = measureProgramLength(prog);
+    inform("%s: %.1fM dynamic instructions",
+           name.c_str(), static_cast<double>(length) / 1e6);
+
+    const CoreConfig cfg8 = CoreConfig::eightWay();
+    const CoreConfig cfg16 = CoreConfig::sixteenWay();
+
+    // Step 1: measure baseline variance, choose the sample size.
+    std::uint64_t n = forcedN;
+    if (n == 0) {
+        inform("step 1: measuring baseline CPI variance (pilot)...");
+        const SampleDesign pilot = SampleDesign::systematic(
+            length, 40, 1000, cfg8.detailedWarming);
+        const SampledEstimate e = runSmarts(prog, cfg8, pilot);
+        ConfidenceSpec spec;
+        n = requiredSampleSize(e.stat.cov(), spec);
+        const std::uint64_t fit = SampleDesign::maxCount(
+            length, 1000, cfg16.detailedWarming);
+        if (n > fit) {
+            warn("required n=%llu capped to %llu (benchmark length)",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(fit));
+            n = fit;
+        }
+        inform("pilot cov=%.3f -> n=%llu", e.stat.cov(),
+               static_cast<unsigned long long>(n));
+    }
+
+    // Step 2: creation pass. The library stores warm state for both
+    // Table 1 predictors and the 16-way cache maxima, so it serves
+    // both configurations and everything smaller.
+    const SampleDesign design = SampleDesign::systematic(
+        length, n, 1000, cfg16.detailedWarming);
+    LivePointBuilderConfig bc;
+    bc.maxL1i = cfg16.mem.l1i;
+    bc.maxL1d = cfg16.mem.l1d;
+    bc.maxL2 = cfg16.mem.l2;
+    bc.maxItlb = cfg16.mem.itlb;
+    bc.maxDtlb = cfg16.mem.dtlb;
+    bc.bpredConfigs = {cfg8.bpred, cfg16.bpred};
+    LivePointBuilder builder(bc);
+    inform("step 2: creating %llu live-points (one full-warming "
+           "pass)...",
+           static_cast<unsigned long long>(n));
+    LivePointLibrary lib = builder.build(prog, design);
+    inform("created in %.1fs: %.1f MB compressed (%.1f MB raw)",
+           builder.stats().wallSeconds,
+           static_cast<double>(lib.totalCompressedBytes()) / 1048576.0,
+           static_cast<double>(lib.totalUncompressedBytes()) /
+               1048576.0);
+
+    // Step 3: shuffle on disk.
+    Rng rng(profile.seed, "library-shuffle");
+    lib.shuffle(rng);
+    lib.save(output);
+    inform("step 3: shuffled library written to %s", output.c_str());
+    return 0;
+}

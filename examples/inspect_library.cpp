@@ -1,0 +1,107 @@
+/**
+ * @file
+ * inspect_library — dump the contents of a live-point library file:
+ * header metadata, aggregate sizes, and per-section byte breakdowns
+ * (the Figure 7 view of your own library). Useful when deciding the
+ * maximum cache/predictor configuration a library should bake in.
+ *
+ * Usage: inspect_library <library.lpl> [--points N]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/library.hh"
+#include "stats/running_stat.hh"
+#include "util/log.hh"
+
+using namespace lp;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <library.lpl> [--points N]\n",
+                     argv[0]);
+        return 1;
+    }
+    std::size_t showPoints = 5;
+    for (int i = 2; i < argc; ++i)
+        if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc)
+            showPoints = std::strtoull(argv[++i], nullptr, 10);
+
+    const LivePointLibrary lib = LivePointLibrary::load(argv[1]);
+    const SampleDesign &d = lib.design();
+
+    std::printf("library            %s\n", argv[1]);
+    std::printf("benchmark          %s\n", lib.benchmark().c_str());
+    std::printf("live-points        %zu\n", lib.size());
+    std::printf("benchmark length   %.1fM instructions\n",
+                static_cast<double>(d.benchLength) / 1e6);
+    std::printf("window             %llu warm + %llu measure "
+                "instructions\n",
+                static_cast<unsigned long long>(d.warmLen),
+                static_cast<unsigned long long>(d.measureLen));
+    std::printf("sampling period    %llu instructions\n",
+                static_cast<unsigned long long>(d.period()));
+    std::printf("compressed size    %.2f MB (%.2f MB raw, %.1f:1)\n",
+                static_cast<double>(lib.totalCompressedBytes()) / 1048576.0,
+                static_cast<double>(lib.totalUncompressedBytes()) /
+                    1048576.0,
+                static_cast<double>(lib.totalUncompressedBytes()) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(
+                            lib.totalCompressedBytes(), 1)));
+
+    if (lib.size() == 0)
+        return 0;
+
+    // Aggregate per-section statistics over the whole library.
+    RunningStat total;
+    RunningStat memData;
+    RunningStat l2Tags;
+    RunningStat bpred;
+    const LivePoint first = lib.get(0);
+    std::printf("\nmaximum geometry   L2 %lluKB %u-way (line %llu); "
+                "%zu predictor image(s):\n",
+                static_cast<unsigned long long>(
+                    first.l2.maxGeometry().sizeBytes / 1024),
+                first.l2.maxGeometry().assoc,
+                static_cast<unsigned long long>(
+                    first.l2.maxGeometry().lineBytes),
+                first.bpredImages.size());
+    for (const auto &kv : first.bpredImages)
+        std::printf("                   - %s\n", kv.first.c_str());
+
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const LivePointBreakdown b = lib.get(i).breakdown();
+        total.add(static_cast<double>(b.total));
+        memData.add(static_cast<double>(b.memData));
+        l2Tags.add(static_cast<double>(b.l2Tags));
+        bpred.add(static_cast<double>(b.bpred));
+    }
+    std::printf("\nper-point (uncompressed) bytes  avg        min        "
+                "max\n");
+    auto row = [](const char *label, const RunningStat &s) {
+        std::printf("  %-22s %10.0f %10.0f %10.0f\n", label, s.mean(),
+                    s.min(), s.max());
+    };
+    row("total", total);
+    row("memory data", memData);
+    row("L2 tags", l2Tags);
+    row("branch predictors", bpred);
+
+    std::printf("\nfirst %zu points (in stored order):\n",
+                std::min(showPoints, lib.size()));
+    std::printf("  %6s %12s %12s %10s\n", "rec", "window idx",
+                "win start", "zipped B");
+    for (std::size_t i = 0; i < std::min(showPoints, lib.size()); ++i) {
+        const LivePoint lp = lib.get(i);
+        std::printf("  %6zu %12llu %12llu %10zu\n", i,
+                    static_cast<unsigned long long>(lp.index),
+                    static_cast<unsigned long long>(lp.windowStart),
+                    lib.compressedSize(i));
+    }
+    return 0;
+}
