@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 
 #include "util/log.hh"
@@ -134,11 +135,16 @@ cachedLibrary(const PreparedBench &b, const SampleDesign &design,
         static_cast<unsigned long long>(bc.maxL2.sizeBytes),
         bpKeys.c_str());
     if (std::filesystem::exists(path)) {
-        if (creation_seconds)
-            *creation_seconds = 0.0;
-        LivePointLibrary lib = LivePointLibrary::load(path);
-        if (lib.design() == design)
-            return lib;
+        try {
+            LivePointLibrary lib = LivePointLibrary::load(path);
+            if (lib.design() == design) {
+                if (creation_seconds)
+                    *creation_seconds = 0.0;
+                return lib;
+            }
+        } catch (const std::exception &) {
+            // Unreadable cache entry (e.g. older format): rebuild.
+        }
         // Stale cache entry (e.g. length changed): rebuild below.
     }
     LivePointBuilder builder(bc);

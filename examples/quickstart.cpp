@@ -27,9 +27,9 @@ main()
 {
     using namespace lp;
 
-    // A small workload (~2M instructions) so the example runs in
+    // A small workload (~3M instructions) so the example runs in
     // seconds; swap in lp::findProfile("gcc-2") etc. for the suite.
-    WorkloadProfile profile = tinyProfile(2'000'000, /*seed=*/7);
+    WorkloadProfile profile = tinyProfile(3'000'000, /*seed=*/7);
     profile.name = "quickstart";
     const Program prog = generateProgram(profile);
     const InstCount length = measureProgramLength(prog);
@@ -45,6 +45,11 @@ main()
         length, 40, 1000, cfg.detailedWarming);
     const SampledEstimate pilotRun = runSmarts(prog, cfg, pilot);
     std::uint64_t n = requiredSampleSize(pilotRun.stat.cov(), spec);
+    // The pilot's cov is itself a noisy estimate, and a library is a
+    // reusable asset (Section 6): build headroom over the point
+    // estimate so online stopping, not library exhaustion, ends the
+    // run.
+    n += n / 2;
     const std::uint64_t fit = SampleDesign::maxCount(
         length, 1000, cfg.detailedWarming);
     if (n > fit) {

@@ -1,0 +1,141 @@
+#include "bpred/bpred.hh"
+
+#include <stdexcept>
+
+#include "codec/der.hh"
+#include "util/log.hh"
+
+namespace lp
+{
+
+std::string
+BpredConfig::key() const
+{
+    return strfmt("comb%u", tableEntries);
+}
+
+BranchPredictor::BranchPredictor(const BpredConfig &cfg)
+    : cfg_(cfg), bimod_(cfg.tableEntries, 1), gshare_(cfg.tableEntries, 1),
+      chooser_(cfg.tableEntries, 1)
+{
+}
+
+std::size_t
+BranchPredictor::bimodIndex(PcIndex pc) const
+{
+    return static_cast<std::size_t>(pc % cfg_.tableEntries);
+}
+
+std::size_t
+BranchPredictor::gshareIndex(PcIndex pc) const
+{
+    return static_cast<std::size_t>((pc ^ history_) % cfg_.tableEntries);
+}
+
+bool
+BranchPredictor::predict(PcIndex pc) const
+{
+    const bool useGshare = chooser_[bimodIndex(pc)] >= 2;
+    const std::uint8_t ctr =
+        useGshare ? gshare_[gshareIndex(pc)] : bimod_[bimodIndex(pc)];
+    return ctr >= 2;
+}
+
+void
+BranchPredictor::update(PcIndex pc, bool taken)
+{
+    auto train = [taken](std::uint8_t &ctr) {
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    };
+    const std::size_t bi = bimodIndex(pc);
+    const std::size_t gi = gshareIndex(pc);
+    const bool bimodRight = (bimod_[bi] >= 2) == taken;
+    const bool gshareRight = (gshare_[gi] >= 2) == taken;
+    if (gshareRight != bimodRight) {
+        std::uint8_t &ch = chooser_[bi];
+        if (gshareRight) {
+            if (ch < 3)
+                ++ch;
+        } else {
+            if (ch > 0)
+                --ch;
+        }
+    }
+    train(bimod_[bi]);
+    train(gshare_[gi]);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               (cfg_.tableEntries - 1);
+}
+
+void
+BranchPredictor::warmBranch(PcIndex pc, const Instruction &ins, bool taken,
+                            PcIndex target)
+{
+    (void)ins;
+    (void)target;
+    update(pc, taken);
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(bimod_.begin(), bimod_.end(), 1);
+    std::fill(gshare_.begin(), gshare_.end(), 1);
+    std::fill(chooser_.begin(), chooser_.end(), 1);
+    history_ = 0;
+}
+
+Blob
+BranchPredictor::serialize() const
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putUint(cfg_.tableEntries);
+    w.putUint(history_);
+    // Pack the three 2-bit tables four counters per byte.
+    auto pack = [&w](const std::vector<std::uint8_t> &table) {
+        Blob packed((table.size() + 3) / 4, 0);
+        for (std::size_t i = 0; i < table.size(); ++i)
+            packed[i / 4] |= static_cast<std::uint8_t>(
+                (table[i] & 3) << ((i % 4) * 2));
+        w.putBytes(packed);
+    };
+    pack(bimod_);
+    pack(gshare_);
+    pack(chooser_);
+    w.endSequence();
+    return w.finish();
+}
+
+void
+BranchPredictor::deserialize(const Blob &image)
+{
+    DerReader top(image);
+    DerReader seq = top.getSequence();
+    const std::uint64_t entries = seq.getUint();
+    if (entries != cfg_.tableEntries)
+        throw std::runtime_error(
+            strfmt("bpred image for %llu entries, predictor has %u",
+                   static_cast<unsigned long long>(entries),
+                   cfg_.tableEntries));
+    history_ = seq.getUint();
+    auto unpack = [entries](const Blob &packed,
+                            std::vector<std::uint8_t> &table) {
+        if (packed.size() < (entries + 3) / 4)
+            throw std::runtime_error("bpred image truncated");
+        table.assign(entries, 0);
+        for (std::size_t i = 0; i < table.size(); ++i)
+            table[i] = (packed[i / 4] >> ((i % 4) * 2)) & 3;
+    };
+    unpack(seq.getBytes(), bimod_);
+    unpack(seq.getBytes(), gshare_);
+    unpack(seq.getBytes(), chooser_);
+}
+
+} // namespace lp

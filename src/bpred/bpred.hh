@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Combined branch predictor (bimodal + gshare + chooser, 2-bit
+ * counters) with full-state serialization. A live-point stores one
+ * serialized image per predictor configuration in its library's
+ * `bpredConfigs` set, keyed by BpredConfig::key(), so reconstruction
+ * is exact for any covered configuration.
+ */
+
+#ifndef LP_BPRED_BPRED_HH
+#define LP_BPRED_BPRED_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+#include "workload/generator.hh"
+
+namespace lp
+{
+
+struct BpredConfig
+{
+    /** Entries in each of the bimodal/gshare/chooser tables. */
+    unsigned tableEntries = 2048;
+    Cycles mispredictPenalty = 7;
+    unsigned predictionsPerCycle = 1;
+
+    /** Identity of the warm *state* this config needs (table size). */
+    std::string key() const;
+
+    bool operator==(const BpredConfig &o) const
+    {
+        return tableEntries == o.tableEntries &&
+               mispredictPenalty == o.mispredictPenalty &&
+               predictionsPerCycle == o.predictionsPerCycle;
+    }
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BpredConfig &cfg);
+
+    const BpredConfig &config() const { return cfg_; }
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(PcIndex pc) const;
+
+    /** Train on the resolved outcome and advance global history. */
+    void update(PcIndex pc, bool taken);
+
+    /** Functional-warming shorthand: train without predicting. */
+    void warmBranch(PcIndex pc, const Instruction &ins, bool taken,
+                    PcIndex target);
+
+    /** Drop all state. */
+    void reset();
+
+    Blob serialize() const;
+    void deserialize(const Blob &image);
+
+  private:
+    std::size_t bimodIndex(PcIndex pc) const;
+    std::size_t gshareIndex(PcIndex pc) const;
+
+    BpredConfig cfg_;
+    std::vector<std::uint8_t> bimod_;   //!< 2-bit counters
+    std::vector<std::uint8_t> gshare_;  //!< 2-bit counters
+    std::vector<std::uint8_t> chooser_; //!< 2-bit: prefer gshare high
+    std::uint64_t history_ = 0;
+};
+
+} // namespace lp
+
+#endif // LP_BPRED_BPRED_HH

@@ -1,0 +1,82 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+CacheModel::CacheModel(const CacheGeometry &geom, std::string name)
+    : geom_(geom), name_(std::move(name))
+{
+    const std::uint64_t nsets = std::max<std::uint64_t>(geom_.numSets(), 1);
+    sets_.resize(nsets);
+    for (auto &s : sets_)
+        s.reserve(geom_.assoc);
+}
+
+std::uint64_t
+CacheModel::setOf(Addr a) const
+{
+    return (a / geom_.lineBytes) % sets_.size();
+}
+
+AccessResult
+CacheModel::access(Addr a, bool write)
+{
+    const Addr tag = a - (a % geom_.lineBytes);
+    auto &set = sets_[setOf(a)];
+    ++clock_;
+    AccessResult res;
+    for (CacheLine &line : set) {
+        if (line.tag == tag) {
+            line.lastAccess = clock_;
+            line.dirty = line.dirty || write;
+            res.hit = true;
+            return res;
+        }
+    }
+    // Miss: allocate, evicting the least recently used line if full.
+    if (set.size() >= geom_.assoc) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < set.size(); ++i)
+            if (set[i].lastAccess < set[victim].lastAccess)
+                victim = i;
+        res.writeback = set[victim].dirty;
+        set[victim] = CacheLine{tag, clock_, write};
+    } else {
+        set.push_back(CacheLine{tag, clock_, write});
+    }
+    return res;
+}
+
+bool
+CacheModel::probe(Addr a) const
+{
+    const Addr tag = a - (a % geom_.lineBytes);
+    const auto &set = sets_[setOf(a)];
+    for (const CacheLine &line : set)
+        if (line.tag == tag)
+            return true;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &s : sets_)
+        s.clear();
+    clock_ = 0;
+}
+
+std::uint64_t
+CacheModel::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sets_)
+        n += s.size();
+    return n;
+}
+
+} // namespace lp

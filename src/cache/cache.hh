@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Set-associative cache/TLB model with true-LRU replacement and a
+ * global access clock. The access clock is what makes warm state
+ * checkpointable: a set's contents under LRU are exactly the most
+ * recently touched distinct lines mapping to it, so storing each
+ * line's last-access time suffices to reconstruct any smaller
+ * geometry exactly (see cache/warmstate.hh).
+ */
+
+#ifndef LP_CACHE_CACHE_HH
+#define LP_CACHE_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace lp
+{
+
+/** Geometry of a cache, TLB (lineBytes = page size), or tag array. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned assoc = 1;
+    std::uint64_t lineBytes = 64;
+
+    std::uint64_t numLines() const
+    {
+        return lineBytes ? sizeBytes / lineBytes : 0;
+    }
+
+    std::uint64_t numSets() const
+    {
+        const std::uint64_t lines = numLines();
+        return assoc ? (lines ? lines / assoc : 0) : 0;
+    }
+
+    bool operator==(const CacheGeometry &o) const
+    {
+        return sizeBytes == o.sizeBytes && assoc == o.assoc &&
+               lineBytes == o.lineBytes;
+    }
+
+    bool operator!=(const CacheGeometry &o) const { return !(*this == o); }
+};
+
+/** Outcome of one cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool writeback = false; //!< a dirty line was evicted
+};
+
+/** One resident line (exposed for warm-state snapshotting). */
+struct CacheLine
+{
+    Addr tag = 0;               //!< line base address
+    std::uint64_t lastAccess = 0; //!< global access-clock stamp
+    bool dirty = false;
+};
+
+class CacheModel
+{
+  public:
+    CacheModel(const CacheGeometry &geom, std::string name);
+
+    /** Access the line containing @p a; allocates on miss. */
+    AccessResult access(Addr a, bool write);
+
+    /** True if the line containing @p a is resident (no LRU update). */
+    bool probe(Addr a) const;
+
+    const CacheGeometry &geometry() const { return geom_; }
+    const std::string &name() const { return name_; }
+
+    /** Drop all contents and reset the access clock. */
+    void reset();
+
+    /** Resident lines of one set, unordered. */
+    const std::vector<CacheLine> &linesOfSet(std::uint64_t set) const
+    {
+        return sets_[set];
+    }
+
+    std::uint64_t numSets() const { return sets_.size(); }
+
+    /** Total resident lines. */
+    std::uint64_t residentLines() const;
+
+    /** Accesses performed since construction/reset. */
+    std::uint64_t accessClock() const { return clock_; }
+
+  private:
+    std::uint64_t setOf(Addr a) const;
+
+    CacheGeometry geom_;
+    std::string name_;
+    std::vector<std::vector<CacheLine>> sets_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace lp
+
+#endif // LP_CACHE_CACHE_HH

@@ -1,0 +1,126 @@
+#include "cache/warmstate.hh"
+
+#include <algorithm>
+
+namespace lp
+{
+
+CacheSetRecord::CacheSetRecord(const CacheModel &cache)
+    : geom_(cache.geometry())
+{
+    entries_.reserve(cache.residentLines());
+    for (std::uint64_t s = 0; s < cache.numSets(); ++s)
+        for (const CacheLine &line : cache.linesOfSet(s))
+            entries_.push_back(
+                Entry{line.tag, line.lastAccess, line.dirty});
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.lastAccess != b.lastAccess)
+                      return a.lastAccess < b.lastAccess;
+                  return a.lineAddr < b.lineAddr;
+              });
+}
+
+void
+CacheSetRecord::reconstruct(CacheModel &target) const
+{
+    target.reset();
+    for (const Entry &e : entries_)
+        target.access(e.lineAddr, e.dirty);
+}
+
+void
+CacheSetRecord::serialize(DerWriter &w) const
+{
+    w.beginSequence();
+    w.putUint(geom_.sizeBytes);
+    w.putUint(geom_.assoc);
+    w.putUint(geom_.lineBytes);
+    w.putUint(entries_.size());
+    // Only the recency *order* matters for LRU reconstruction, and
+    // entries_ is already sorted by it — the stamps themselves need
+    // not be stored. Line addresses are divided by the line size with
+    // the dirty bit packed into the low bit to shorten the varints.
+    for (const Entry &e : entries_)
+        w.putUint((e.lineAddr / geom_.lineBytes) * 2 +
+                  (e.dirty ? 1 : 0));
+    w.endSequence();
+}
+
+Blob
+CacheSetRecord::serialize() const
+{
+    DerWriter w;
+    serialize(w);
+    return w.finish();
+}
+
+CacheSetRecord
+CacheSetRecord::deserialize(DerReader &r)
+{
+    DerReader seq = r.getSequence();
+    CacheSetRecord rec;
+    rec.geom_.sizeBytes = seq.getUint();
+    rec.geom_.assoc = static_cast<unsigned>(seq.getUint());
+    rec.geom_.lineBytes = seq.getUint();
+    const std::uint64_t count = seq.getUint();
+    rec.entries_.reserve(count);
+    std::uint64_t stamp = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Entry e;
+        const std::uint64_t packed = seq.getUint();
+        e.lineAddr = (packed / 2) * rec.geom_.lineBytes;
+        e.dirty = (packed & 1) != 0;
+        e.lastAccess = ++stamp; // synthetic stamps keep the order
+        rec.entries_.push_back(e);
+    }
+    return rec;
+}
+
+MemoryTimestampRecord::MemoryTimestampRecord(std::uint64_t lineBytes)
+    : lineBytes_(lineBytes)
+{
+}
+
+void
+MemoryTimestampRecord::record(Addr a, bool write, std::uint64_t time)
+{
+    const Addr base = a - (a % lineBytes_);
+    Stamp &s = lines_[base];
+    s.time = time;
+    s.dirty = s.dirty || write;
+}
+
+void
+MemoryTimestampRecord::reconstruct(CacheModel &target) const
+{
+    target.reset();
+    // Replay in timestamp order for correct LRU state at the target.
+    std::vector<std::pair<std::uint64_t, Addr>> order;
+    order.reserve(lines_.size());
+    for (const auto &kv : lines_)
+        order.emplace_back(kv.second.time, kv.first);
+    std::sort(order.begin(), order.end());
+    for (const auto &[time, addr] : order) {
+        (void)time;
+        target.access(addr, lines_.at(addr).dirty);
+    }
+}
+
+Blob
+MemoryTimestampRecord::serialize() const
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putUint(lineBytes_);
+    w.putUint(lines_.size());
+    for (const auto &kv : lines_) {
+        w.putUint(kv.first / lineBytes_);
+        w.putUint(kv.second.time);
+        w.putUint(kv.second.dirty ? 1 : 0);
+    }
+    w.endSequence();
+    return w.finish();
+}
+
+} // namespace lp

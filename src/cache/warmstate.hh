@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Checkpointable cache warm state, the heart of a live-point.
+ *
+ * CacheSetRecord (CSR): a snapshot of a cache warmed at the library's
+ * *maximum* geometry — each resident line's address, last-access
+ * stamp, and dirty bit. Replaying the lines in stamp order into a
+ * target cache reproduces, exactly, the LRU state the target would
+ * have reached through direct warming, for any geometry whose sets
+ * and associativity divide the maximum's (power-of-two geometries no
+ * larger than the maximum, same line size). Storage is bounded by the
+ * maximum tag array, independent of workload footprint.
+ *
+ * MemoryTimestampRecord (MTR, Barr et al.): last-access timestamps of
+ * every touched memory line. Reconstructs arbitrary geometries, but
+ * storage grows with the workload's footprint — the ablation bench
+ * quantifies the trade-off that motivates the CSR.
+ */
+
+#ifndef LP_CACHE_WARMSTATE_HH
+#define LP_CACHE_WARMSTATE_HH
+
+#include <map>
+
+#include "cache/cache.hh"
+#include "codec/der.hh"
+
+namespace lp
+{
+
+class CacheSetRecord
+{
+  public:
+    CacheSetRecord() = default;
+
+    /** Snapshot the current contents of @p cache. */
+    explicit CacheSetRecord(const CacheModel &cache);
+
+    /** Geometry the record was captured at (the library maximum). */
+    const CacheGeometry &maxGeometry() const { return geom_; }
+
+    /** Number of recorded lines. */
+    std::uint64_t entryCount() const { return entries_.size(); }
+
+    /**
+     * Install the recorded warm state into @p target (which is reset
+     * first). Lines are replayed in last-access order, so the target's
+     * LRU state matches direct warming whenever the target geometry is
+     * contained in the maximum.
+     */
+    void reconstruct(CacheModel &target) const;
+
+    Blob serialize() const;
+    void serialize(DerWriter &w) const;
+    static CacheSetRecord deserialize(DerReader &r);
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr = 0;
+        std::uint64_t lastAccess = 0;
+        bool dirty = false;
+    };
+
+    CacheGeometry geom_;
+    std::vector<Entry> entries_; //!< sorted by lastAccess, ascending
+};
+
+class MemoryTimestampRecord
+{
+  public:
+    explicit MemoryTimestampRecord(std::uint64_t lineBytes);
+
+    /** Record an access to the line containing @p a at @p time. */
+    void record(Addr a, bool write, std::uint64_t time);
+
+    std::uint64_t lineBytes() const { return lineBytes_; }
+    std::uint64_t entryCount() const { return lines_.size(); }
+
+    /** Install warm state into @p target (reset first). */
+    void reconstruct(CacheModel &target) const;
+
+    Blob serialize() const;
+
+  private:
+    struct Stamp
+    {
+        std::uint64_t time = 0;
+        bool dirty = false;
+    };
+
+    std::uint64_t lineBytes_;
+    std::map<Addr, Stamp> lines_;
+};
+
+} // namespace lp
+
+#endif // LP_CACHE_WARMSTATE_HH

@@ -1,0 +1,170 @@
+#include "codec/zip.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lp
+{
+
+namespace
+{
+
+// Token stream format:
+//   [LEB128 raw size] then groups of up to 8 items preceded by a flag
+//   byte; bit set = match token (2-byte little-endian offset, 1-byte
+//   length-4), bit clear = literal byte. Window 64KB, match length
+//   4..259.
+
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 259;
+
+void
+putLeb(Blob &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+getLeb(const Blob &in, std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (true) {
+        if (pos >= in.size())
+            throw std::runtime_error("zip: truncated header");
+        const std::uint8_t b = in[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            throw std::runtime_error("zip: oversized varint");
+    }
+}
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> 16;
+}
+
+} // namespace
+
+Blob
+zipCompress(const Blob &raw)
+{
+    Blob out;
+    out.reserve(raw.size() / 2 + 16);
+    putLeb(out, raw.size());
+
+    // Single-entry hash table of 4-byte prefixes -> last position.
+    std::vector<std::uint32_t> table(1u << 16, 0xffffffffu);
+
+    std::size_t i = 0;
+    std::size_t flagPos = 0;
+    unsigned flagBit = 8; // force new flag byte on first item
+    std::uint8_t flags = 0;
+
+    auto beginItem = [&](bool isMatch) {
+        if (flagBit == 8) {
+            if (flagPos)
+                out[flagPos] = flags;
+            flagPos = out.size();
+            out.push_back(0);
+            flags = 0;
+            flagBit = 0;
+        }
+        if (isMatch)
+            flags |= static_cast<std::uint8_t>(1u << flagBit);
+        ++flagBit;
+    };
+
+    while (i < raw.size()) {
+        std::size_t matchLen = 0;
+        std::size_t matchPos = 0;
+        if (i + kMinMatch <= raw.size()) {
+            const std::uint32_t h = hash4(&raw[i]);
+            const std::uint32_t cand = table[h];
+            table[h] = static_cast<std::uint32_t>(i);
+            if (cand != 0xffffffffu && i - cand <= kWindow) {
+                const std::size_t limit =
+                    std::min(raw.size() - i, kMaxMatch);
+                std::size_t len = 0;
+                while (len < limit && raw[cand + len] == raw[i + len])
+                    ++len;
+                if (len >= kMinMatch) {
+                    matchLen = len;
+                    matchPos = cand;
+                }
+            }
+        }
+        if (matchLen) {
+            beginItem(true);
+            const std::size_t off = i - matchPos;
+            out.push_back(static_cast<std::uint8_t>(off));
+            out.push_back(static_cast<std::uint8_t>(off >> 8));
+            out.push_back(static_cast<std::uint8_t>(matchLen - kMinMatch));
+            i += matchLen;
+        } else {
+            beginItem(false);
+            out.push_back(raw[i]);
+            ++i;
+        }
+    }
+    if (flagPos)
+        out[flagPos] = flags;
+    return out;
+}
+
+Blob
+zipDecompress(const Blob &compressed)
+{
+    std::size_t pos = 0;
+    const std::uint64_t rawSize = getLeb(compressed, pos);
+    Blob out;
+    out.reserve(rawSize);
+
+    std::uint8_t flags = 0;
+    unsigned flagBit = 8;
+    while (out.size() < rawSize) {
+        if (flagBit == 8) {
+            if (pos >= compressed.size())
+                throw std::runtime_error("zip: truncated stream");
+            flags = compressed[pos++];
+            flagBit = 0;
+        }
+        const bool isMatch = (flags >> flagBit) & 1;
+        ++flagBit;
+        if (isMatch) {
+            if (pos + 3 > compressed.size())
+                throw std::runtime_error("zip: truncated match");
+            const std::size_t off =
+                static_cast<std::size_t>(compressed[pos]) |
+                (static_cast<std::size_t>(compressed[pos + 1]) << 8);
+            const std::size_t len =
+                static_cast<std::size_t>(compressed[pos + 2]) + kMinMatch;
+            pos += 3;
+            if (off == 0 || off > out.size())
+                throw std::runtime_error("zip: bad match offset");
+            std::size_t src = out.size() - off;
+            for (std::size_t k = 0; k < len; ++k)
+                out.push_back(out[src + k]);
+        } else {
+            if (pos >= compressed.size())
+                throw std::runtime_error("zip: truncated literal");
+            out.push_back(compressed[pos++]);
+        }
+    }
+    if (out.size() != rawSize)
+        throw std::runtime_error("zip: size mismatch");
+    return out;
+}
+
+} // namespace lp

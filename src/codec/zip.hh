@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Block compressor for live-point payloads. A self-contained LZSS
+ * variant (64KB window, greedy hash matching): no external library
+ * dependency, deterministic output across platforms, and effective on
+ * the structured tag/counter payloads live-points are made of.
+ */
+
+#ifndef LP_CODEC_ZIP_HH
+#define LP_CODEC_ZIP_HH
+
+#include "util/types.hh"
+
+namespace lp
+{
+
+/** Compress a buffer. The result is self-describing. */
+Blob zipCompress(const Blob &raw);
+
+/**
+ * Decompress a buffer produced by zipCompress(). Throws
+ * std::runtime_error on malformed input.
+ */
+Blob zipDecompress(const Blob &compressed);
+
+} // namespace lp
+
+#endif // LP_CODEC_ZIP_HH

@@ -1,0 +1,78 @@
+#include "core/builder.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "func/functional.hh"
+
+namespace lp
+{
+
+LivePointBuilder::LivePointBuilder(const LivePointBuilderConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+LivePointLibrary
+LivePointBuilder::build(const Program &prog, const SampleDesign &design)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    MemHierarchyConfig maxMem;
+    maxMem.l1i = cfg_.maxL1i;
+    maxMem.l1d = cfg_.maxL1d;
+    maxMem.l2 = cfg_.maxL2;
+    maxMem.itlb = cfg_.maxItlb;
+    maxMem.dtlb = cfg_.maxDtlb;
+    MemHierarchy hier(maxMem);
+
+    std::vector<std::unique_ptr<BranchPredictor>> preds;
+    for (const BpredConfig &bc : cfg_.bpredConfigs)
+        preds.push_back(std::make_unique<BranchPredictor>(bc));
+
+    FunctionalSimulator sim(prog);
+    sim.setHierarchy(&hier);
+    for (auto &bp : preds)
+        sim.addPredictor(bp.get());
+
+    LivePointLibrary lib(prog.name, design);
+    for (std::uint64_t i = 0; i < design.count; ++i) {
+        const InstCount start = design.windowStart(i);
+        sim.run(start - sim.regs().instIndex);
+
+        LivePoint point;
+        point.index = i;
+        point.windowStart = start;
+        point.warmLen = design.warmLen;
+        point.measureLen = design.measureLen;
+        point.regs = sim.regs();
+        point.l1i = CacheSetRecord(hier.l1i());
+        point.l1d = CacheSetRecord(hier.l1d());
+        point.l2 = CacheSetRecord(hier.l2());
+        point.itlb = CacheSetRecord(hier.itlb());
+        point.dtlb = CacheSetRecord(hier.dtlb());
+        for (std::size_t b = 0; b < preds.size(); ++b)
+            point.bpredImages.emplace(cfg_.bpredConfigs[b].key(),
+                                      preds[b]->serialize());
+
+        // Capture the window's restricted live-state while warming
+        // continues through it.
+        MemoryImage image(cfg_.imageBlockBytes);
+        sim.setCaptureImage(&image);
+        sim.run(design.windowLen());
+        sim.setCaptureImage(nullptr);
+        point.memImage = std::move(image);
+
+        lib.add(point);
+    }
+
+    stats_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    stats_.points = design.count;
+    stats_.instsSimulated = sim.regs().instIndex;
+    return lib;
+}
+
+} // namespace lp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Live-point library creation: the one-time full-warming pass (Figure
+ * 6, step 2). The builder runs a functional simulation of the whole
+ * benchmark, keeping a hierarchy at the library's *maximum* geometry
+ * and every covered branch predictor warm; at each window start it
+ * snapshots registers and warm state, then captures the window's
+ * touched memory blocks as the restricted live-state image.
+ */
+
+#ifndef LP_CORE_BUILDER_HH
+#define LP_CORE_BUILDER_HH
+
+#include "core/library.hh"
+#include "uarch/config.hh"
+
+namespace lp
+{
+
+/**
+ * The maximum microarchitecture a library bakes in: caches/TLBs no
+ * larger than these geometries and predictors in this set can be
+ * reconstructed exactly. Defaults cover both Table 1 configurations.
+ */
+struct LivePointBuilderConfig
+{
+    CacheGeometry maxL1i{64 * 1024, 2, 64};
+    CacheGeometry maxL1d{64 * 1024, 2, 64};
+    CacheGeometry maxL2{4ull << 20, 8, 128};
+    CacheGeometry maxItlb{128 * 4096, 4, 4096};
+    CacheGeometry maxDtlb{256 * 4096, 4, 4096};
+    std::vector<BpredConfig> bpredConfigs{BpredConfig{}};
+
+    /** Block size of the restricted live-state image. */
+    unsigned imageBlockBytes = 64;
+};
+
+struct BuilderStats
+{
+    double wallSeconds = 0.0;
+    std::uint64_t points = 0;
+    InstCount instsSimulated = 0;
+};
+
+class LivePointBuilder
+{
+  public:
+    explicit LivePointBuilder(const LivePointBuilderConfig &cfg);
+
+    /** Create the library for @p design over @p prog. */
+    LivePointLibrary build(const Program &prog,
+                           const SampleDesign &design);
+
+    /** Statistics of the most recent build() call. */
+    const BuilderStats &stats() const { return stats_; }
+
+    const LivePointBuilderConfig &config() const { return cfg_; }
+
+  private:
+    LivePointBuilderConfig cfg_;
+    BuilderStats stats_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_BUILDER_HH

@@ -1,0 +1,240 @@
+#include "core/library.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "codec/zip.hh"
+#include "util/log.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFileMagic = 0x4c50'4c49'4232ull; // "LPLIB2"
+
+void
+serializeDesign(DerWriter &w, const SampleDesign &d)
+{
+    w.beginSequence();
+    w.putUint(d.benchLength);
+    w.putUint(d.count);
+    w.putUint(d.measureLen);
+    w.putUint(d.warmLen);
+    w.endSequence();
+}
+
+SampleDesign
+deserializeDesign(DerReader &r)
+{
+    DerReader seq = r.getSequence();
+    SampleDesign d;
+    d.benchLength = seq.getUint();
+    d.count = seq.getUint();
+    d.measureLen = seq.getUint();
+    d.warmLen = seq.getUint();
+    return d;
+}
+
+} // namespace
+
+const Blob *
+LivePoint::findBpredImage(const std::string &key) const
+{
+    const auto it = bpredImages.find(key);
+    return it == bpredImages.end() ? nullptr : &it->second;
+}
+
+LivePointBreakdown
+LivePoint::breakdown() const
+{
+    LivePointBreakdown b;
+    b.regsAndTlb = regs.serialize().size() + itlb.serialize().size() +
+                   dtlb.serialize().size();
+    {
+        DerWriter w;
+        memImage.serialize(w);
+        b.memData = w.finish().size();
+    }
+    for (const auto &kv : bpredImages)
+        b.bpred += kv.second.size();
+    b.l1iTags = l1i.serialize().size();
+    b.l1dTags = l1d.serialize().size();
+    b.l2Tags = l2.serialize().size();
+    b.total = serialize().size();
+    return b;
+}
+
+Blob
+LivePoint::serialize() const
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putUint(index);
+    w.putUint(windowStart);
+    w.putUint(warmLen);
+    w.putUint(measureLen);
+    regs.serialize(w);
+    memImage.serialize(w);
+    l1i.serialize(w);
+    l1d.serialize(w);
+    l2.serialize(w);
+    itlb.serialize(w);
+    dtlb.serialize(w);
+    w.putUint(bpredImages.size());
+    for (const auto &kv : bpredImages) {
+        w.putString(kv.first);
+        w.putBytes(kv.second);
+    }
+    w.endSequence();
+    return w.finish();
+}
+
+LivePoint
+LivePoint::deserialize(const Blob &data)
+{
+    DerReader top(data);
+    DerReader seq = top.getSequence();
+    LivePoint p;
+    p.index = seq.getUint();
+    p.windowStart = seq.getUint();
+    p.warmLen = seq.getUint();
+    p.measureLen = seq.getUint();
+    p.regs = ArchRegs::deserialize(seq);
+    p.memImage = MemoryImage::deserialize(seq);
+    p.l1i = CacheSetRecord::deserialize(seq);
+    p.l1d = CacheSetRecord::deserialize(seq);
+    p.l2 = CacheSetRecord::deserialize(seq);
+    p.itlb = CacheSetRecord::deserialize(seq);
+    p.dtlb = CacheSetRecord::deserialize(seq);
+    const std::uint64_t nImages = seq.getUint();
+    for (std::uint64_t i = 0; i < nImages; ++i) {
+        const std::string key = seq.getString();
+        p.bpredImages.emplace(key, seq.getBytes());
+    }
+    return p;
+}
+
+LivePointLibrary::LivePointLibrary(std::string benchmark,
+                                   const SampleDesign &design)
+    : benchmark_(std::move(benchmark)), design_(design)
+{
+}
+
+LivePoint
+LivePointLibrary::get(std::size_t i) const
+{
+    return LivePoint::deserialize(zipDecompress(records_[i]));
+}
+
+void
+LivePointLibrary::add(const LivePoint &point)
+{
+    Blob raw = point.serialize();
+    rawSizes_.push_back(raw.size());
+    indices_.push_back(point.index);
+    records_.push_back(zipCompress(raw));
+}
+
+std::uint64_t
+LivePointLibrary::totalCompressedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Blob &r : records_)
+        total += r.size();
+    return total;
+}
+
+std::uint64_t
+LivePointLibrary::totalUncompressedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : rawSizes_)
+        total += s;
+    return total;
+}
+
+void
+LivePointLibrary::shuffle(Rng &rng)
+{
+    for (std::size_t i = records_.size(); i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.nextBounded(i));
+        std::swap(records_[i - 1], records_[j]);
+        std::swap(rawSizes_[i - 1], rawSizes_[j]);
+        std::swap(indices_[i - 1], indices_[j]);
+    }
+}
+
+void
+LivePointLibrary::save(const std::string &path) const
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putUint(kFileMagic);
+    w.putString(benchmark_);
+    serializeDesign(w, design_);
+    w.putUint(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        w.putUint(rawSizes_[i]);
+        w.putUint(indices_[i]);
+        w.putBytes(records_[i]);
+    }
+    w.endSequence();
+    const Blob data = w.finish();
+
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("cannot write library '%s'", path.c_str()));
+    const std::size_t n = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (n != data.size())
+        throw std::runtime_error(
+            strfmt("short write to library '%s'", path.c_str()));
+}
+
+LivePointLibrary
+LivePointLibrary::load(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("cannot open library '%s'", path.c_str()));
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size < 0) {
+        std::fclose(f);
+        throw std::runtime_error(
+            strfmt("cannot read library '%s'", path.c_str()));
+    }
+    std::fseek(f, 0, SEEK_SET);
+    Blob data(static_cast<std::size_t>(size));
+    const std::size_t n = std::fread(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (n != data.size())
+        throw std::runtime_error(
+            strfmt("short read from library '%s'", path.c_str()));
+
+    DerReader top(data);
+    DerReader seq = top.getSequence();
+    if (seq.getUint() != kFileMagic)
+        throw std::runtime_error(
+            strfmt("'%s' is not a live-point library", path.c_str()));
+    LivePointLibrary lib;
+    lib.benchmark_ = seq.getString();
+    lib.design_ = deserializeDesign(seq);
+    const std::uint64_t count = seq.getUint();
+    lib.records_.reserve(count);
+    lib.rawSizes_.reserve(count);
+    lib.indices_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        lib.rawSizes_.push_back(seq.getUint());
+        lib.indices_.push_back(seq.getUint());
+        lib.records_.push_back(seq.getBytes());
+    }
+    return lib;
+}
+
+} // namespace lp

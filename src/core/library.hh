@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Live-points and their library. A live-point is the complete state
+ * needed to simulate one sampled window in isolation: architectural
+ * registers, the window's touched memory blocks (restricted
+ * live-state), warm cache/TLB set records at the library's maximum
+ * geometry, and one serialized branch-predictor image per covered
+ * configuration. The library stores each point individually
+ * compressed, supports shuffling (so any prefix is an unbiased random
+ * sub-sample), and round-trips through a single on-disk file.
+ */
+
+#ifndef LP_CORE_LIBRARY_HH
+#define LP_CORE_LIBRARY_HH
+
+#include <map>
+#include <string>
+
+#include "cache/warmstate.hh"
+#include "codec/der.hh"
+#include "core/sample.hh"
+#include "mem/memport.hh"
+#include "util/rng.hh"
+#include "workload/generator.hh"
+
+namespace lp
+{
+
+/** Uncompressed byte accounting of one live-point (Figure 7). */
+struct LivePointBreakdown
+{
+    std::uint64_t regsAndTlb = 0;
+    std::uint64_t memData = 0;
+    std::uint64_t bpred = 0;
+    std::uint64_t l1iTags = 0;
+    std::uint64_t l1dTags = 0;
+    std::uint64_t l2Tags = 0;
+    std::uint64_t total = 0;
+};
+
+struct LivePoint
+{
+    std::uint64_t index = 0;    //!< window number within the design
+    InstCount windowStart = 0;  //!< first instruction of the window
+    InstCount warmLen = 0;
+    InstCount measureLen = 0;
+    ArchRegs regs;
+    MemoryImage memImage;
+    CacheSetRecord l1i;
+    CacheSetRecord l1d;
+    CacheSetRecord l2;
+    CacheSetRecord itlb;
+    CacheSetRecord dtlb;
+    std::map<std::string, Blob> bpredImages; //!< key -> predictor image
+
+    /** Image for a predictor key, or nullptr if not covered. */
+    const Blob *findBpredImage(const std::string &key) const;
+
+    /** Per-section uncompressed sizes. */
+    LivePointBreakdown breakdown() const;
+
+    Blob serialize() const;
+    static LivePoint deserialize(const Blob &data);
+};
+
+class LivePointLibrary
+{
+  public:
+    LivePointLibrary() = default;
+    LivePointLibrary(std::string benchmark, const SampleDesign &design);
+
+    const std::string &benchmark() const { return benchmark_; }
+    const SampleDesign &design() const { return design_; }
+    std::size_t size() const { return records_.size(); }
+
+    /** Decompress and decode the @p i-th stored point. */
+    LivePoint get(std::size_t i) const;
+
+    /** Compress and append a point. */
+    void add(const LivePoint &point);
+
+    /** Stored (compressed) bytes of the @p i-th point. */
+    std::size_t compressedSize(std::size_t i) const
+    {
+        return records_[i].size();
+    }
+
+    /**
+     * Window index of the @p i-th stored point, without decompressing
+     * it (kept as library metadata for stratum assignment).
+     */
+    std::uint64_t windowIndex(std::size_t i) const { return indices_[i]; }
+
+    std::uint64_t totalCompressedBytes() const;
+    std::uint64_t totalUncompressedBytes() const;
+
+    /** Permute the stored order (Fisher-Yates with @p rng). */
+    void shuffle(Rng &rng);
+
+    void save(const std::string &path) const;
+    static LivePointLibrary load(const std::string &path);
+
+  private:
+    std::string benchmark_;
+    SampleDesign design_;
+    std::vector<Blob> records_;           //!< zip-compressed points
+    std::vector<std::uint64_t> rawSizes_; //!< uncompressed sizes
+    std::vector<std::uint64_t> indices_;  //!< window index per record
+};
+
+} // namespace lp
+
+#endif // LP_CORE_LIBRARY_HH

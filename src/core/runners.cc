@@ -1,0 +1,356 @@
+#include "core/runners.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "func/functional.hh"
+#include "util/log.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * A write-private view of a base memory: the detailed window runs on
+ * top of the live functional memory without perturbing it (all
+ * accesses are 8-aligned 8-byte, so a word-granular overlay is exact).
+ */
+class OverlayMemPort : public MemPort
+{
+  public:
+    explicit OverlayMemPort(SparseMemory &base) : base_(base) {}
+
+    std::uint64_t read64(Addr a) override
+    {
+        const auto it = writes_.find(a);
+        return it == writes_.end() ? base_.read64(a) : it->second;
+    }
+
+    void write64(Addr a, std::uint64_t v) override { writes_[a] = v; }
+
+  private:
+    SparseMemory &base_;
+    std::unordered_map<Addr, std::uint64_t> writes_;
+};
+
+/** Clamp an MRRL warming request to what fits before the window. */
+InstCount
+clampWarming(InstCount requested, const SampleDesign &design,
+             InstCount start)
+{
+    const InstCount gap = design.period() - design.windowLen();
+    return std::min({requested, gap, start});
+}
+
+std::vector<std::size_t>
+processingOrder(std::size_t n, std::uint64_t shuffleSeed)
+{
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    if (shuffleSeed) {
+        Rng rng(shuffleSeed, "lp-run-order");
+        for (std::size_t i = n; i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBounded(i)]);
+    }
+    return order;
+}
+
+} // namespace
+
+CompleteSimResult
+runCompleteDetailed(const Program &prog, const CoreConfig &cfg,
+                    InstCount maxInsts)
+{
+    const auto t0 = Clock::now();
+    SparseMemory mem;
+    if (!prog.dataInit.empty())
+        mem.writeBytes(prog.dataBase, prog.dataInit.data(),
+                       prog.dataInit.size());
+    DirectMemPort port(mem);
+    MemHierarchy hier(cfg.mem);
+    BranchPredictor bp(cfg.bpred);
+    CoreBindings b;
+    b.prog = &prog;
+    b.mem = &port;
+    b.hier = &hier;
+    b.bp = &bp;
+    OoOCore core(cfg, b);
+    const InstCount limit = maxInsts ? std::min(maxInsts, prog.length)
+                                     : prog.length;
+    const WindowResult w = core.commitRun(limit);
+    CompleteSimResult res;
+    res.cpi = w.cpi;
+    res.insts = w.insts;
+    res.wallSeconds = seconds(t0);
+    return res;
+}
+
+SampledEstimate
+runSmarts(const Program &prog, const CoreConfig &cfg,
+          const SampleDesign &design)
+{
+    const auto t0 = Clock::now();
+    FunctionalSimulator sim(prog);
+    MemHierarchy hier(cfg.mem);
+    BranchPredictor bp(cfg.bpred);
+    sim.setHierarchy(&hier);
+    sim.addPredictor(&bp);
+
+    SampledEstimate est;
+    for (std::uint64_t i = 0; i < design.count; ++i) {
+        const InstCount start = design.windowStart(i);
+        sim.run(start - sim.regs().instIndex);
+
+        // Measure the window on clones of the warm state and a
+        // write-private memory view; functional warming then proceeds
+        // through the window on the originals, exactly as the
+        // live-point builder does.
+        MemHierarchy hierClone = hier;
+        BranchPredictor bpClone = bp;
+        OverlayMemPort over(sim.memory());
+        CoreBindings b;
+        b.prog = &prog;
+        b.initialRegs = sim.regs();
+        b.mem = &over;
+        b.hier = &hierClone;
+        b.bp = &bpClone;
+        OoOCore core(cfg, b);
+        const WindowResult w =
+            core.measure(design.warmLen, design.measureLen);
+        est.stat.add(w.cpi);
+
+        sim.run(design.windowLen());
+    }
+    sim.run(prog.length - sim.regs().instIndex);
+    // Functional-warming work only (the O(B) cost the strategies
+    // differ in); AW-MRRL accounts the same way.
+    est.warmedInsts = sim.regs().instIndex;
+    est.wallSeconds = seconds(t0);
+    return est;
+}
+
+SampledEstimate
+runAdaptiveWarming(const Program &prog, const CoreConfig &cfg,
+                   const SampleDesign &design, const MrrlAnalysis &mrrl,
+                   bool stitched)
+{
+    if (mrrl.warmingLengths.size() < design.count)
+        throw std::runtime_error(
+            "runAdaptiveWarming: MRRL analysis does not cover the "
+            "design");
+    const auto t0 = Clock::now();
+    FunctionalSimulator sim(prog);
+    MemHierarchy hier(cfg.mem);
+    BranchPredictor bp(cfg.bpred);
+
+    SampledEstimate est;
+    for (std::uint64_t i = 0; i < design.count; ++i) {
+        const InstCount start = design.windowStart(i);
+        // Clamp the MRRL request to the gap, the program start, and
+        // the end of the previous window (the simulator only moves
+        // forward).
+        const InstCount warm = std::min(
+            clampWarming(mrrl.warmingLengths[i], design, start),
+            start - sim.regs().instIndex);
+
+        // Fast-forward architecturally (no warming) to the start of
+        // this window's warming interval.
+        sim.setHierarchy(nullptr);
+        sim.clearPredictors();
+        sim.run(start - warm - sim.regs().instIndex);
+
+        if (!stitched) {
+            hier.reset();
+            bp.reset();
+        }
+        sim.setHierarchy(&hier);
+        sim.addPredictor(&bp);
+        sim.run(warm);
+
+        MemHierarchy hierClone = hier;
+        BranchPredictor bpClone = bp;
+        OverlayMemPort over(sim.memory());
+        CoreBindings b;
+        b.prog = &prog;
+        b.initialRegs = sim.regs();
+        b.mem = &over;
+        b.hier = &hierClone;
+        b.bp = &bpClone;
+        OoOCore core(cfg, b);
+        const WindowResult w =
+            core.measure(design.warmLen, design.measureLen);
+        est.stat.add(w.cpi);
+
+        // Warm through the window itself (its references are known).
+        sim.run(design.windowLen());
+        est.warmedInsts += warm + design.windowLen();
+    }
+    est.wallSeconds = seconds(t0);
+    return est;
+}
+
+WindowResult
+simulateLivePoint(const Program &prog, const LivePoint &point,
+                  const CoreConfig &cfg, bool approxWrongPath)
+{
+    SparseMemory mem;
+    point.memImage.applyTo(mem);
+    DirectMemPort port(mem);
+    MemHierarchy hier(cfg.mem);
+    point.l1i.reconstruct(hier.l1i());
+    point.l1d.reconstruct(hier.l1d());
+    point.l2.reconstruct(hier.l2());
+    point.itlb.reconstruct(hier.itlb());
+    point.dtlb.reconstruct(hier.dtlb());
+    BranchPredictor bp(cfg.bpred);
+    const Blob *image = point.findBpredImage(cfg.bpred.key());
+    if (!image)
+        throw std::runtime_error(
+            strfmt("library does not cover predictor '%s'",
+                   cfg.bpred.key().c_str()));
+    bp.deserialize(*image);
+
+    CoreBindings b;
+    b.prog = &prog;
+    b.initialRegs = point.regs;
+    b.mem = &port;
+    b.hier = &hier;
+    b.bp = &bp;
+    b.availability = &point.memImage;
+    OoOCore core(cfg, b);
+    core.setApproxWrongPath(approxWrongPath);
+    return core.measure(point.warmLen, point.measureLen);
+}
+
+LivePointRunResult
+runLivePoints(const Program &prog, const LivePointLibrary &lib,
+              const CoreConfig &cfg, const LivePointRunOptions &opt)
+{
+    const auto t0 = Clock::now();
+    const std::vector<std::size_t> order =
+        processingOrder(lib.size(), opt.shuffleSeed);
+
+    LivePointRunResult res;
+    OnlineEstimator estimator(opt.spec);
+
+    if (opt.threads > 1) {
+        // Live-points are independent: partition them over workers,
+        // then fold in order so the estimate is identical at every
+        // thread count. (Early stopping is a sequential notion and is
+        // disabled here.)
+        std::vector<WindowResult> results(order.size());
+        std::vector<std::thread> workers;
+        const unsigned t = opt.threads;
+        for (unsigned w = 0; w < t; ++w) {
+            workers.emplace_back([&, w]() {
+                for (std::size_t k = w; k < order.size(); k += t)
+                    results[k] = simulateLivePoint(
+                        prog, lib.get(order[k]), cfg,
+                        opt.approxWrongPath);
+            });
+        }
+        for (std::thread &th : workers)
+            th.join();
+        for (const WindowResult &w : results) {
+            const OnlineSnapshot snap = estimator.add(w.cpi);
+            res.unavailableLoads += w.unavailableLoads;
+            ++res.processed;
+            if (opt.recordTrajectory)
+                res.trajectory.push_back(snap);
+        }
+    } else {
+        for (const std::size_t pos : order) {
+            const WindowResult w = simulateLivePoint(
+                prog, lib.get(pos), cfg, opt.approxWrongPath);
+            const OnlineSnapshot snap = estimator.add(w.cpi);
+            res.unavailableLoads += w.unavailableLoads;
+            ++res.processed;
+            if (opt.recordTrajectory)
+                res.trajectory.push_back(snap);
+            if (opt.stopAtConfidence && snap.satisfied)
+                break;
+        }
+    }
+    res.finalSnapshot = estimator.snapshot();
+    res.wallSeconds = seconds(t0);
+    return res;
+}
+
+MatchedPairOutcome
+runMatchedPair(const Program &prog, const LivePointLibrary &lib,
+               const CoreConfig &base, const CoreConfig &test,
+               const LivePointRunOptions &opt)
+{
+    const auto t0 = Clock::now();
+    const std::vector<std::size_t> order =
+        processingOrder(lib.size(), opt.shuffleSeed);
+    const double z = confidenceZ(opt.spec.level);
+
+    RunningStat baseStat;
+    RunningStat testStat;
+    RunningStat delta;
+    MatchedPairOutcome out;
+
+    for (const std::size_t pos : order) {
+        const LivePoint point = lib.get(pos);
+        const WindowResult wb =
+            simulateLivePoint(prog, point, base, opt.approxWrongPath);
+        const WindowResult wt =
+            simulateLivePoint(prog, point, test, opt.approxWrongPath);
+        baseStat.add(wb.cpi);
+        testStat.add(wt.cpi);
+        delta.add(wt.cpi - wb.cpi);
+        ++out.processed;
+
+        if (opt.stopAtConfidence && delta.count() >= minCltSample) {
+            const double hw = delta.halfWidth(z);
+            const double noiseFloor =
+                opt.spec.relativeError * std::fabs(baseStat.mean());
+            // Stop once the delta's CI excludes zero (a significant
+            // difference) or is below the noise floor (provably nil).
+            if (std::fabs(delta.mean()) > hw || hw <= noiseFloor)
+                break;
+        }
+    }
+
+    const double hw = delta.halfWidth(z);
+    out.result.meanDelta = delta.mean();
+    out.result.relDelta =
+        baseStat.mean() != 0.0 ? delta.mean() / baseStat.mean() : 0.0;
+    out.result.deltaHalfWidth = hw;
+    out.result.significant = delta.count() >= minCltSample &&
+                             std::fabs(delta.mean()) > hw;
+
+    // Sample sizes to reach the spec: paired (estimate the delta to
+    // within the noise floor) vs absolute (estimate the test CPI).
+    const double errAbs =
+        opt.spec.relativeError * std::fabs(baseStat.mean());
+    if (errAbs > 0.0 && delta.count() >= 2) {
+        const double n = std::ceil((z * delta.stddev() / errAbs) *
+                                   (z * delta.stddev() / errAbs));
+        out.pairedSampleSize = std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(n), minCltSample);
+    } else {
+        out.pairedSampleSize = minCltSample;
+    }
+    out.absoluteSampleSize = requiredSampleSize(testStat.cov(), opt.spec);
+    out.wallSeconds = seconds(t0);
+    return out;
+}
+
+} // namespace lp

@@ -1,0 +1,77 @@
+#include "core/sample.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+std::uint64_t
+requiredSampleSize(double cov, const ConfidenceSpec &spec)
+{
+    const double z = confidenceZ(spec.level);
+    const double n =
+        std::ceil((z * cov / spec.relativeError) *
+                  (z * cov / spec.relativeError));
+    return std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(n), minCltSample);
+}
+
+SampleDesign
+SampleDesign::systematic(InstCount benchLength, std::uint64_t count,
+                         InstCount measureLen, InstCount warmLen)
+{
+    SampleDesign d;
+    d.benchLength = benchLength;
+    d.measureLen = measureLen;
+    d.warmLen = warmLen;
+    d.count = std::max<std::uint64_t>(
+        std::min(count, maxCount(benchLength, measureLen, warmLen)), 1);
+    return d;
+}
+
+std::uint64_t
+SampleDesign::maxCount(InstCount benchLength, InstCount measureLen,
+                       InstCount warmLen)
+{
+    const InstCount window = measureLen + warmLen;
+    return window ? benchLength / window : 0;
+}
+
+std::vector<InstCount>
+SampleDesign::windowStarts() const
+{
+    std::vector<InstCount> starts;
+    starts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        starts.push_back(windowStart(i));
+    return starts;
+}
+
+OnlineEstimator::OnlineEstimator(const ConfidenceSpec &spec)
+    : spec_(spec), z_(confidenceZ(spec.level))
+{
+}
+
+OnlineSnapshot
+OnlineEstimator::add(double x)
+{
+    stat_.add(x);
+    return snapshot();
+}
+
+OnlineSnapshot
+OnlineEstimator::snapshot() const
+{
+    OnlineSnapshot s;
+    s.n = static_cast<std::size_t>(stat_.count());
+    s.mean = stat_.mean();
+    s.relHalfWidth = stat_.relHalfWidth(z_);
+    s.valid = stat_.count() >= minCltSample;
+    s.satisfied = s.valid && s.relHalfWidth <= spec_.relativeError;
+    return s;
+}
+
+} // namespace lp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistical sampling machinery (SMARTS, Wunderlich et al.):
+ * systematic sample designs, confidence-driven sample sizing, and the
+ * online estimator behind anytime result reporting.
+ */
+
+#ifndef LP_CORE_SAMPLE_HH
+#define LP_CORE_SAMPLE_HH
+
+#include <vector>
+
+#include "stats/running_stat.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace lp
+{
+
+/** Minimum sample size for the CLT-based intervals to hold. */
+inline constexpr std::uint64_t minCltSample = 30;
+
+/** A confidence target: level (e.g. 0.997) and relative error. */
+struct ConfidenceSpec
+{
+    double level = 0.997;
+    double relativeError = 0.03;
+};
+
+/**
+ * Sample size needed to estimate a mean with coefficient of variation
+ * @p cov to the spec's relative error (never below minCltSample).
+ */
+std::uint64_t requiredSampleSize(double cov, const ConfidenceSpec &spec);
+
+/**
+ * A systematic sample over a benchmark: @p count windows of
+ * (warmLen detailed-warming + measureLen measured) instructions, one
+ * per period. Each window sits at a deterministic pseudo-random
+ * offset within its period, so the sample can never alias with
+ * program periodicity (the classic systematic-sampling hazard).
+ */
+struct SampleDesign
+{
+    InstCount benchLength = 0;
+    std::uint64_t count = 0;
+    InstCount measureLen = 1000;
+    InstCount warmLen = 2000;
+
+    static SampleDesign systematic(InstCount benchLength,
+                                   std::uint64_t count,
+                                   InstCount measureLen,
+                                   InstCount warmLen);
+
+    /** Largest count whose windows fit the benchmark. */
+    static std::uint64_t maxCount(InstCount benchLength,
+                                  InstCount measureLen,
+                                  InstCount warmLen);
+
+    InstCount windowLen() const { return warmLen + measureLen; }
+    InstCount period() const
+    {
+        return count ? benchLength / count : 0;
+    }
+
+    /** First instruction of window @p i (start of detailed warming). */
+    InstCount windowStart(std::uint64_t i) const
+    {
+        const InstCount p = period();
+        // Tolerate hand-built designs whose windows don't fit.
+        const InstCount slack = p > windowLen() ? p - windowLen() : 0;
+        const std::uint64_t jitter =
+            hashCombine(hashCombine(benchLength, count), i) %
+            (slack + 1);
+        return i * p + jitter;
+    }
+
+    std::vector<InstCount> windowStarts() const;
+
+    bool operator==(const SampleDesign &o) const
+    {
+        return benchLength == o.benchLength && count == o.count &&
+               measureLen == o.measureLen && warmLen == o.warmLen;
+    }
+
+    bool operator!=(const SampleDesign &o) const { return !(*this == o); }
+};
+
+/** The running estimate the online reporter prints. */
+struct OnlineSnapshot
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double relHalfWidth = 0.0;
+    bool valid = false;     //!< n >= minCltSample
+    bool satisfied = false; //!< valid and within the confidence target
+};
+
+/** Accumulates measurements and reports confidence after each. */
+class OnlineEstimator
+{
+  public:
+    explicit OnlineEstimator(const ConfidenceSpec &spec);
+
+    /** Add a measurement; returns the updated snapshot. */
+    OnlineSnapshot add(double x);
+
+    OnlineSnapshot snapshot() const;
+
+    const RunningStat &stat() const { return stat_; }
+    const ConfidenceSpec &spec() const { return spec_; }
+
+  private:
+    ConfidenceSpec spec_;
+    double z_;
+    RunningStat stat_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_SAMPLE_HH

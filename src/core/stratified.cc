@@ -1,0 +1,113 @@
+#include "core/stratified.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lp
+{
+
+StratifiedResult
+runStratified(const Program &prog, const LivePointLibrary &lib,
+              const CoreConfig &cfg, const StratifiedOptions &opt)
+{
+    StratifiedResult res;
+    const std::size_t n = lib.size();
+    if (n == 0)
+        return res;
+
+    const unsigned k = opt.strata
+                           ? opt.strata
+                           : static_cast<unsigned>(std::clamp<std::size_t>(
+                                 n / 25, 2, 12));
+    res.strata = k;
+
+    // Assign each stored record to a stratum by its window index
+    // (program order), regardless of the library's stored order; the
+    // index is library metadata, so no record is decompressed here.
+    std::vector<std::vector<std::size_t>> queues(k);
+    const std::uint64_t span =
+        std::max<std::uint64_t>(lib.design().count, 1);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        const std::uint64_t idx = lib.windowIndex(pos);
+        const std::size_t h = std::min<std::size_t>(
+            static_cast<std::size_t>(idx * k / span), k - 1);
+        queues[h].push_back(pos);
+    }
+    Rng rng(opt.shuffleSeed, "stratified");
+    std::vector<double> weight(k, 0.0);
+    for (unsigned h = 0; h < k; ++h) {
+        auto &q = queues[h];
+        for (std::size_t i = q.size(); i > 1; --i)
+            std::swap(q[i - 1], q[rng.nextBounded(i)]);
+        weight[h] = static_cast<double>(q.size()) /
+                    static_cast<double>(n);
+    }
+
+    std::vector<RunningStat> strat(k);
+    const double z = confidenceZ(opt.spec.level);
+
+    auto measureFrom = [&](unsigned h) {
+        const std::size_t pos = queues[h].back();
+        queues[h].pop_back();
+        const WindowResult w = simulateLivePoint(
+            prog, lib.get(pos), cfg, opt.approxWrongPath);
+        strat[h].add(w.cpi);
+        ++res.processed;
+    };
+
+    auto combined = [&](double &mean, double &se) {
+        mean = 0.0;
+        double var = 0.0;
+        for (unsigned h = 0; h < k; ++h) {
+            if (!strat[h].count())
+                continue;
+            mean += weight[h] * strat[h].mean();
+            var += weight[h] * weight[h] * strat[h].variance() /
+                   static_cast<double>(strat[h].count());
+        }
+        se = std::sqrt(var);
+    };
+
+    // Pilot: a minimum per stratum (at least one, or the allocation
+    // loop below would have no variance estimate to work from).
+    const std::size_t minPer =
+        std::max<std::size_t>(opt.minPerStratum, 1);
+    for (unsigned h = 0; h < k; ++h)
+        for (std::size_t i = 0; i < minPer && !queues[h].empty(); ++i)
+            measureFrom(h);
+
+    // Greedy Neyman allocation: always sample the stratum whose next
+    // measurement reduces the combined variance the most.
+    while (true) {
+        double mean = 0.0;
+        double se = 0.0;
+        combined(mean, se);
+        res.mean = mean;
+        res.relHalfWidth =
+            mean != 0.0 ? z * se / std::fabs(mean) : 0.0;
+        if (res.processed >= minCltSample && mean != 0.0 &&
+            res.relHalfWidth <= opt.spec.relativeError) {
+            res.satisfied = true;
+            break;
+        }
+        unsigned best = k;
+        double bestGain = -1.0;
+        for (unsigned h = 0; h < k; ++h) {
+            if (queues[h].empty() || !strat[h].count())
+                continue;
+            const double nh = static_cast<double>(strat[h].count());
+            const double gain = weight[h] * weight[h] *
+                                strat[h].variance() / (nh * (nh + 1.0));
+            if (gain > bestGain) {
+                bestGain = gain;
+                best = h;
+            }
+        }
+        if (best == k)
+            break; // library exhausted
+        measureFrom(best);
+    }
+    return res;
+}
+
+} // namespace lp

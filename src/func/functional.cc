@@ -1,0 +1,53 @@
+#include "func/functional.hh"
+
+namespace lp
+{
+
+FunctionalSimulator::FunctionalSimulator(const Program &prog)
+    : prog_(prog), port_(mem_)
+{
+    if (!prog.dataInit.empty())
+        mem_.writeBytes(prog.dataBase, prog.dataInit.data(),
+                        prog.dataInit.size());
+}
+
+void
+FunctionalSimulator::addPredictor(BranchPredictor *bp)
+{
+    preds_.push_back(bp);
+}
+
+void
+FunctionalSimulator::run(InstCount n)
+{
+    const InstCount end =
+        std::min(prog_.length, regs_.instIndex + n);
+    while (regs_.instIndex < end) {
+        const Instruction ins = prog_.fetch(regs_.instIndex);
+
+        if (hier_) {
+            const Addr fa = prog_.fetchAddr(ins.pc);
+            const Addr line = fa & ~63ull;
+            if (line != lastFetchLine_) {
+                lastFetchLine_ = line;
+                hier_->warmFetch(fa);
+            }
+        }
+        if (ins.isMem()) {
+            if (capture_)
+                capture_->captureBeforeAccess(mem_, ins.addr);
+            if (hier_)
+                hier_->warmData(ins.addr, ins.op == Opcode::Store);
+            if (mtr_)
+                mtr_->record(ins.addr, ins.op == Opcode::Store,
+                             regs_.instIndex);
+        }
+        if (ins.op == Opcode::Bne)
+            for (BranchPredictor *bp : preds_)
+                bp->warmBranch(ins.pc, ins, ins.taken, ins.target);
+
+        executeArch(ins, regs_, port_);
+    }
+}
+
+} // namespace lp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Functional warming: the adapter that drives a FunctionalSimulator
+ * forward while keeping microarchitectural state (caches, TLBs,
+ * branch predictors, MTR) warm. This is the O(B) component of SMARTS
+ * and AW-MRRL that live-points eliminate from the measurement loop.
+ */
+
+#ifndef LP_FUNC_WARMING_HH
+#define LP_FUNC_WARMING_HH
+
+#include "func/functional.hh"
+
+namespace lp
+{
+
+class FunctionalWarming
+{
+  public:
+    explicit FunctionalWarming(FunctionalSimulator &sim) : sim_(sim) {}
+
+    /** Warm this hierarchy from now on. */
+    void attachHierarchy(MemHierarchy *hier) { sim_.setHierarchy(hier); }
+
+    /** Warm this predictor (may be called for several). */
+    void attachPredictor(BranchPredictor *bp) { sim_.addPredictor(bp); }
+
+    /** Populate this memory-timestamp record. */
+    void attachMtr(MemoryTimestampRecord *mtr) { sim_.setMtr(mtr); }
+
+    /** Execute @p n instructions with warming active. */
+    void warm(InstCount n) { sim_.run(n); }
+
+    FunctionalSimulator &simulator() { return sim_; }
+
+  private:
+    FunctionalSimulator &sim_;
+};
+
+} // namespace lp
+
+#endif // LP_FUNC_WARMING_HH

@@ -1,0 +1,71 @@
+#include "mem/hierarchy.hh"
+
+namespace lp
+{
+
+MemHierarchy::MemHierarchy(const MemHierarchyConfig &cfg)
+    : cfg_(cfg), l1i_(cfg.l1i, "l1i"), l1d_(cfg.l1d, "l1d"),
+      l2_(cfg.l2, "l2"), itlb_(cfg.itlb, "itlb"), dtlb_(cfg.dtlb, "dtlb")
+{
+}
+
+void
+MemHierarchy::warmFetch(Addr a)
+{
+    itlb_.access(a, false);
+    l1i_.access(a, false);
+    l2_.access(a, false);
+}
+
+void
+MemHierarchy::warmData(Addr a, bool write)
+{
+    dtlb_.access(a, false);
+    l1d_.access(a, write);
+    l2_.access(a, write);
+}
+
+Cycles
+MemHierarchy::timedFetch(Addr a)
+{
+    Cycles lat = cfg_.l1Latency;
+    if (!itlb_.access(a, false).hit)
+        lat += cfg_.tlbMissLatency;
+    if (!l1i_.access(a, false).hit) {
+        if (l2_.access(a, false).hit)
+            lat += cfg_.l2Latency;
+        else
+            lat += cfg_.l2Latency + cfg_.memLatency;
+    }
+    return lat;
+}
+
+Cycles
+MemHierarchy::timedData(Addr a, bool write, bool *missOut)
+{
+    Cycles lat = cfg_.l1Latency;
+    if (!dtlb_.access(a, false).hit)
+        lat += cfg_.tlbMissLatency;
+    const bool l1Miss = !l1d_.access(a, write).hit;
+    if (l1Miss) {
+        if (l2_.access(a, write).hit)
+            lat += cfg_.l2Latency;
+        else
+            lat += cfg_.l2Latency + cfg_.memLatency;
+    }
+    if (missOut)
+        *missOut = l1Miss;
+    return lat;
+}
+
+void
+MemHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    itlb_.reset();
+    dtlb_.reset();
+}
+
+} // namespace lp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The two-level memory hierarchy (split L1, unified L2, I/D TLBs).
+ *
+ * Warming accesses are *unfiltered*: every reference touches every
+ * level, so each array's warm state is independent of the other
+ * arrays' geometries. That independence is what lets a live-point
+ * built at the library-maximum geometry reconstruct any smaller
+ * configuration exactly. Timed accesses (the detailed core) are
+ * filtered normally — L2 only sees L1 misses — and return latencies.
+ */
+
+#ifndef LP_MEM_HIERARCHY_HH
+#define LP_MEM_HIERARCHY_HH
+
+#include "cache/cache.hh"
+#include "util/types.hh"
+
+namespace lp
+{
+
+struct MemHierarchyConfig
+{
+    CacheGeometry l1i{32 * 1024, 2, 64};
+    CacheGeometry l1d{32 * 1024, 2, 64};
+    CacheGeometry l2{1ull << 20, 4, 128};
+    CacheGeometry itlb{64 * 4096, 4, 4096};  //!< 64 entries
+    CacheGeometry dtlb{128 * 4096, 4, 4096}; //!< 128 entries
+    unsigned l1dPorts = 2;
+    unsigned mshrs = 8;
+    std::uint64_t storeBufferEntries = 16;
+    Cycles l1Latency = 1;
+    Cycles l2Latency = 12;
+    Cycles memLatency = 100;
+    Cycles tlbMissLatency = 30;
+};
+
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemHierarchyConfig &cfg);
+
+    const MemHierarchyConfig &config() const { return cfg_; }
+
+    CacheModel &l1i() { return l1i_; }
+    CacheModel &l1d() { return l1d_; }
+    CacheModel &l2() { return l2_; }
+    CacheModel &itlb() { return itlb_; }
+    CacheModel &dtlb() { return dtlb_; }
+
+    /** Unfiltered warming access for an instruction fetch. */
+    void warmFetch(Addr a);
+
+    /** Unfiltered warming access for a data reference. */
+    void warmData(Addr a, bool write);
+
+    /** Timed, filtered fetch: returns the access latency. */
+    Cycles timedFetch(Addr a);
+
+    /**
+     * Timed, filtered data access: returns the access latency and,
+     * when @p missOut is non-null, whether the L1 missed (the MSHR
+     * occupancy condition).
+     */
+    Cycles timedData(Addr a, bool write, bool *missOut = nullptr);
+
+    void reset();
+
+  private:
+    MemHierarchyConfig cfg_;
+    CacheModel l1i_;
+    CacheModel l1d_;
+    CacheModel l2_;
+    CacheModel itlb_;
+    CacheModel dtlb_;
+};
+
+} // namespace lp
+
+#endif // LP_MEM_HIERARCHY_HH

@@ -1,0 +1,149 @@
+#include "mem/memport.hh"
+
+#include <cstring>
+
+namespace lp
+{
+
+SparseMemory::Page &
+SparseMemory::page(Addr a)
+{
+    const std::uint64_t idx = a / pageBytes;
+    auto it = pages_.find(idx);
+    if (it == pages_.end())
+        it = pages_.emplace(idx, std::make_unique<Page>()).first;
+    return *it->second;
+}
+
+std::uint64_t
+SparseMemory::read64(Addr a)
+{
+    // Accesses are 8-aligned by construction; straddling reads take
+    // the slow path.
+    if ((a % pageBytes) + 8 <= pageBytes) {
+        std::uint64_t v;
+        std::memcpy(&v, &page(a).data[a % pageBytes], 8);
+        return v;
+    }
+    std::uint8_t tmp[8];
+    readBytes(a, tmp, 8);
+    std::uint64_t v;
+    std::memcpy(&v, tmp, 8);
+    return v;
+}
+
+void
+SparseMemory::write64(Addr a, std::uint64_t v)
+{
+    if ((a % pageBytes) + 8 <= pageBytes) {
+        std::memcpy(&page(a).data[a % pageBytes], &v, 8);
+        return;
+    }
+    std::uint8_t tmp[8];
+    std::memcpy(tmp, &v, 8);
+    writeBytes(a, tmp, 8);
+}
+
+void
+SparseMemory::readBytes(Addr a, std::uint8_t *out, std::size_t n)
+{
+    while (n) {
+        const std::size_t off = a % pageBytes;
+        const std::size_t chunk =
+            std::min<std::size_t>(n, pageBytes - off);
+        std::memcpy(out, &page(a).data[off], chunk);
+        a += chunk;
+        out += chunk;
+        n -= chunk;
+    }
+}
+
+void
+SparseMemory::writeBytes(Addr a, const std::uint8_t *data, std::size_t n)
+{
+    while (n) {
+        const std::size_t off = a % pageBytes;
+        const std::size_t chunk =
+            std::min<std::size_t>(n, pageBytes - off);
+        std::memcpy(&page(a).data[off], data, chunk);
+        a += chunk;
+        data += chunk;
+        n -= chunk;
+    }
+}
+
+std::uint64_t
+SparseMemory::footprintBytes() const
+{
+    return pages_.size() * pageBytes;
+}
+
+MemoryImage::MemoryImage(unsigned blockBytes) : blockBytes_(blockBytes) {}
+
+void
+MemoryImage::captureBeforeAccess(SparseMemory &mem, Addr a)
+{
+    const Addr base = a - (a % blockBytes_);
+    auto it = blocks_.lower_bound(base);
+    if (it != blocks_.end() && it->first == base)
+        return;
+    std::vector<std::uint8_t> data(blockBytes_);
+    mem.readBytes(base, data.data(), data.size());
+    blocks_.emplace_hint(it, base, std::move(data));
+}
+
+bool
+MemoryImage::contains(Addr a) const
+{
+    return blocks_.count(a - (a % blockBytes_)) != 0;
+}
+
+std::uint64_t
+MemoryImage::payloadBytes() const
+{
+    return static_cast<std::uint64_t>(blocks_.size()) * blockBytes_;
+}
+
+void
+MemoryImage::applyTo(SparseMemory &mem) const
+{
+    for (const auto &kv : blocks_)
+        mem.writeBytes(kv.first, kv.second.data(), kv.second.size());
+}
+
+void
+MemoryImage::forEach(
+    const std::function<void(Addr, const std::vector<std::uint8_t> &)> &fn)
+    const
+{
+    for (const auto &kv : blocks_)
+        fn(kv.first, kv.second);
+}
+
+void
+MemoryImage::serialize(DerWriter &w) const
+{
+    w.beginSequence();
+    w.putUint(blockBytes_);
+    w.putUint(blocks_.size());
+    for (const auto &kv : blocks_) {
+        w.putUint(kv.first);
+        w.putBytes(kv.second.data(), kv.second.size());
+    }
+    w.endSequence();
+}
+
+MemoryImage
+MemoryImage::deserialize(DerReader &r)
+{
+    DerReader seq = r.getSequence();
+    MemoryImage img(static_cast<unsigned>(seq.getUint()));
+    const std::uint64_t count = seq.getUint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr base = seq.getUint();
+        img.blocks_.emplace(base, seq.getBytes());
+    }
+    return img;
+}
+
+} // namespace lp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Flat simulated memory: a sparse page-granular store, the port
+ * abstraction the detailed core loads/stores through, and the
+ * MemoryImage — the restricted live-state payload of a live-point
+ * (the blocks a detailed window touches, captured as of window start).
+ */
+
+#ifndef LP_MEM_MEMPORT_HH
+#define LP_MEM_MEMPORT_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "codec/der.hh"
+#include "util/types.hh"
+
+namespace lp
+{
+
+/** Sparse flat memory, zero-filled on first touch; 4KB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 4096;
+
+    std::uint64_t read64(Addr a);
+    void write64(Addr a, std::uint64_t v);
+
+    void readBytes(Addr a, std::uint8_t *out, std::size_t n);
+    void writeBytes(Addr a, const std::uint8_t *data, std::size_t n);
+
+    /** Bytes of memory touched so far (page granularity). */
+    std::uint64_t footprintBytes() const;
+
+  private:
+    struct Page
+    {
+        std::uint8_t data[pageBytes] = {};
+    };
+
+    Page &page(Addr a);
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+/** Abstract load/store port into simulated memory. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+    virtual std::uint64_t read64(Addr a) = 0;
+    virtual void write64(Addr a, std::uint64_t v) = 0;
+};
+
+/** Port backed directly by a SparseMemory. */
+class DirectMemPort : public MemPort
+{
+  public:
+    explicit DirectMemPort(SparseMemory &mem) : mem_(mem) {}
+    std::uint64_t read64(Addr a) override { return mem_.read64(a); }
+    void write64(Addr a, std::uint64_t v) override { mem_.write64(a, v); }
+
+  private:
+    SparseMemory &mem_;
+};
+
+/**
+ * The memory slice of a live-point: fixed-size blocks captured at
+ * first touch (i.e. holding their contents as of capture start).
+ * Ordered storage keeps serialization canonical.
+ */
+class MemoryImage
+{
+  public:
+    explicit MemoryImage(unsigned blockBytes = 64);
+
+    unsigned blockBytes() const { return blockBytes_; }
+
+    /**
+     * Record the block containing @p a if it is not captured yet,
+     * copying its current contents from @p mem. Called by the
+     * functional simulator before applying each access.
+     */
+    void captureBeforeAccess(SparseMemory &mem, Addr a);
+
+    /** True when the block containing @p a is part of the image. */
+    bool contains(Addr a) const;
+
+    /** Total bytes of captured block payload. */
+    std::uint64_t payloadBytes() const;
+
+    /** Number of captured blocks. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /** Write every captured block into @p mem. */
+    void applyTo(SparseMemory &mem) const;
+
+    /** Visit blocks in address order. */
+    void
+    forEach(const std::function<void(Addr, const std::vector<std::uint8_t> &)>
+                &fn) const;
+
+    void serialize(DerWriter &w) const;
+    static MemoryImage deserialize(DerReader &r);
+
+  private:
+    unsigned blockBytes_;
+    std::map<Addr, std::vector<std::uint8_t>> blocks_;
+};
+
+} // namespace lp
+
+#endif // LP_MEM_MEMPORT_HH

@@ -1,0 +1,73 @@
+#include "mrrl/mrrl.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lp
+{
+
+MrrlAnalysis
+analyzeMrrl(const Program &prog,
+            const std::vector<InstCount> &windowStarts,
+            InstCount windowLen, double coverage)
+{
+    MrrlAnalysis out;
+    out.coverage = coverage;
+    out.warmingLengths.assign(windowStarts.size(), 0);
+    out.reusedBlocks.assign(windowStarts.size(), 0);
+
+    constexpr std::uint64_t kBlock = 64;
+    std::unordered_map<Addr, InstCount> lastTouch;
+    lastTouch.reserve(1 << 20);
+
+    std::size_t w = 0;                 // next/current window
+    std::vector<InstCount> distances;  // reuse distances of window w
+    // Walk the dynamic stream once; windows are disjoint and sorted.
+    for (InstCount idx = 0; idx < prog.length; ++idx) {
+        // Close windows that ended before idx.
+        while (w < windowStarts.size() &&
+               idx >= windowStarts[w] + windowLen) {
+            std::sort(distances.begin(), distances.end());
+            if (!distances.empty()) {
+                const std::size_t q = std::min(
+                    distances.size() - 1,
+                    static_cast<std::size_t>(
+                        coverage *
+                        static_cast<double>(distances.size())));
+                out.warmingLengths[w] = distances[q];
+                out.reusedBlocks[w] = distances.size();
+            }
+            distances.clear();
+            ++w;
+        }
+        if (w >= windowStarts.size())
+            break; // past the last window: nothing left to measure
+
+        const Instruction ins = prog.fetch(idx);
+        if (!ins.isMem())
+            continue;
+        const Addr block = ins.addr - (ins.addr % kBlock);
+        const bool inWindow = w < windowStarts.size() &&
+                              idx >= windowStarts[w] &&
+                              idx < windowStarts[w] + windowLen;
+        if (inWindow) {
+            const auto it = lastTouch.find(block);
+            if (it != lastTouch.end() && it->second < windowStarts[w])
+                distances.push_back(windowStarts[w] - it->second);
+        }
+        lastTouch[block] = idx;
+    }
+    // Close any window ending at program end.
+    if (w < windowStarts.size() && !distances.empty()) {
+        std::sort(distances.begin(), distances.end());
+        const std::size_t q = std::min(
+            distances.size() - 1,
+            static_cast<std::size_t>(
+                coverage * static_cast<double>(distances.size())));
+        out.warmingLengths[w] = distances[q];
+        out.reusedBlocks[w] = distances.size();
+    }
+    return out;
+}
+
+} // namespace lp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Memory Reference Reuse Latency analysis (Haskins & Skadron, as used
+ * in Section 4.2): for each sampled window, find the shortest warming
+ * interval that covers a target fraction (default 99.9%) of the
+ * window's reused memory blocks. AW-MRRL warms only that interval
+ * instead of the whole inter-window gap, trading a small bias for a
+ * large reduction in warming work.
+ */
+
+#ifndef LP_MRRL_MRRL_HH
+#define LP_MRRL_MRRL_HH
+
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace lp
+{
+
+struct MrrlAnalysis
+{
+    /** Reuse-coverage target the lengths were computed for. */
+    double coverage = 0.999;
+
+    /** Warming instructions required before each window. */
+    std::vector<InstCount> warmingLengths;
+
+    /** Reused blocks observed per window (diagnostic). */
+    std::vector<std::uint64_t> reusedBlocks;
+};
+
+/**
+ * One functional pass over @p prog computing, for each window
+ * [start, start + windowLen), the reuse-latency distribution of the
+ * blocks it touches, and from it the @p coverage-quantile warming
+ * length.
+ */
+MrrlAnalysis analyzeMrrl(const Program &prog,
+                         const std::vector<InstCount> &windowStarts,
+                         InstCount windowLen, double coverage = 0.999);
+
+} // namespace lp
+
+#endif // LP_MRRL_MRRL_HH

@@ -1,0 +1,114 @@
+#include "stats/running_stat.hh"
+
+#include <cmath>
+
+namespace lp
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::cov() const
+{
+    if (mean_ == 0.0 || n_ < 2)
+        return 0.0;
+    return stddev() / std::fabs(mean());
+}
+
+double
+RunningStat::halfWidth(double z) const
+{
+    if (n_ < 2)
+        return 0.0;
+    return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double
+RunningStat::relHalfWidth(double z) const
+{
+    if (mean_ == 0.0)
+        return 0.0;
+    return halfWidth(z) / std::fabs(mean());
+}
+
+double
+normalQuantile(double p)
+{
+    // Peter Acklam's inverse-normal approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    const double phigh = 1 - plow;
+
+    if (p < plow) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p <= phigh) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                    r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                    r +
+                1);
+    }
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+double
+confidenceZ(double level)
+{
+    return normalQuantile(0.5 + level / 2.0);
+}
+
+} // namespace lp

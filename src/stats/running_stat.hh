@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Streaming sample statistics (Welford) plus the normal quantile used
+ * to turn a confidence level into a z value. These drive the paper's
+ * sample sizing, online confidence reporting, and matched-pair tests.
+ */
+
+#ifndef LP_STATS_RUNNING_STAT_HH
+#define LP_STATS_RUNNING_STAT_HH
+
+#include <cstdint>
+
+namespace lp
+{
+
+/**
+ * Incrementally accumulated mean/variance/extrema of a sample.
+ * Numerically stable (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation: stddev / |mean| (0 if mean is 0). */
+    double cov() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /**
+     * Half-width of the two-sided confidence interval of the mean at
+     * the given z value: z * stddev / sqrt(n).
+     */
+    double halfWidth(double z) const;
+
+    /** halfWidth(z) / |mean| (0 if the mean is 0). */
+    double relHalfWidth(double z) const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Quantile function of the standard normal distribution (Acklam's
+ * rational approximation; |error| < 1.2e-9). @p p must be in (0, 1).
+ */
+double normalQuantile(double p);
+
+/**
+ * Two-sided z value for a confidence level, e.g. 0.997 -> ~2.97,
+ * 0.95 -> ~1.96.
+ */
+double confidenceZ(double level);
+
+} // namespace lp
+
+#endif // LP_STATS_RUNNING_STAT_HH

@@ -1,0 +1,64 @@
+#include "uarch/config.hh"
+
+namespace lp
+{
+
+CoreConfig
+CoreConfig::eightWay()
+{
+    CoreConfig c;
+    c.name = "8-way";
+    c.width = 8;
+    c.ruuSize = 128;
+    c.lsqSize = 64;
+    c.mem.l1i = {32 * 1024, 2, 64};
+    c.mem.l1d = {32 * 1024, 2, 64};
+    c.mem.l2 = {1ull << 20, 4, 128};
+    c.mem.itlb = {64 * 4096, 4, 4096};
+    c.mem.dtlb = {128 * 4096, 4, 4096};
+    c.mem.l1dPorts = 2;
+    c.mem.mshrs = 8;
+    c.mem.storeBufferEntries = 16;
+    c.mem.l1Latency = 1;
+    c.mem.l2Latency = 12;
+    c.mem.memLatency = 100;
+    c.mem.tlbMissLatency = 30;
+    c.fus = {4, 2, 4, 2};
+    c.lat = {1, 3, 2, 4};
+    c.bpred.tableEntries = 2048;
+    c.bpred.mispredictPenalty = 7;
+    c.bpred.predictionsPerCycle = 1;
+    c.detailedWarming = 2000;
+    return c;
+}
+
+CoreConfig
+CoreConfig::sixteenWay()
+{
+    CoreConfig c;
+    c.name = "16-way";
+    c.width = 16;
+    c.ruuSize = 256;
+    c.lsqSize = 128;
+    c.mem.l1i = {64 * 1024, 2, 64};
+    c.mem.l1d = {64 * 1024, 2, 64};
+    c.mem.l2 = {4ull << 20, 8, 128};
+    c.mem.itlb = {128 * 4096, 4, 4096};
+    c.mem.dtlb = {256 * 4096, 4, 4096};
+    c.mem.l1dPorts = 4;
+    c.mem.mshrs = 16;
+    c.mem.storeBufferEntries = 32;
+    c.mem.l1Latency = 1;
+    c.mem.l2Latency = 12;
+    c.mem.memLatency = 100;
+    c.mem.tlbMissLatency = 30;
+    c.fus = {8, 4, 8, 4};
+    c.lat = {1, 3, 2, 4};
+    c.bpred.tableEntries = 8192;
+    c.bpred.mispredictPenalty = 7;
+    c.bpred.predictionsPerCycle = 2;
+    c.detailedWarming = 4000;
+    return c;
+}
+
+} // namespace lp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Microarchitectural configurations: the paper's Table 1 presets and
+ * the parameter groups the sensitivity studies in Section 6.2 tweak.
+ */
+
+#ifndef LP_UARCH_CONFIG_HH
+#define LP_UARCH_CONFIG_HH
+
+#include <string>
+
+#include "bpred/bpred.hh"
+#include "mem/hierarchy.hh"
+#include "util/types.hh"
+
+namespace lp
+{
+
+/** Functional-unit counts. */
+struct FuConfig
+{
+    unsigned intAlu = 4;
+    unsigned intMulDiv = 2;
+    unsigned fpAlu = 4;
+    unsigned fpMulDiv = 2;
+};
+
+/** Execution latencies per unit class. */
+struct LatConfig
+{
+    Cycles intAlu = 1;
+    Cycles intMulDiv = 3;
+    Cycles fpAlu = 2;
+    Cycles fpMulDiv = 4;
+};
+
+struct CoreConfig
+{
+    std::string name = "8-way";
+    unsigned width = 8;       //!< fetch/issue/commit width
+    unsigned ruuSize = 128;   //!< instruction window entries
+    unsigned lsqSize = 64;    //!< load/store queue entries
+    MemHierarchyConfig mem;
+    FuConfig fus;
+    LatConfig lat;
+    BpredConfig bpred;
+
+    /** Detailed-warming instructions before each measured window. */
+    InstCount detailedWarming = 2000;
+
+    /** Table 1, left column: the 8-way baseline. */
+    static CoreConfig eightWay();
+
+    /** Table 1, right column: the aggressive 16-way machine. */
+    static CoreConfig sixteenWay();
+};
+
+} // namespace lp
+
+#endif // LP_UARCH_CONFIG_HH

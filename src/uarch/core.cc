@@ -1,0 +1,235 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+Cycles &
+earliest(std::vector<Cycles> &units)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < units.size(); ++i)
+        if (units[i] < units[best])
+            best = i;
+    return units[best];
+}
+
+} // namespace
+
+OoOCore::OoOCore(const CoreConfig &cfg, const CoreBindings &b)
+    : cfg_(cfg), prog_(*b.prog), mem_(*b.mem), hier_(*b.hier),
+      bp_(*b.bp), avail_(b.availability), regs_(b.initialRegs),
+      regReady_(32, 0), window_(cfg.ruuSize, 0), lsq_(cfg.lsqSize, 0),
+      storeBuf_(std::max<std::size_t>(cfg.mem.storeBufferEntries, 1), 0),
+      mshrs_(std::max<unsigned>(cfg.mem.mshrs, 1), 0),
+      l1dPorts_(std::max<unsigned>(cfg.mem.l1dPorts, 1), 0),
+      fuIntAlu_(std::max<unsigned>(cfg.fus.intAlu, 1), 0),
+      fuIntMul_(std::max<unsigned>(cfg.fus.intMulDiv, 1), 0),
+      fuFpAlu_(std::max<unsigned>(cfg.fus.fpAlu, 1), 0),
+      fuFpMul_(std::max<unsigned>(cfg.fus.fpMulDiv, 1), 0)
+{
+}
+
+bool
+OoOCore::programEnded() const
+{
+    return regs_.instIndex >= prog_.length;
+}
+
+void
+OoOCore::simulateWrongPath(InstCount index, Cycles resolve, Cycles fetched)
+{
+    if (approxWrongPath_)
+        return;
+    // The front end fetches down the wrong path until the branch
+    // resolves; model its cache pollution (and, under restricted
+    // live-state, its references to unavailable data).
+    const Cycles span = resolve > fetched ? resolve - fetched : 0;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(2 + span / 2, 24);
+    for (unsigned k = 0; k < n; ++k) {
+        const Instruction wp = prog_.wrongPath(index, k);
+        if (wp.op != Opcode::Load)
+            continue;
+        if (avail_ && !avail_->contains(wp.addr))
+            ++unavailableLoads_;
+        hier_.timedData(wp.addr, false);
+    }
+}
+
+void
+OoOCore::step()
+{
+    const InstCount index = regs_.instIndex;
+    const Instruction ins = prog_.fetch(index);
+
+    // --- Fetch ---
+    if (fetchedThisCycle_ >= cfg_.width) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+        branchesThisCycle_ = 0;
+    }
+    const Addr fetchAddr = prog_.fetchAddr(ins.pc);
+    const Addr fetchLine = fetchAddr & ~63ull;
+    if (fetchLine != lastFetchLine_) {
+        lastFetchLine_ = fetchLine;
+        const Cycles lat = hier_.timedFetch(fetchAddr);
+        if (lat > cfg_.mem.l1Latency)
+            fetchCycle_ += lat - cfg_.mem.l1Latency;
+    }
+    if (ins.isBranch() &&
+        ++branchesThisCycle_ > cfg_.bpred.predictionsPerCycle) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+        branchesThisCycle_ = 1;
+    }
+    ++fetchedThisCycle_;
+    const Cycles fetched = fetchCycle_;
+
+    // --- Dispatch: window and queue occupancy ---
+    Cycles dispatch = std::max(fetched, window_[windowHead_]);
+    if (ins.isMem())
+        dispatch = std::max(dispatch, lsq_[lsqHead_]);
+    if (ins.op == Opcode::Store)
+        dispatch = std::max(dispatch, storeBuf_[storeHead_]);
+
+    // --- Issue: operands and a functional unit ---
+    Cycles ready = std::max(
+        {dispatch, regReady_[ins.src1], regReady_[ins.src2]});
+    Cycles complete = ready;
+    switch (ins.op) {
+      case Opcode::IntAlu:
+      case Opcode::Bne:
+      case Opcode::Jump: {
+        Cycles &fu = earliest(fuIntAlu_);
+        const Cycles issue = std::max(ready, fu);
+        fu = issue + 1;
+        complete = issue + cfg_.lat.intAlu;
+        break;
+      }
+      case Opcode::IntMul: {
+        Cycles &fu = earliest(fuIntMul_);
+        const Cycles issue = std::max(ready, fu);
+        fu = issue + 1;
+        complete = issue + cfg_.lat.intMulDiv;
+        break;
+      }
+      case Opcode::FpAlu: {
+        Cycles &fu = earliest(fuFpAlu_);
+        const Cycles issue = std::max(ready, fu);
+        fu = issue + 1;
+        complete = issue + cfg_.lat.fpAlu;
+        break;
+      }
+      case Opcode::FpMul: {
+        Cycles &fu = earliest(fuFpMul_);
+        const Cycles issue = std::max(ready, fu);
+        fu = issue + 1;
+        complete = issue + cfg_.lat.fpMulDiv;
+        break;
+      }
+      case Opcode::Load:
+      case Opcode::Store: {
+        Cycles &port = earliest(l1dPorts_);
+        Cycles issue = std::max(ready, port);
+        bool l1Miss = false;
+        const Cycles lat = hier_.timedData(
+            ins.addr, ins.op == Opcode::Store, &l1Miss);
+        if (l1Miss) {
+            // A miss occupies an MSHR.
+            Cycles &mshr = mshrs_[mshrHead_];
+            issue = std::max(issue, mshr);
+            mshr = issue + lat;
+            mshrHead_ = (mshrHead_ + 1) % mshrs_.size();
+        }
+        port = issue + 1;
+        if (ins.op == Opcode::Load) {
+            complete = issue + lat;
+        } else {
+            // Stores retire into the store buffer and complete in the
+            // background.
+            complete = issue + 1;
+            storeBuf_[storeHead_] = issue + lat;
+            storeHead_ = (storeHead_ + 1) % storeBuf_.size();
+        }
+        break;
+      }
+    }
+    if (ins.dst)
+        regReady_[ins.dst] = complete;
+
+    // --- Branch resolution ---
+    if (ins.op == Opcode::Bne) {
+        const bool predicted = bp_.predict(ins.pc);
+        bp_.update(ins.pc, ins.taken);
+        if (predicted != ins.taken) {
+            simulateWrongPath(index, complete, fetched);
+            const Cycles redirect =
+                complete + cfg_.bpred.mispredictPenalty;
+            if (redirect > fetchCycle_) {
+                fetchCycle_ = redirect;
+                fetchedThisCycle_ = 0;
+                branchesThisCycle_ = 0;
+            }
+        }
+    }
+
+    // --- Commit (program order, width per cycle) ---
+    Cycles commit = std::max(complete, lastCommit_);
+    if (commit > commitCycle_) {
+        commitCycle_ = commit;
+        committedThisCycle_ = 0;
+    }
+    if (++committedThisCycle_ > cfg_.width) {
+        ++commitCycle_;
+        committedThisCycle_ = 1;
+        commit = commitCycle_;
+    } else {
+        commit = commitCycle_;
+    }
+    lastCommit_ = commit;
+    window_[windowHead_] = commit;
+    windowHead_ = (windowHead_ + 1) % window_.size();
+    if (ins.isMem()) {
+        lsq_[lsqHead_] = commit;
+        lsqHead_ = (lsqHead_ + 1) % lsq_.size();
+    }
+
+    // --- Architectural execution ---
+    executeArch(ins, regs_, mem_);
+}
+
+WindowResult
+OoOCore::commitRun(InstCount n)
+{
+    const Cycles c0 = lastCommit_;
+    const std::uint64_t u0 = unavailableLoads_;
+    InstCount done = 0;
+    while (done < n && !programEnded()) {
+        step();
+        ++done;
+    }
+    WindowResult res;
+    res.insts = done;
+    res.cycles = lastCommit_ - c0;
+    res.cpi = done ? static_cast<double>(res.cycles) /
+                         static_cast<double>(done)
+                   : 0.0;
+    res.unavailableLoads = unavailableLoads_ - u0;
+    return res;
+}
+
+WindowResult
+OoOCore::measure(InstCount warmLen, InstCount measureLen)
+{
+    commitRun(warmLen);
+    return commitRun(measureLen);
+}
+
+} // namespace lp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Detailed out-of-order core: a one-pass cycle-accounting model of a
+ * superscalar machine (fetch/window/FU/memory/commit constraints and
+ * wrong-path cache pollution after mispredictions). It executes
+ * architecturally through a MemPort while computing timing, so a
+ * window replayed from a live-point follows the exact state
+ * trajectory of the original full-warming run.
+ */
+
+#ifndef LP_UARCH_CORE_HH
+#define LP_UARCH_CORE_HH
+
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "mem/memport.hh"
+#include "uarch/config.hh"
+#include "workload/generator.hh"
+
+namespace lp
+{
+
+/** Timing outcome of a run segment. */
+struct WindowResult
+{
+    double cpi = 0.0;
+    InstCount insts = 0;
+    Cycles cycles = 0;
+    std::uint64_t unavailableLoads = 0;
+};
+
+/** Everything a core needs bound before it can run. */
+struct CoreBindings
+{
+    const Program *prog = nullptr;
+    ArchRegs initialRegs{}; //!< default: start of program
+    MemPort *mem = nullptr;
+    MemHierarchy *hier = nullptr;
+    BranchPredictor *bp = nullptr;
+
+    /**
+     * When set (live-point replay under restricted live-state), loads
+     * outside this image read as zero and are counted unavailable.
+     */
+    const MemoryImage *availability = nullptr;
+};
+
+class OoOCore
+{
+  public:
+    OoOCore(const CoreConfig &cfg, const CoreBindings &b);
+
+    /**
+     * Run @p warmLen instructions of detailed warming (discarded),
+     * then @p measureLen measured instructions; returns the measured
+     * window's timing.
+     */
+    WindowResult measure(InstCount warmLen, InstCount measureLen);
+
+    /** Run @p n instructions; returns their timing. */
+    WindowResult commitRun(InstCount n);
+
+    /** True when the bound program has no instructions left. */
+    bool programEnded() const;
+
+    /** Skip simulating wrong-path memory references (Section 5). */
+    void setApproxWrongPath(bool v) { approxWrongPath_ = v; }
+
+    /** Wrong-path loads that missed the availability image so far. */
+    std::uint64_t unavailableLoads() const { return unavailableLoads_; }
+
+    const ArchRegs &regs() const { return regs_; }
+
+  private:
+    void step();
+    void simulateWrongPath(InstCount index, Cycles resolve,
+                           Cycles fetched);
+
+    const CoreConfig &cfg_;
+    const Program &prog_;
+    MemPort &mem_;
+    MemHierarchy &hier_;
+    BranchPredictor &bp_;
+    const MemoryImage *avail_;
+    ArchRegs regs_;
+    bool approxWrongPath_ = false;
+
+    // Timing state.
+    Cycles fetchCycle_ = 0;
+    unsigned fetchedThisCycle_ = 0;
+    unsigned branchesThisCycle_ = 0;
+    Addr lastFetchLine_ = ~0ull;
+    Cycles commitCycle_ = 0;
+    unsigned committedThisCycle_ = 0;
+    Cycles lastCommit_ = 0;
+    std::vector<Cycles> regReady_;
+    std::vector<Cycles> window_;    //!< commit times, ring of ruuSize
+    std::vector<Cycles> lsq_;       //!< commit times of mem ops
+    std::vector<Cycles> storeBuf_;  //!< store completion times
+    std::vector<Cycles> mshrs_;     //!< outstanding-miss completions
+    std::vector<Cycles> l1dPorts_;  //!< port next-free times
+    std::vector<Cycles> fuIntAlu_;
+    std::vector<Cycles> fuIntMul_;
+    std::vector<Cycles> fuFpAlu_;
+    std::vector<Cycles> fuFpMul_;
+    std::size_t windowHead_ = 0;
+    std::size_t lsqHead_ = 0;
+    std::size_t storeHead_ = 0;
+    std::size_t mshrHead_ = 0;
+    std::uint64_t unavailableLoads_ = 0;
+};
+
+} // namespace lp
+
+#endif // LP_UARCH_CORE_HH

@@ -1,0 +1,89 @@
+#include "util/log.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace lp
+{
+
+namespace
+{
+
+bool quiet_ = false;
+
+void
+vlog(const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quiet_ = quiet;
+}
+
+bool
+quiet()
+{
+    return quiet_;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet_)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quiet_)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+        out.assign(buf.data(), static_cast<std::size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace lp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal logging: informational/warning messages that benches can
+ * silence with setQuiet(), plus printf-style string formatting.
+ */
+
+#ifndef LP_UTIL_LOG_HH
+#define LP_UTIL_LOG_HH
+
+#include <string>
+
+namespace lp
+{
+
+/** Suppress (or re-enable) inform()/warn() output. */
+void setQuiet(bool quiet);
+
+/** True when inform()/warn() are suppressed. */
+bool quiet();
+
+/** Print an informational message to stderr (unless quiet). */
+__attribute__((format(printf, 1, 2))) void inform(const char *fmt, ...);
+
+/** Print a warning to stderr (unless quiet). */
+__attribute__((format(printf, 1, 2))) void warn(const char *fmt, ...);
+
+/** Print an error and abort the process. */
+__attribute__((format(printf, 1, 2), noreturn)) void
+panic(const char *fmt, ...);
+
+/** printf into a std::string. */
+__attribute__((format(printf, 1, 2))) std::string
+strfmt(const char *fmt, ...);
+
+} // namespace lp
+
+#endif // LP_UTIL_LOG_HH

@@ -1,0 +1,59 @@
+#include "util/rng.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+std::uint64_t
+hashString(const std::string &s)
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, const std::string &stream)
+    : state_(hashCombine(seed, hashString(stream)))
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Multiply-shift reduction; the bias is negligible for the bounds
+    // used here and the result stays platform-independent.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace lp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic, platform-independent random numbers. Every consumer
+ * names its stream so two subsystems seeded from the same master seed
+ * never share a sequence (the library must be bit-reproducible: the
+ * same seed must yield the same benchmark, sample, and shuffle).
+ */
+
+#ifndef LP_UTIL_RNG_HH
+#define LP_UTIL_RNG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace lp
+{
+
+/** Mix a 64-bit value (splitmix64 finalizer); pure and stateless. */
+constexpr std::uint64_t
+hashMix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return hashMix(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Seeded, stream-named generator (splitmix64). Deterministic across
+ * platforms and compilers; never uses std:: distributions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed, const std::string &stream = "");
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace lp
+
+#endif // LP_UTIL_RNG_HH

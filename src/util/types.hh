@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar and buffer types shared by every layer of the
+ * live-points library.
+ */
+
+#ifndef LP_UTIL_TYPES_HH
+#define LP_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lp
+{
+
+/** A byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** A count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** A count of core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A static instruction slot identifier (synthetic "PC"). */
+using PcIndex = std::uint64_t;
+
+/** An owned byte buffer (serialized records, compressed payloads). */
+using Blob = std::vector<std::uint8_t>;
+
+} // namespace lp
+
+#endif // LP_UTIL_TYPES_HH

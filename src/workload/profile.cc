@@ -1,0 +1,135 @@
+#include "workload/profile.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+WorkloadProfile
+tinyProfile(InstCount targetInsts, std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = "tiny";
+    p.seed = seed;
+    p.targetInsts = targetInsts;
+    p.phases = 4;
+    p.phaseInsts = std::clamp<InstCount>(targetInsts / 1600, 5'000, 50'000);
+    p.footprintBytes = 4ull << 20;
+    p.phaseVariation = 0.1;
+    p.branchNoise = 0.05;
+    p.randomAccessFrac = 0.1;
+    p.hotAccessFrac = 0.45;
+    return p;
+}
+
+namespace
+{
+
+WorkloadProfile
+mk(const char *name, std::uint64_t seed, double insts_m,
+   std::uint64_t footprint_mb, unsigned phases, double load, double store,
+   double branch, double fp, double mul, double noise, double random,
+   double hot, double variation)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.targetInsts = static_cast<InstCount>(insts_m * 1e6);
+    p.footprintBytes = footprint_mb << 20;
+    p.phases = phases;
+    p.phaseInsts = std::clamp<InstCount>(
+        p.targetInsts / (400 * static_cast<InstCount>(phases)), 5'000,
+        150'000);
+    p.loadFrac = load;
+    p.storeFrac = store;
+    p.branchFrac = branch;
+    p.fpFrac = fp;
+    p.mulFrac = mul;
+    p.branchNoise = noise;
+    p.randomAccessFrac = random;
+    p.hotAccessFrac = hot;
+    p.phaseVariation = variation;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> s;
+    // Integer codes: branchy, pointer-heavy, irregular.
+    s.push_back(mk("gzip-1", 101, 24, 48, 4, 0.24, 0.10, 0.16, 0.00,
+                   0.02, 0.10, 0.12, 0.45, 0.30));
+    s.push_back(mk("vpr-route", 102, 28, 40, 5, 0.28, 0.09, 0.14, 0.04,
+                   0.03, 0.12, 0.30, 0.30, 0.40));
+    s.push_back(mk("gcc-2", 103, 22, 64, 6, 0.26, 0.12, 0.18, 0.00,
+                   0.02, 0.14, 0.25, 0.35, 0.45));
+    s.push_back(mk("mcf", 104, 20, 96, 3, 0.34, 0.09, 0.16, 0.00, 0.01,
+                   0.12, 0.55, 0.15, 0.50));
+    s.push_back(mk("crafty", 105, 26, 16, 4, 0.27, 0.08, 0.17, 0.00,
+                   0.03, 0.11, 0.18, 0.45, 0.30));
+    s.push_back(mk("parser", 106, 24, 48, 6, 0.27, 0.11, 0.19, 0.00,
+                   0.02, 0.16, 0.35, 0.25, 0.50));
+    s.push_back(mk("eon-2", 107, 18, 12, 3, 0.24, 0.11, 0.13, 0.10,
+                   0.04, 0.06, 0.10, 0.50, 0.20));
+    s.push_back(mk("perlbmk", 108, 16, 24, 3, 0.25, 0.12, 0.17, 0.00,
+                   0.02, 0.05, 0.12, 0.55, 0.15));
+    s.push_back(mk("gap", 109, 24, 48, 4, 0.26, 0.10, 0.15, 0.02, 0.03,
+                   0.09, 0.20, 0.40, 0.35));
+    s.push_back(mk("vortex-2", 110, 26, 56, 5, 0.28, 0.13, 0.16, 0.00,
+                   0.02, 0.08, 0.22, 0.40, 0.35));
+    s.push_back(mk("bzip2-1", 111, 26, 64, 4, 0.25, 0.11, 0.15, 0.00,
+                   0.02, 0.09, 0.15, 0.40, 0.30));
+    s.push_back(mk("twolf", 112, 28, 24, 5, 0.27, 0.09, 0.16, 0.03,
+                   0.03, 0.12, 0.28, 0.30, 0.40));
+    // Floating-point codes: regular loops, long dependence chains.
+    s.push_back(mk("wupwise", 201, 32, 48, 3, 0.26, 0.09, 0.06, 0.22,
+                   0.06, 0.02, 0.05, 0.30, 0.20));
+    s.push_back(mk("swim", 202, 30, 80, 3, 0.30, 0.12, 0.04, 0.24,
+                   0.05, 0.01, 0.04, 0.15, 0.25));
+    s.push_back(mk("mgrid", 203, 34, 64, 3, 0.32, 0.10, 0.03, 0.26,
+                   0.05, 0.01, 0.03, 0.20, 0.15));
+    s.push_back(mk("applu", 204, 30, 72, 4, 0.29, 0.11, 0.05, 0.24,
+                   0.05, 0.02, 0.06, 0.20, 0.30));
+    s.push_back(mk("mesa", 205, 24, 24, 4, 0.24, 0.10, 0.09, 0.16,
+                   0.05, 0.04, 0.08, 0.45, 0.25));
+    s.push_back(mk("art-1", 206, 18, 32, 3, 0.33, 0.08, 0.07, 0.20,
+                   0.04, 0.03, 0.35, 0.15, 0.45));
+    s.push_back(mk("equake", 207, 22, 40, 4, 0.31, 0.09, 0.08, 0.20,
+                   0.04, 0.04, 0.25, 0.25, 0.40));
+    s.push_back(mk("facerec", 208, 26, 32, 4, 0.28, 0.09, 0.07, 0.22,
+                   0.05, 0.03, 0.12, 0.35, 0.30));
+    s.push_back(mk("ammp", 209, 28, 40, 3, 0.29, 0.10, 0.06, 0.22,
+                   0.05, 0.02, 0.10, 0.35, 0.12));
+    s.push_back(mk("lucas", 210, 28, 56, 3, 0.27, 0.10, 0.04, 0.26,
+                   0.06, 0.01, 0.06, 0.30, 0.20));
+    s.push_back(mk("fma3d", 211, 26, 48, 5, 0.28, 0.11, 0.08, 0.22,
+                   0.05, 0.04, 0.10, 0.30, 0.35));
+    s.push_back(mk("apsi", 212, 28, 48, 4, 0.27, 0.10, 0.07, 0.23,
+                   0.05, 0.03, 0.10, 0.30, 0.30));
+    return s;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+spec2kSuite()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+WorkloadProfile
+findProfile(const std::string &name)
+{
+    for (const WorkloadProfile &p : spec2kSuite())
+        if (p.name == name)
+            return p;
+    throw std::runtime_error(
+        strfmt("unknown benchmark '%s' (try create_library --list)",
+               name.c_str()));
+}
+
+} // namespace lp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload profiles: the knobs that shape a synthetic benchmark
+ * (length, phase structure, footprint, instruction mix, branch and
+ * locality behaviour), plus a SPEC CPU2000-analog suite whose members
+ * differ the way the paper's benchmarks do — branchy integer codes,
+ * pointer-chasing memory-bound codes, regular floating-point loops.
+ */
+
+#ifndef LP_WORKLOAD_PROFILE_HH
+#define LP_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace lp
+{
+
+struct WorkloadProfile
+{
+    std::string name = "tiny";
+    std::uint64_t seed = 1;
+
+    /** Desired dynamic instruction count (rounded to whole chunks). */
+    InstCount targetInsts = 10'000'000;
+
+    /** Number of distinct program phases (cycled round-robin). */
+    unsigned phases = 4;
+
+    /** Dynamic instructions per phase chunk. */
+    InstCount phaseInsts = 50'000;
+
+    /** Upper bound of the data working set across all phases. */
+    std::uint64_t footprintBytes = 16ull << 20;
+
+    // Instruction mix (fractions of dynamic instructions; the
+    // remainder is integer ALU work).
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpFrac = 0.05;
+    double mulFrac = 0.03;
+
+    /** Probability a conditional branch is taken. */
+    double branchTakenBias = 0.7;
+
+    /** Fraction of branch sites that are data-dependent (noisy). */
+    double branchNoise = 0.08;
+
+    /** Fraction of memory accesses that are random in the region. */
+    double randomAccessFrac = 0.2;
+
+    /** Fraction of memory accesses hitting a small hot region. */
+    double hotAccessFrac = 0.35;
+
+    /** Static instructions in one phase's loop body. */
+    unsigned loopBodySize = 128;
+
+    /** Phase-to-phase modulation of mix/locality (drives CPI variance). */
+    double phaseVariation = 0.35;
+};
+
+/** A small low-variance profile for examples and tests. */
+WorkloadProfile tinyProfile(InstCount targetInsts, std::uint64_t seed);
+
+/** The 24-benchmark SPEC2K-analog suite. */
+const std::vector<WorkloadProfile> &spec2kSuite();
+
+/**
+ * Look up a suite benchmark by name. Throws std::runtime_error for
+ * unknown names.
+ */
+WorkloadProfile findProfile(const std::string &name);
+
+} // namespace lp
+
+#endif // LP_WORKLOAD_PROFILE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal assertion harness for the ctest suite: CHECK/CHECK_NEAR
+ * record failures and the test's main() returns nonzero if any fired.
+ */
+
+#ifndef LP_TESTS_HARNESS_HH
+#define LP_TESTS_HARNESS_HH
+
+#include <cmath>
+#include <cstdio>
+
+inline int lpTestFailures = 0;
+
+#define CHECK(cond)                                                       \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__, \
+                         #cond);                                          \
+            ++lpTestFailures;                                             \
+        }                                                                 \
+    } while (0)
+
+#define CHECK_EQ(a, b)                                                    \
+    do {                                                                  \
+        if (!((a) == (b))) {                                              \
+            std::fprintf(stderr, "FAIL %s:%d: %s == %s\n", __FILE__,     \
+                         __LINE__, #a, #b);                               \
+            ++lpTestFailures;                                             \
+        }                                                                 \
+    } while (0)
+
+#define CHECK_NEAR(a, b, eps)                                             \
+    do {                                                                  \
+        const double va_ = (a);                                           \
+        const double vb_ = (b);                                           \
+        if (!(std::fabs(va_ - vb_) <= (eps))) {                           \
+            std::fprintf(stderr,                                          \
+                         "FAIL %s:%d: |%s - %s| = |%g - %g| > %g\n",     \
+                         __FILE__, __LINE__, #a, #b, va_, vb_,            \
+                         static_cast<double>(eps));                       \
+            ++lpTestFailures;                                             \
+        }                                                                 \
+    } while (0)
+
+#define TEST_MAIN_RESULT()                                                \
+    (lpTestFailures ? (std::fprintf(stderr, "%d check(s) failed\n",      \
+                                    lpTestFailures),                      \
+                       1)                                                 \
+                    : (std::printf("all checks passed\n"), 0))
+
+#endif // LP_TESTS_HARNESS_HH

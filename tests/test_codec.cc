@@ -1,0 +1,93 @@
+/** Round-trips of the zip block compressor and DER serialization. */
+
+#include "harness.hh"
+
+#include "codec/der.hh"
+#include "codec/zip.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    // zip: compressible data round-trips and actually shrinks.
+    {
+        Blob data(128 * 1024);
+        Rng rng(3, "zip");
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] =
+                static_cast<std::uint8_t>((i >> 4) ^ (rng.next() & 3));
+        const Blob z = zipCompress(data);
+        CHECK(z.size() < data.size());
+        CHECK(zipDecompress(z) == data);
+    }
+    // zip: incompressible data still round-trips.
+    {
+        Blob data(4096);
+        Rng rng(4, "zip-rand");
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next());
+        CHECK(zipDecompress(zipCompress(data)) == data);
+    }
+    // zip: tiny and empty inputs.
+    {
+        CHECK(zipDecompress(zipCompress({})).empty());
+        const Blob one{42};
+        CHECK(zipDecompress(zipCompress(one)) == one);
+    }
+    // zip: determinism (the library's compressed sizes must be
+    // reproducible run to run).
+    {
+        Blob data(10000, 7);
+        CHECK(zipCompress(data) == zipCompress(data));
+    }
+
+    // der: nested sequences with every value type.
+    {
+        DerWriter w;
+        w.beginSequence();
+        w.putUint(0);
+        w.putUint(127);
+        w.putUint(0xdeadbeefcafeull);
+        w.putString("live-points");
+        w.putBytes(Blob{1, 2, 3});
+        w.beginSequence();
+        for (int i = 0; i < 300; ++i) // force a long-form length
+            w.putUint(static_cast<std::uint64_t>(i) * 77);
+        w.endSequence();
+        w.putDouble(3.14159);
+        w.endSequence();
+        const Blob data = w.finish();
+
+        DerReader top(data);
+        DerReader seq = top.getSequence();
+        CHECK_EQ(seq.getUint(), 0u);
+        CHECK_EQ(seq.getUint(), 127u);
+        CHECK_EQ(seq.getUint(), 0xdeadbeefcafeull);
+        CHECK(seq.getString() == "live-points");
+        CHECK(seq.getBytes() == (Blob{1, 2, 3}));
+        DerReader inner = seq.getSequence();
+        std::uint64_t i = 0;
+        while (!inner.atEnd())
+            CHECK_EQ(inner.getUint(), (i++) * 77);
+        CHECK_EQ(i, 300u);
+        CHECK_NEAR(seq.getDouble(), 3.14159, 0.0);
+        CHECK(seq.atEnd());
+        CHECK(top.atEnd());
+    }
+    // der: encoding is canonical (same values -> same bytes).
+    {
+        auto encode = []() {
+            DerWriter w;
+            w.beginSequence();
+            w.putUint(999);
+            w.putString("x");
+            w.endSequence();
+            return w.finish();
+        };
+        CHECK(encode() == encode());
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,113 @@
+/**
+ * Library round-trips: build -> save -> load -> byte-identical
+ * records, deterministic shuffling, breakdown accounting.
+ */
+
+#include "harness.hh"
+
+#include <cstdio>
+
+#include "core/builder.hh"
+#include "core/library.hh"
+#include "uarch/config.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    WorkloadProfile profile = tinyProfile(400'000, 5);
+    profile.name = "libtest";
+    const Program prog = generateProgram(profile);
+    const InstCount length = measureProgramLength(prog);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const SampleDesign design = SampleDesign::systematic(
+        length, 40, 1000, cfg.detailedWarming);
+    LivePointBuilderConfig bc;
+    bc.bpredConfigs = {cfg.bpred};
+    LivePointBuilder builder(bc);
+    LivePointLibrary lib = builder.build(prog, design);
+
+    CHECK_EQ(lib.size(), design.count);
+    CHECK(lib.benchmark() == "libtest");
+    CHECK(lib.design() == design);
+    CHECK(lib.totalCompressedBytes() > 0);
+    CHECK(lib.totalUncompressedBytes() > lib.totalCompressedBytes());
+    CHECK(builder.stats().points == design.count);
+
+    // Same build twice -> byte-identical libraries.
+    {
+        LivePointBuilder builder2(bc);
+        const LivePointLibrary lib2 = builder2.build(prog, design);
+        CHECK_EQ(lib.totalCompressedBytes(),
+                 lib2.totalCompressedBytes());
+        for (std::size_t i = 0; i < lib.size(); ++i)
+            CHECK(lib.get(i).serialize() == lib2.get(i).serialize());
+    }
+
+    // Points carry consistent metadata and a usable predictor image.
+    {
+        const LivePoint p = lib.get(lib.size() / 2);
+        CHECK_EQ(p.windowStart,
+                 design.windowStart(lib.size() / 2));
+        CHECK_EQ(p.regs.instIndex, p.windowStart);
+        CHECK_EQ(p.warmLen, design.warmLen);
+        CHECK(p.findBpredImage(cfg.bpred.key()) != nullptr);
+        CHECK(p.findBpredImage("comb-nonexistent") == nullptr);
+        CHECK(p.memImage.blockCount() > 0);
+        const LivePointBreakdown b = p.breakdown();
+        CHECK(b.total > 0);
+        CHECK(b.memData > 0);
+        CHECK(b.l2Tags > 0);
+        CHECK(b.bpred > 0);
+    }
+
+    // Save -> load -> identical content.
+    const std::string path = "libtest-roundtrip.lpl";
+    lib.save(path);
+    const LivePointLibrary loaded = LivePointLibrary::load(path);
+    CHECK(loaded.design() == lib.design());
+    CHECK(loaded.benchmark() == lib.benchmark());
+    CHECK_EQ(loaded.size(), lib.size());
+    CHECK_EQ(loaded.totalCompressedBytes(), lib.totalCompressedBytes());
+    CHECK_EQ(loaded.totalUncompressedBytes(),
+             lib.totalUncompressedBytes());
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        CHECK_EQ(loaded.compressedSize(i), lib.compressedSize(i));
+        CHECK(loaded.get(i).serialize() == lib.get(i).serialize());
+    }
+    std::remove(path.c_str());
+
+    // Shuffling is a seed-deterministic permutation.
+    {
+        LivePointLibrary a = lib;
+        LivePointLibrary b = lib;
+        Rng ra(77, "shuffle");
+        Rng rb(77, "shuffle");
+        a.shuffle(ra);
+        b.shuffle(rb);
+        bool permuted = false;
+        std::uint64_t sumA = 0;
+        std::uint64_t sumB = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const LivePoint pa = a.get(i);
+            const LivePoint pb = b.get(i);
+            CHECK_EQ(pa.index, pb.index);
+            // The metadata index travels with the record.
+            CHECK_EQ(a.windowIndex(i), pa.index);
+            permuted = permuted || pa.index != i;
+            sumA += pa.index;
+            sumB += pb.index;
+        }
+        CHECK(permuted);
+        // Still a permutation of 0..n-1.
+        const std::uint64_t n = a.size();
+        CHECK_EQ(sumA, n * (n - 1) / 2);
+        CHECK_EQ(sumB, n * (n - 1) / 2);
+    }
+
+    return TEST_MAIN_RESULT();
+}

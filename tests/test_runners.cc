@@ -1,0 +1,127 @@
+/**
+ * End-to-end invariants of the runners, foremost the paper's central
+ * claim: live-point replay reproduces the full-warming (SMARTS)
+ * estimate — checkpointed warm state adds no bias.
+ */
+
+#include "harness.hh"
+
+#include "core/runners.hh"
+#include "core/stratified.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    WorkloadProfile profile = tinyProfile(600'000, 31);
+    profile.name = "runtest";
+    const Program prog = generateProgram(profile);
+    const InstCount length = measureProgramLength(prog);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const SampleDesign design = SampleDesign::systematic(
+        length, 60, 1000, cfg.detailedWarming);
+
+    const SampledEstimate smarts = runSmarts(prog, cfg, design);
+    CHECK(smarts.cpi() > 0.1 && smarts.cpi() < 20.0);
+    CHECK_EQ(smarts.stat.count(), design.count);
+
+    LivePointBuilderConfig bc;
+    bc.bpredConfigs = {cfg.bpred};
+    LivePointBuilder builder(bc);
+    const LivePointLibrary lib = builder.build(prog, design);
+
+    // Zero additional bias: replaying every live-point in stored
+    // order gives the same per-window CPIs as full warming.
+    LivePointRunOptions opt;
+    const LivePointRunResult replay = runLivePoints(prog, lib, cfg, opt);
+    CHECK_EQ(replay.processed, lib.size());
+    CHECK_NEAR(replay.cpi(), smarts.cpi(), 1e-9);
+    CHECK_NEAR(replay.finalSnapshot.relHalfWidth,
+               smarts.stat.relHalfWidth(confidenceZ(0.997)), 1e-9);
+
+    // The estimate is order-invariant over the full library, and
+    // thread-count-invariant.
+    {
+        LivePointRunOptions shuffled;
+        shuffled.shuffleSeed = 123;
+        const LivePointRunResult r =
+            runLivePoints(prog, lib, cfg, shuffled);
+        CHECK_NEAR(r.cpi(), replay.cpi(), 1e-9);
+
+        LivePointRunOptions parallel;
+        parallel.threads = 4;
+        const LivePointRunResult p =
+            runLivePoints(prog, lib, cfg, parallel);
+        CHECK_NEAR(p.cpi(), replay.cpi(), 1e-12);
+    }
+
+    // Restricted wrong-path approximation changes little.
+    {
+        LivePointRunOptions approx;
+        approx.approxWrongPath = true;
+        const LivePointRunResult r =
+            runLivePoints(prog, lib, cfg, approx);
+        const double bias =
+            std::fabs(r.cpi() - replay.cpi()) / replay.cpi();
+        CHECK(bias < 0.10);
+    }
+
+    // Matched pair of a config against itself: exactly zero delta.
+    {
+        LivePointRunOptions mp;
+        const MatchedPairOutcome same =
+            runMatchedPair(prog, lib, cfg, cfg, mp);
+        CHECK_NEAR(same.result.meanDelta, 0.0, 1e-12);
+        CHECK(!same.result.significant);
+
+        // A plainly slower memory must read as significantly slower.
+        CoreConfig slow = cfg;
+        slow.mem.memLatency = 400;
+        slow.mem.l2Latency = 40;
+        const MatchedPairOutcome diff =
+            runMatchedPair(prog, lib, cfg, slow, mp);
+        CHECK(diff.result.meanDelta > 0.0);
+        CHECK(diff.result.significant);
+        CHECK(diff.pairedSampleSize > 0);
+        CHECK(diff.absoluteSampleSize >= minCltSample);
+    }
+
+    // AW-MRRL: small bias relative to full warming, less warming work.
+    {
+        const MrrlAnalysis mrrl = analyzeMrrl(
+            prog, design.windowStarts(), design.windowLen());
+        CHECK_EQ(mrrl.warmingLengths.size(), design.count);
+        const SampledEstimate aw =
+            runAdaptiveWarming(prog, cfg, design, mrrl, true);
+        const double bias =
+            std::fabs(aw.cpi() - smarts.cpi()) / smarts.cpi();
+        CHECK(bias < 0.25);
+        CHECK(aw.warmedInsts < smarts.warmedInsts);
+    }
+
+    // Stratified estimator agrees with the uniform estimate.
+    {
+        StratifiedOptions sopt;
+        sopt.spec = ConfidenceSpec{0.997, 0.10};
+        const StratifiedResult strat =
+            runStratified(prog, lib, cfg, sopt);
+        CHECK(strat.processed > 0);
+        CHECK(strat.processed <= lib.size());
+        CHECK_NEAR(strat.mean, replay.cpi(),
+                   0.15 * replay.cpi() + 1e-12);
+    }
+
+    // Complete detailed simulation runs and yields a sane CPI.
+    {
+        const CompleteSimResult cs =
+            runCompleteDetailed(prog, cfg, 200'000);
+        CHECK_EQ(cs.insts, 200'000u);
+        CHECK(cs.cpi > 0.1 && cs.cpi < 20.0);
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,88 @@
+/** Sample sizing, systematic designs, and the online estimator. */
+
+#include "harness.hh"
+
+#include "core/sample.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    // requiredSampleSize: n = ceil((z*cov/err)^2), floored at 30.
+    {
+        const ConfidenceSpec spec{0.997, 0.03};
+        const double z = confidenceZ(0.997);
+        const std::uint64_t n = requiredSampleSize(0.5, spec);
+        const double expect = (z * 0.5 / 0.03) * (z * 0.5 / 0.03);
+        CHECK(n >= static_cast<std::uint64_t>(expect));
+        CHECK(n <= static_cast<std::uint64_t>(expect) + 1);
+        CHECK_EQ(requiredSampleSize(0.0, spec), minCltSample);
+        // Looser target -> smaller sample.
+        CHECK(requiredSampleSize(0.5, ConfidenceSpec{0.95, 0.05}) < n);
+    }
+
+    // SampleDesign geometry.
+    {
+        const SampleDesign d =
+            SampleDesign::systematic(10'000'000, 100, 1000, 2000);
+        CHECK_EQ(d.count, 100u);
+        CHECK_EQ(d.windowLen(), 3000u);
+        CHECK_EQ(d.period(), 100'000u);
+        // One window per period, jittered within it, never
+        // overlapping, and deterministic.
+        for (std::uint64_t i = 0; i < d.count; ++i) {
+            const InstCount s = d.windowStart(i);
+            CHECK(s >= i * d.period());
+            CHECK(s + d.windowLen() <= (i + 1) * d.period());
+            CHECK_EQ(s, d.windowStart(i));
+        }
+        // The jitter actually varies across periods.
+        bool varies = false;
+        for (std::uint64_t i = 1; i < d.count; ++i)
+            varies = varies || (d.windowStart(i) - i * d.period() !=
+                                d.windowStart(0));
+        CHECK(varies);
+        CHECK_EQ(d.windowStarts().size(), 100u);
+        CHECK_EQ(SampleDesign::maxCount(10'000'000, 1000, 2000),
+                 10'000'000u / 3000u);
+        // Requesting more windows than fit clamps.
+        const SampleDesign big =
+            SampleDesign::systematic(30'000, 100, 1000, 2000);
+        CHECK_EQ(big.count, 10u);
+        CHECK(big == big);
+        CHECK(big != d);
+    }
+
+    // OnlineEstimator: unbiased on synthetic data, satisfied only
+    // after minCltSample, converges on a tight distribution.
+    {
+        const ConfidenceSpec spec{0.997, 0.03};
+        OnlineEstimator est(spec);
+        Rng rng(9, "online");
+        OnlineSnapshot snap;
+        std::size_t satisfiedAt = 0;
+        for (int i = 0; i < 2000; ++i) {
+            // Mean 2.0, sd ~0.14 (mean of 4 uniforms, shifted).
+            double x = 0;
+            for (int k = 0; k < 4; ++k)
+                x += rng.nextDouble();
+            x = 1.5 + x / 4.0;
+            snap = est.add(x);
+            if (i + 1 < static_cast<int>(minCltSample))
+                CHECK(!snap.valid && !snap.satisfied);
+            if (snap.satisfied && !satisfiedAt)
+                satisfiedAt = snap.n;
+        }
+        CHECK(snap.valid);
+        CHECK(snap.satisfied);
+        CHECK(satisfiedAt >= minCltSample);
+        CHECK(satisfiedAt < 500);
+        CHECK_NEAR(snap.mean, 2.0, 0.05);
+        CHECK(snap.relHalfWidth <= spec.relativeError);
+        CHECK_EQ(est.snapshot().n, 2000u);
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,72 @@
+/** Determinism of Rng, RunningStat against hand-computed values. */
+
+#include "harness.hh"
+
+#include "stats/running_stat.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    // Same seed + stream -> identical sequences.
+    {
+        Rng a(42, "stream");
+        Rng b(42, "stream");
+        for (int i = 0; i < 1000; ++i)
+            CHECK_EQ(a.next(), b.next());
+    }
+    // Different stream names -> different sequences.
+    {
+        Rng a(42, "one");
+        Rng b(42, "two");
+        bool anyDiff = false;
+        for (int i = 0; i < 16; ++i)
+            anyDiff = anyDiff || (a.next() != b.next());
+        CHECK(anyDiff);
+    }
+    // Bounded draws stay in range and hit both halves.
+    {
+        Rng r(7);
+        bool low = false;
+        bool high = false;
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t v = r.nextBounded(100);
+            CHECK(v < 100);
+            low = low || v < 50;
+            high = high || v >= 50;
+        }
+        CHECK(low);
+        CHECK(high);
+    }
+
+    // RunningStat vs hand-computed values for {2, 4, 4, 4, 5, 5, 7, 9}:
+    // mean 5, sample variance 32/7, min 2, max 9.
+    {
+        RunningStat s;
+        for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+            s.add(x);
+        CHECK_EQ(s.count(), 8u);
+        CHECK_NEAR(s.mean(), 5.0, 1e-12);
+        CHECK_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+        CHECK_NEAR(s.cov(), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+        CHECK_NEAR(s.min(), 2.0, 0.0);
+        CHECK_NEAR(s.max(), 9.0, 0.0);
+        // Half-width at z=2: 2 * stddev / sqrt(8).
+        CHECK_NEAR(s.halfWidth(2.0),
+                   2.0 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0), 1e-12);
+    }
+
+    // Normal quantiles: well-known two-sided z values.
+    CHECK_NEAR(confidenceZ(0.95), 1.959964, 1e-4);
+    CHECK_NEAR(confidenceZ(0.99), 2.575829, 1e-4);
+    CHECK_NEAR(confidenceZ(0.997), 2.967738, 1e-4);
+    CHECK_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+
+    // strfmt round-trips formatting.
+    CHECK(strfmt("%s-%d", "x", 7) == "x-7");
+
+    return TEST_MAIN_RESULT();
+}

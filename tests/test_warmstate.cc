@@ -1,0 +1,127 @@
+/**
+ * The exactness property live-points rely on: a CacheSetRecord taken
+ * at a maximum geometry reconstructs a smaller target cache to
+ * exactly the state direct warming would have produced.
+ */
+
+#include "harness.hh"
+
+#include <algorithm>
+
+#include "cache/cache.hh"
+#include "cache/warmstate.hh"
+#include "codec/zip.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace lp;
+
+/** Compare full contents + LRU behaviour of two caches. */
+bool
+sameState(const CacheModel &a, const CacheModel &b)
+{
+    if (a.numSets() != b.numSets())
+        return false;
+    for (std::uint64_t s = 0; s < a.numSets(); ++s) {
+        const auto &sa = a.linesOfSet(s);
+        const auto &sb = b.linesOfSet(s);
+        if (sa.size() != sb.size())
+            return false;
+        // Same tags, and same recency ordering.
+        std::vector<std::pair<std::uint64_t, Addr>> oa;
+        std::vector<std::pair<std::uint64_t, Addr>> ob;
+        for (const CacheLine &l : sa)
+            oa.emplace_back(l.lastAccess, l.tag);
+        for (const CacheLine &l : sb)
+            ob.emplace_back(l.lastAccess, l.tag);
+        std::sort(oa.begin(), oa.end());
+        std::sort(ob.begin(), ob.end());
+        for (std::size_t i = 0; i < oa.size(); ++i)
+            if (oa[i].second != ob[i].second)
+                return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+
+    // Warm a max cache and a (smaller) direct cache with the same
+    // reference stream; reconstructing the small one from the max
+    // CSR must reproduce its exact contents.
+    const CacheGeometry maxGeom{4 * 1024 * 1024, 8, 128};
+    const CacheGeometry smallGeom{1 * 1024 * 1024, 4, 128};
+    {
+        CacheModel maxCache(maxGeom, "max");
+        CacheModel direct(smallGeom, "direct");
+        Rng rng(21, "stream");
+        for (int i = 0; i < 300'000; ++i) {
+            const Addr a = rng.nextBounded(64ull << 20) & ~7ull;
+            const bool write = rng.nextBool(0.3);
+            maxCache.access(a, write);
+            direct.access(a, write);
+        }
+        const CacheSetRecord csr(maxCache);
+        CHECK(csr.entryCount() > 0);
+        CHECK(csr.maxGeometry() == maxGeom);
+
+        CacheModel rebuilt(smallGeom, "rebuilt");
+        csr.reconstruct(rebuilt);
+        CHECK(sameState(direct, rebuilt));
+
+        // Same-geometry reconstruction is exact too.
+        CacheModel same(maxGeom, "same");
+        csr.reconstruct(same);
+        CHECK(sameState(maxCache, same));
+
+        // CSR round-trips through serialization byte-exactly.
+        const Blob bytes = csr.serialize();
+        DerReader r(bytes);
+        const CacheSetRecord back = CacheSetRecord::deserialize(r);
+        CHECK(back.serialize() == bytes);
+        CacheModel rebuilt2(smallGeom, "rebuilt2");
+        back.reconstruct(rebuilt2);
+        CHECK(sameState(direct, rebuilt2));
+    }
+
+    // MTR reconstructs the same warm state as direct warming (it has
+    // every touched line), while its storage grows with footprint.
+    {
+        MemoryTimestampRecord mtr(128);
+        CacheModel direct(smallGeom, "direct");
+        Rng rng(22, "mtr");
+        std::uint64_t t = 0;
+        for (int i = 0; i < 100'000; ++i) {
+            const Addr a = rng.nextBounded(16ull << 20) & ~7ull;
+            const bool write = rng.nextBool(0.25);
+            mtr.record(a, write, t++);
+            direct.access(a, write);
+        }
+        CacheModel rebuilt(smallGeom, "rebuilt");
+        mtr.reconstruct(rebuilt);
+        CHECK(sameState(direct, rebuilt));
+        CHECK(mtr.entryCount() > 0);
+
+        // Bigger footprint -> bigger MTR, CSR stays bounded.
+        MemoryTimestampRecord mtrBig(128);
+        CacheModel maxCache(maxGeom, "max");
+        Rng rng2(23, "mtr-big");
+        t = 0;
+        for (int i = 0; i < 100'000; ++i) {
+            const Addr a = rng2.nextBounded(64ull << 20) & ~7ull;
+            mtrBig.record(a, false, t++);
+            maxCache.access(a, false);
+        }
+        CHECK(mtrBig.serialize().size() > mtr.serialize().size());
+        const CacheSetRecord csr(maxCache);
+        CHECK(csr.entryCount() <= maxGeom.numLines());
+    }
+
+    return TEST_MAIN_RESULT();
+}
