@@ -28,8 +28,30 @@ settings()
         s.maxSampleSize = std::strtoull(v, nullptr, 10);
     if (const char *v = std::getenv("LP_BENCH_CACHE"))
         s.cacheDir = v;
+    if (const char *v = std::getenv("LP_BENCH_JSON"))
+        s.jsonPath = v;
     std::filesystem::create_directories(s.cacheDir);
     return s;
+}
+
+bool
+writeBenchJson(const BenchSettings &s, const std::string &json)
+{
+    if (s.jsonPath.empty())
+        return false;
+    FILE *f = std::fopen(s.jsonPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write '%s'\n",
+                     s.jsonPath.c_str());
+        return false;
+    }
+    const bool wrote = std::fputs(json.c_str(), f) >= 0;
+    const bool closed = std::fclose(f) == 0;
+    if (wrote && closed)
+        return true;
+    std::fprintf(stderr, "warning: short write to '%s'\n",
+                 s.jsonPath.c_str());
+    return false;
 }
 
 std::vector<std::string>

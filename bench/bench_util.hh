@@ -11,6 +11,9 @@
  *   LP_BENCH_MAXN=n    override the sample-size cap per benchmark
  *   LP_BENCH_CACHE=dir live-point/pilot cache directory
  *                      (default ./lp-cache)
+ *   LP_BENCH_JSON=path write machine-readable timings to this file
+ *                      (benches that support it; CI uploads them to
+ *                      track the perf trajectory)
  */
 
 #ifndef LP_BENCH_BENCH_UTIL_HH
@@ -37,6 +40,7 @@ struct BenchSettings
     double scale = 0.25;
     std::uint64_t maxSampleSize = 300;
     std::string cacheDir = "lp-cache";
+    std::string jsonPath; //!< empty: no JSON output
 };
 
 /** Read settings from the environment. */
@@ -89,6 +93,13 @@ lp::LivePointLibrary cachedLibrary(const PreparedBench &b,
 
 /** Default builder config covering both Table 1 configurations. */
 lp::LivePointBuilderConfig defaultBuilderConfig();
+
+/**
+ * Write @p json to settings().jsonPath if LP_BENCH_JSON is set;
+ * returns true when the file was fully written, false (with a
+ * warning on stderr, never a throw) otherwise.
+ */
+bool writeBenchJson(const BenchSettings &s, const std::string &json);
 
 /** Format seconds as the paper does (s / m / h / d). */
 std::string fmtTime(double seconds);

@@ -125,17 +125,22 @@ BranchPredictor::deserialize(const Blob &image)
                    static_cast<unsigned long long>(entries),
                    cfg_.tableEntries));
     history_ = seq.getUint();
-    auto unpack = [entries](const Blob &packed,
-                            std::vector<std::uint8_t> &table) {
+    // Unpack in place: resize (a no-op on a pooled predictor of the
+    // same geometry) and write each counter once.
+    Blob packed;
+    auto unpack = [entries, &packed](std::vector<std::uint8_t> &table) {
         if (packed.size() < (entries + 3) / 4)
             throw std::runtime_error("bpred image truncated");
-        table.assign(entries, 0);
+        table.resize(entries);
         for (std::size_t i = 0; i < table.size(); ++i)
             table[i] = (packed[i / 4] >> ((i % 4) * 2)) & 3;
     };
-    unpack(seq.getBytes(), bimod_);
-    unpack(seq.getBytes(), gshare_);
-    unpack(seq.getBytes(), chooser_);
+    seq.getBytes(packed);
+    unpack(bimod_);
+    seq.getBytes(packed);
+    unpack(gshare_);
+    seq.getBytes(packed);
+    unpack(chooser_);
 }
 
 } // namespace lp

@@ -58,23 +58,30 @@ CacheSetRecord::serialize() const
 CacheSetRecord
 CacheSetRecord::deserialize(DerReader &r)
 {
-    DerReader seq = r.getSequence();
     CacheSetRecord rec;
-    rec.geom_.sizeBytes = seq.getUint();
-    rec.geom_.assoc = static_cast<unsigned>(seq.getUint());
-    rec.geom_.lineBytes = seq.getUint();
+    deserializeInto(r, rec);
+    return rec;
+}
+
+void
+CacheSetRecord::deserializeInto(DerReader &r, CacheSetRecord &out)
+{
+    DerReader seq = r.getSequence();
+    out.geom_.sizeBytes = seq.getUint();
+    out.geom_.assoc = static_cast<unsigned>(seq.getUint());
+    out.geom_.lineBytes = seq.getUint();
     const std::uint64_t count = seq.getUint();
-    rec.entries_.reserve(count);
+    out.entries_.clear();
+    out.entries_.reserve(count);
     std::uint64_t stamp = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
         Entry e;
         const std::uint64_t packed = seq.getUint();
-        e.lineAddr = (packed / 2) * rec.geom_.lineBytes;
+        e.lineAddr = (packed / 2) * out.geom_.lineBytes;
         e.dirty = (packed & 1) != 0;
         e.lastAccess = ++stamp; // synthetic stamps keep the order
-        rec.entries_.push_back(e);
+        out.entries_.push_back(e);
     }
-    return rec;
 }
 
 MemoryTimestampRecord::MemoryTimestampRecord(std::uint64_t lineBytes)

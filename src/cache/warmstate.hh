@@ -54,6 +54,12 @@ class CacheSetRecord
     void serialize(DerWriter &w) const;
     static CacheSetRecord deserialize(DerReader &r);
 
+    /**
+     * Deserialize into @p out, reusing its entry storage — the decode
+     * ring recycles one record per slot so replay allocates nothing.
+     */
+    static void deserializeInto(DerReader &r, CacheSetRecord &out);
+
   private:
     struct Entry
     {

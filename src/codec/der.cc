@@ -210,6 +210,14 @@ DerReader::getBytes()
     return Blob(p, p + len);
 }
 
+void
+DerReader::getBytes(Blob &out)
+{
+    std::size_t len = 0;
+    const std::uint8_t *p = expect(kTagBytes, len);
+    out.assign(p, p + len);
+}
+
 std::string
 DerReader::getString()
 {

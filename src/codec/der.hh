@@ -74,6 +74,9 @@ class DerReader
     /** Read the next value as an octet string. */
     Blob getBytes();
 
+    /** Read the next octet string into @p out, reusing its storage. */
+    void getBytes(Blob &out);
+
     /** Read the next value as a UTF-8 string. */
     std::string getString();
 

@@ -126,9 +126,17 @@ zipCompress(const Blob &raw)
 Blob
 zipDecompress(const Blob &compressed)
 {
+    Blob out;
+    zipDecompressInto(compressed, out);
+    return out;
+}
+
+void
+zipDecompressInto(const Blob &compressed, Blob &out)
+{
     std::size_t pos = 0;
     const std::uint64_t rawSize = getLeb(compressed, pos);
-    Blob out;
+    out.clear();
     out.reserve(rawSize);
 
     std::uint8_t flags = 0;
@@ -153,9 +161,17 @@ zipDecompress(const Blob &compressed)
             pos += 3;
             if (off == 0 || off > out.size())
                 throw std::runtime_error("zip: bad match offset");
-            std::size_t src = out.size() - off;
-            for (std::size_t k = 0; k < len; ++k)
-                out.push_back(out[src + k]);
+            const std::size_t dst = out.size();
+            const std::size_t src = dst - off;
+            out.resize(dst + len);
+            if (off >= len) {
+                std::memcpy(&out[dst], &out[src], len);
+            } else {
+                // Overlapping match (RLE-style): copy forward so each
+                // byte reads one already written.
+                for (std::size_t k = 0; k < len; ++k)
+                    out[dst + k] = out[src + k];
+            }
         } else {
             if (pos >= compressed.size())
                 throw std::runtime_error("zip: truncated literal");
@@ -164,7 +180,6 @@ zipDecompress(const Blob &compressed)
     }
     if (out.size() != rawSize)
         throw std::runtime_error("zip: size mismatch");
-    return out;
 }
 
 } // namespace lp

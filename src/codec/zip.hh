@@ -23,6 +23,13 @@ Blob zipCompress(const Blob &raw);
  */
 Blob zipDecompress(const Blob &compressed);
 
+/**
+ * Decompress into @p out, reusing its storage (cleared first). The
+ * decode-pipeline hot path: a recycled buffer large enough for the
+ * library's points makes decompression allocation-free.
+ */
+void zipDecompressInto(const Blob &compressed, Blob &out);
+
 } // namespace lp
 
 #endif // LP_CODEC_ZIP_HH

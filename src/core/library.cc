@@ -94,26 +94,50 @@ LivePoint::serialize() const
 LivePoint
 LivePoint::deserialize(const Blob &data)
 {
+    LivePoint p;
+    deserializeInto(data, p);
+    return p;
+}
+
+void
+LivePoint::deserializeInto(const Blob &data, LivePoint &out)
+{
     DerReader top(data);
     DerReader seq = top.getSequence();
-    LivePoint p;
-    p.index = seq.getUint();
-    p.windowStart = seq.getUint();
-    p.warmLen = seq.getUint();
-    p.measureLen = seq.getUint();
-    p.regs = ArchRegs::deserialize(seq);
-    p.memImage = MemoryImage::deserialize(seq);
-    p.l1i = CacheSetRecord::deserialize(seq);
-    p.l1d = CacheSetRecord::deserialize(seq);
-    p.l2 = CacheSetRecord::deserialize(seq);
-    p.itlb = CacheSetRecord::deserialize(seq);
-    p.dtlb = CacheSetRecord::deserialize(seq);
+    out.index = seq.getUint();
+    out.windowStart = seq.getUint();
+    out.warmLen = seq.getUint();
+    out.measureLen = seq.getUint();
+    out.regs = ArchRegs::deserialize(seq);
+    MemoryImage::deserializeInto(seq, out.memImage);
+    CacheSetRecord::deserializeInto(seq, out.l1i);
+    CacheSetRecord::deserializeInto(seq, out.l1d);
+    CacheSetRecord::deserializeInto(seq, out.l2);
+    CacheSetRecord::deserializeInto(seq, out.itlb);
+    CacheSetRecord::deserializeInto(seq, out.dtlb);
+    // Every point of a library carries the same image keys, so
+    // reading into the map's existing buffers makes steady-state
+    // decoding node-free. Images are never empty, which lets an empty
+    // buffer mark a leftover key from a previous point.
+    for (auto &kv : out.bpredImages)
+        kv.second.clear();
     const std::uint64_t nImages = seq.getUint();
     for (std::uint64_t i = 0; i < nImages; ++i) {
         const std::string key = seq.getString();
-        p.bpredImages.emplace(key, seq.getBytes());
+        Blob &image = out.bpredImages[key];
+        seq.getBytes(image);
+        // Pin the sentinel invariant: a real image is never empty.
+        if (image.empty())
+            throw std::runtime_error(
+                "live-point: empty predictor image");
     }
-    return p;
+    for (auto it = out.bpredImages.begin();
+         it != out.bpredImages.end();) {
+        if (it->second.empty())
+            it = out.bpredImages.erase(it);
+        else
+            ++it;
+    }
 }
 
 LivePointLibrary::LivePointLibrary(std::string benchmark,
@@ -126,6 +150,14 @@ LivePoint
 LivePointLibrary::get(std::size_t i) const
 {
     return LivePoint::deserialize(zipDecompress(records_[i]));
+}
+
+void
+LivePointLibrary::decodeInto(std::size_t i, Blob &scratch,
+                             LivePoint &out) const
+{
+    zipDecompressInto(records_[i], scratch);
+    LivePoint::deserializeInto(scratch, out);
 }
 
 void

@@ -61,6 +61,13 @@ struct LivePoint
 
     Blob serialize() const;
     static LivePoint deserialize(const Blob &data);
+
+    /**
+     * Deserialize into @p out, reusing its storage where possible
+     * (cache-record entry arrays, predictor-image buffers keyed the
+     * same as the previous point). The decode-pipeline hot path.
+     */
+    static void deserializeInto(const Blob &data, LivePoint &out);
 };
 
 class LivePointLibrary
@@ -75,6 +82,14 @@ class LivePointLibrary
 
     /** Decompress and decode the @p i-th stored point. */
     LivePoint get(std::size_t i) const;
+
+    /**
+     * Decompress and decode the @p i-th stored point into
+     * caller-owned buffers, reusing their storage. @p scratch holds
+     * the decompressed bytes between calls; thread-safe for
+     * concurrent calls with distinct buffers.
+     */
+    void decodeInto(std::size_t i, Blob &scratch, LivePoint &out) const;
 
     /** Compress and append a point. */
     void add(const LivePoint &point);

@@ -1,0 +1,300 @@
+#include "core/replay.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+CoreBindings
+contextBindings(const Program &prog, MemPort &port, MemHierarchy &hier,
+                BranchPredictor &bp)
+{
+    CoreBindings b;
+    b.prog = &prog;
+    b.mem = &port;
+    b.hier = &hier;
+    b.bp = &bp;
+    return b;
+}
+
+unsigned
+autoProducers(unsigned workers)
+{
+    // Decoding one point is a fraction of simulating it, so a few
+    // producers keep many workers fed; one is enough to pipeline a
+    // single worker.
+    return std::max(1u, (workers + 2) / 3);
+}
+
+} // namespace
+
+ReplayContext::ReplayContext(const Program &prog, const CoreConfig &cfg)
+    : prog_(prog), cfg_(cfg), bpredKey_(cfg_.bpred.key()), port_(mem_),
+      hier_(cfg_.mem), bp_(cfg_.bpred),
+      core_(cfg_, contextBindings(prog_, port_, hier_, bp_))
+{
+}
+
+WindowResult
+ReplayContext::simulate(const LivePoint &point, bool approxWrongPath)
+{
+    mem_.reset();
+    point.memImage.applyTo(mem_);
+    point.l1i.reconstruct(hier_.l1i());
+    point.l1d.reconstruct(hier_.l1d());
+    point.l2.reconstruct(hier_.l2());
+    point.itlb.reconstruct(hier_.itlb());
+    point.dtlb.reconstruct(hier_.dtlb());
+    const Blob *image = point.findBpredImage(bpredKey_);
+    if (!image)
+        throw std::runtime_error(
+            strfmt("library does not cover predictor '%s'",
+                   bpredKey_.c_str()));
+    bp_.deserialize(*image);
+
+    CoreBindings b;
+    b.prog = &prog_;
+    b.initialRegs = point.regs;
+    b.mem = &port_;
+    b.hier = &hier_;
+    b.bp = &bp_;
+    b.availability = &point.memImage;
+    core_.rebind(b);
+    core_.setApproxWrongPath(approxWrongPath);
+    return core_.measure(point.warmLen, point.measureLen);
+}
+
+ReplayEngine::ReplayEngine(const Program &prog,
+                           std::vector<CoreConfig> cfgs,
+                           const ReplayEngineOptions &opt)
+    : prog_(prog), cfgs_(std::move(cfgs)),
+      approxWrongPath_(opt.approxWrongPath),
+      threads_(std::max(opt.threads, 1u)),
+      producers_(opt.decodeThreads ? opt.decodeThreads
+                                   : autoProducers(threads_)),
+      ringSlots_(opt.ringSlots
+                     ? opt.ringSlots
+                     : std::clamp<std::size_t>(
+                           2 * (threads_ + producers_), 8, 64)),
+      pool_(threads_ + producers_)
+{
+    if (cfgs_.empty())
+        throw std::invalid_argument("ReplayEngine: no configurations");
+    ctx_.reserve(static_cast<std::size_t>(threads_) * cfgs_.size());
+    for (unsigned w = 0; w < threads_; ++w)
+        for (const CoreConfig &c : cfgs_)
+            ctx_.push_back(std::make_unique<ReplayContext>(prog_, c));
+    // Caller contexts are built lazily: only simulateOne() needs them.
+    callerCtx_.resize(cfgs_.size());
+}
+
+WindowResult
+ReplayEngine::simulateOne(const LivePointLibrary &lib, std::size_t pos,
+                          std::size_t cfgIdx)
+{
+    if (!callerCtx_[cfgIdx])
+        callerCtx_[cfgIdx] =
+            std::make_unique<ReplayContext>(prog_, cfgs_[cfgIdx]);
+    lib.decodeInto(pos, callerScratch_, callerPoint_);
+    bytesDecoded_.fetch_add(callerScratch_.size(),
+                            std::memory_order_relaxed);
+    return callerCtx_[cfgIdx]->simulate(callerPoint_, approxWrongPath_);
+}
+
+void
+ReplayEngine::run(
+    const LivePointLibrary &lib, const std::vector<std::size_t> &order,
+    std::size_t blockSize, bool stopEarly,
+    const std::function<void(std::size_t, const WindowResult *)>
+        &foldPoint,
+    const std::function<bool(std::size_t)> &foldBarrier)
+{
+    const std::size_t n = order.size();
+    if (n == 0)
+        return;
+    blockSize = std::max<std::size_t>(blockSize, 1);
+    const std::size_t numBlocks = (n + blockSize - 1) / blockSize;
+    const std::size_t nc = cfgs_.size();
+    const std::size_t S = ringSlots_;
+
+    // The bounded decode ring. Slot j cycles through points j, j+S,
+    // j+2S, ...; nextFill sequences the producers, holds tells a
+    // waiting worker its point has arrived.
+    struct Slot
+    {
+        LivePoint point;
+        Blob raw;
+        std::size_t holds = 0;
+        std::size_t nextFill = 0;
+        bool full = false;
+    };
+    std::vector<Slot> slots(S);
+    for (std::size_t j = 0; j < S; ++j)
+        slots[j].nextFill = j;
+
+    std::mutex ringM;
+    std::condition_variable cvFill;  //!< producers wait for a free slot
+    std::condition_variable cvReady; //!< workers wait for their point
+
+    std::mutex foldM;
+    std::condition_variable cvBlockDone;    //!< folder waits on blocks
+    std::condition_variable cvFoldProgress; //!< workers wait when gated
+    std::size_t foldedPoints = 0; //!< guarded by foldM
+
+    std::atomic<std::size_t> decodeNext{0};
+    std::atomic<std::size_t> simNext{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::atomic<std::size_t>> blockRemaining(numBlocks);
+    for (std::size_t b = 0; b < numBlocks; ++b)
+        blockRemaining[b].store(
+            std::min(n, (b + 1) * blockSize) - b * blockSize);
+
+    std::vector<WindowResult> results(n * nc);
+
+    auto halt = [&]() {
+        stop.store(true);
+        {
+            std::lock_guard<std::mutex> lk(ringM);
+        }
+        cvFill.notify_all();
+        cvReady.notify_all();
+        {
+            std::lock_guard<std::mutex> lk(foldM);
+        }
+        cvBlockDone.notify_all();
+        cvFoldProgress.notify_all();
+    };
+
+    auto producer = [&]() {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t k = decodeNext.fetch_add(1);
+            if (k >= n)
+                return;
+            Slot &s = slots[k % S];
+            {
+                std::unique_lock<std::mutex> lk(ringM);
+                cvFill.wait(lk, [&]() {
+                    return stop.load() || (!s.full && s.nextFill == k);
+                });
+                if (stop.load())
+                    return;
+            }
+            // The slot is exclusively ours until marked full.
+            lib.decodeInto(order[k], s.raw, s.point);
+            bytesDecoded_.fetch_add(s.raw.size(),
+                                    std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lk(ringM);
+                s.full = true;
+                s.holds = k;
+            }
+            cvReady.notify_all();
+        }
+    };
+
+    auto worker = [&](unsigned w) {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t k = simNext.fetch_add(1);
+            if (k >= n)
+                return;
+            if (stopEarly) {
+                // Stay near the fold frontier so a satisfied
+                // confidence check actually saves simulation work.
+                std::unique_lock<std::mutex> lk(foldM);
+                cvFoldProgress.wait(lk, [&]() {
+                    return stop.load() ||
+                           k < foldedPoints + 2 * blockSize;
+                });
+                if (stop.load())
+                    return;
+            }
+            Slot &s = slots[k % S];
+            {
+                std::unique_lock<std::mutex> lk(ringM);
+                cvReady.wait(lk, [&]() {
+                    return stop.load() || (s.full && s.holds == k);
+                });
+                if (stop.load())
+                    return;
+            }
+            for (std::size_t c = 0; c < nc; ++c)
+                results[k * nc + c] = ctx_[w * nc + c]->simulate(
+                    s.point, approxWrongPath_);
+            {
+                std::lock_guard<std::mutex> lk(ringM);
+                s.full = false;
+                s.nextFill = k + S;
+            }
+            cvFill.notify_all();
+            const std::size_t b = k / blockSize;
+            if (blockRemaining[b].fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lk(foldM);
+                cvBlockDone.notify_all();
+            }
+        }
+    };
+
+    const std::function<void(unsigned)> job = [&](unsigned id) {
+        try {
+            if (id < producers_)
+                producer();
+            else
+                worker(id - producers_);
+        } catch (...) {
+            halt();
+            throw;
+        }
+    };
+
+    pool_.start(job);
+
+    try {
+        std::size_t k = 0;
+        for (std::size_t b = 0; b < numBlocks; ++b) {
+            {
+                std::unique_lock<std::mutex> lk(foldM);
+                cvBlockDone.wait(lk, [&]() {
+                    return stop.load() ||
+                           blockRemaining[b].load() == 0;
+                });
+            }
+            if (stop.load())
+                break; // a worker failed; pool_.wait() rethrows below
+            const std::size_t end = std::min(n, (b + 1) * blockSize);
+            for (; k < end; ++k)
+                foldPoint(k, &results[k * nc]);
+            const bool keepGoing = foldBarrier(end);
+            {
+                std::lock_guard<std::mutex> lk(foldM);
+                foldedPoints = end;
+            }
+            cvFoldProgress.notify_all();
+            if (!keepGoing)
+                break;
+        }
+    } catch (...) {
+        // A fold callback threw. The pool threads still reference the
+        // locals above (and `job` itself), so they must drain before
+        // the stack unwinds; the fold exception outranks any worker
+        // one.
+        halt();
+        try {
+            pool_.wait();
+        } catch (...) {
+        }
+        throw;
+    }
+
+    halt();
+    pool_.wait();
+}
+
+} // namespace lp

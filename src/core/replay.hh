@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The pooled parallel replay engine. Live-point replay is the hot
+ * path of everything downstream of a library, so the engine removes
+ * every per-point cost the naive loop pays:
+ *
+ *  - **Pooled contexts.** Each worker owns one ReplayContext per core
+ *    configuration whose SparseMemory, MemHierarchy, BranchPredictor,
+ *    and OoOCore are reset and reused across points (zero-realloc
+ *    reconstruction) instead of heap-constructed per point.
+ *  - **Decode pipeline.** Dedicated producer threads decompress and
+ *    deserialize points into a bounded ring of reusable slot buffers,
+ *    so simulation workers never block on the library codec.
+ *  - **Work stealing.** Points are claimed from an atomic counter, so
+ *    a straggling point never serializes the tail the way static
+ *    striding does.
+ *  - **Block-synchronous folding.** Results are folded on the calling
+ *    thread in deterministic block order; confidence checks (early
+ *    stopping) happen at block barriers. Estimates are therefore
+ *    bit-identical at every thread count, early stopping included.
+ */
+
+#ifndef LP_CORE_REPLAY_HH
+#define LP_CORE_REPLAY_HH
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/library.hh"
+#include "uarch/core.hh"
+#include "util/threadpool.hh"
+
+namespace lp
+{
+
+/** Fold granularity used when an options struct leaves it 0. */
+inline constexpr std::size_t defaultFoldBlock = 32;
+
+struct ReplayEngineOptions
+{
+    unsigned threads = 1;       //!< simulation workers
+    unsigned decodeThreads = 0; //!< decode producers; 0 = auto
+    bool approxWrongPath = false;
+    std::size_t ringSlots = 0;  //!< decode ring depth; 0 = auto
+};
+
+/**
+ * One worker's reusable replay state for one core configuration. All
+ * owned structures are reset in place per point; nothing is
+ * reallocated between points.
+ */
+class ReplayContext
+{
+  public:
+    ReplayContext(const Program &prog, const CoreConfig &cfg);
+
+    ReplayContext(const ReplayContext &) = delete;
+    ReplayContext &operator=(const ReplayContext &) = delete;
+
+    const CoreConfig &config() const { return cfg_; }
+
+    /** Reconstruct @p point into the pooled state and replay it. */
+    WindowResult simulate(const LivePoint &point,
+                          bool approxWrongPath = false);
+
+  private:
+    const Program &prog_;
+    CoreConfig cfg_;
+    std::string bpredKey_;
+    SparseMemory mem_;
+    DirectMemPort port_;
+    MemHierarchy hier_;
+    BranchPredictor bp_;
+    OoOCore core_;
+};
+
+class ReplayEngine
+{
+  public:
+    /**
+     * Build an engine simulating every point under each of @p cfgs
+     * (one config for absolute estimation, two for matched pairs —
+     * all configs of a point run back-to-back on the same worker, so
+     * pairing stays exact).
+     */
+    ReplayEngine(const Program &prog, std::vector<CoreConfig> cfgs,
+                 const ReplayEngineOptions &opt);
+
+    unsigned threads() const { return threads_; }
+    unsigned decodeThreads() const { return producers_; }
+    std::size_t configCount() const { return cfgs_.size(); }
+
+    /** Raw live-point bytes decoded so far, across all calls. */
+    std::uint64_t bytesDecoded() const
+    {
+        return bytesDecoded_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Replay lib[order[k]] for every k. foldPoint(k, results) runs on
+     * the calling thread for k = 0, 1, ... strictly in order
+     * (results[c] is the k-th point's outcome under cfgs[c]);
+     * foldBarrier(end) runs after each block of @p blockSize folds
+     * and returns false to stop early. With @p stopEarly, workers are
+     * throttled to stay near the fold frontier so stopping actually
+     * saves work; without it they free-run to the end.
+     */
+    void run(const LivePointLibrary &lib,
+             const std::vector<std::size_t> &order,
+             std::size_t blockSize, bool stopEarly,
+             const std::function<void(std::size_t, const WindowResult *)>
+                 &foldPoint,
+             const std::function<bool(std::size_t)> &foldBarrier);
+
+    /**
+     * Decode and replay a single point on the calling thread using a
+     * dedicated pooled context (config @p cfgIdx) — the sequential
+     * path adaptive algorithms such as stratified allocation take
+     * between batches.
+     */
+    WindowResult simulateOne(const LivePointLibrary &lib,
+                             std::size_t pos, std::size_t cfgIdx = 0);
+
+  private:
+    const Program &prog_;
+    std::vector<CoreConfig> cfgs_;
+    bool approxWrongPath_;
+    unsigned threads_;
+    unsigned producers_;
+    std::size_t ringSlots_;
+    std::vector<std::unique_ptr<ReplayContext>> ctx_; //!< worker-major
+    std::vector<std::unique_ptr<ReplayContext>> callerCtx_;
+    Blob callerScratch_;
+    LivePoint callerPoint_;
+    std::atomic<std::uint64_t> bytesDecoded_{0};
+    ThreadPool pool_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_REPLAY_HH

@@ -4,9 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
-#include <unordered_map>
 
+#include "core/replay.hh"
 #include "func/functional.hh"
 #include "util/log.hh"
 
@@ -23,29 +22,6 @@ seconds(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-
-/**
- * A write-private view of a base memory: the detailed window runs on
- * top of the live functional memory without perturbing it (all
- * accesses are 8-aligned 8-byte, so a word-granular overlay is exact).
- */
-class OverlayMemPort : public MemPort
-{
-  public:
-    explicit OverlayMemPort(SparseMemory &base) : base_(base) {}
-
-    std::uint64_t read64(Addr a) override
-    {
-        const auto it = writes_.find(a);
-        return it == writes_.end() ? base_.read64(a) : it->second;
-    }
-
-    void write64(Addr a, std::uint64_t v) override { writes_[a] = v; }
-
-  private:
-    SparseMemory &base_;
-    std::unordered_map<Addr, std::uint64_t> writes_;
-};
 
 /** Clamp an MRRL warming request to what fits before the window. */
 InstCount
@@ -112,6 +88,7 @@ runSmarts(const Program &prog, const CoreConfig &cfg,
     sim.addPredictor(&bp);
 
     SampledEstimate est;
+    OverlayMemPort over(sim.memory());
     for (std::uint64_t i = 0; i < design.count; ++i) {
         const InstCount start = design.windowStart(i);
         sim.run(start - sim.regs().instIndex);
@@ -119,10 +96,11 @@ runSmarts(const Program &prog, const CoreConfig &cfg,
         // Measure the window on clones of the warm state and a
         // write-private memory view; functional warming then proceeds
         // through the window on the originals, exactly as the
-        // live-point builder does.
+        // live-point builder does. The one overlay is recycled across
+        // windows.
         MemHierarchy hierClone = hier;
         BranchPredictor bpClone = bp;
-        OverlayMemPort over(sim.memory());
+        over.clear();
         CoreBindings b;
         b.prog = &prog;
         b.initialRegs = sim.regs();
@@ -159,6 +137,7 @@ runAdaptiveWarming(const Program &prog, const CoreConfig &cfg,
     BranchPredictor bp(cfg.bpred);
 
     SampledEstimate est;
+    OverlayMemPort over(sim.memory());
     for (std::uint64_t i = 0; i < design.count; ++i) {
         const InstCount start = design.windowStart(i);
         // Clamp the MRRL request to the gap, the program start, and
@@ -184,7 +163,7 @@ runAdaptiveWarming(const Program &prog, const CoreConfig &cfg,
 
         MemHierarchy hierClone = hier;
         BranchPredictor bpClone = bp;
-        OverlayMemPort over(sim.memory());
+        over.clear();
         CoreBindings b;
         b.prog = &prog;
         b.initialRegs = sim.regs();
@@ -208,33 +187,8 @@ WindowResult
 simulateLivePoint(const Program &prog, const LivePoint &point,
                   const CoreConfig &cfg, bool approxWrongPath)
 {
-    SparseMemory mem;
-    point.memImage.applyTo(mem);
-    DirectMemPort port(mem);
-    MemHierarchy hier(cfg.mem);
-    point.l1i.reconstruct(hier.l1i());
-    point.l1d.reconstruct(hier.l1d());
-    point.l2.reconstruct(hier.l2());
-    point.itlb.reconstruct(hier.itlb());
-    point.dtlb.reconstruct(hier.dtlb());
-    BranchPredictor bp(cfg.bpred);
-    const Blob *image = point.findBpredImage(cfg.bpred.key());
-    if (!image)
-        throw std::runtime_error(
-            strfmt("library does not cover predictor '%s'",
-                   cfg.bpred.key().c_str()));
-    bp.deserialize(*image);
-
-    CoreBindings b;
-    b.prog = &prog;
-    b.initialRegs = point.regs;
-    b.mem = &port;
-    b.hier = &hier;
-    b.bp = &bp;
-    b.availability = &point.memImage;
-    OoOCore core(cfg, b);
-    core.setApproxWrongPath(approxWrongPath);
-    return core.measure(point.warmLen, point.measureLen);
+    ReplayContext ctx(prog, cfg);
+    return ctx.simulate(point, approxWrongPath);
 }
 
 LivePointRunResult
@@ -248,43 +202,31 @@ runLivePoints(const Program &prog, const LivePointLibrary &lib,
     LivePointRunResult res;
     OnlineEstimator estimator(opt.spec);
 
-    if (opt.threads > 1) {
-        // Live-points are independent: partition them over workers,
-        // then fold in order so the estimate is identical at every
-        // thread count. (Early stopping is a sequential notion and is
-        // disabled here.)
-        std::vector<WindowResult> results(order.size());
-        std::vector<std::thread> workers;
-        const unsigned t = opt.threads;
-        for (unsigned w = 0; w < t; ++w) {
-            workers.emplace_back([&, w]() {
-                for (std::size_t k = w; k < order.size(); k += t)
-                    results[k] = simulateLivePoint(
-                        prog, lib.get(order[k]), cfg,
-                        opt.approxWrongPath);
+    if (!order.empty()) {
+        ReplayEngineOptions ropt;
+        ropt.threads = opt.threads;
+        ropt.decodeThreads = opt.decodeThreads;
+        ropt.approxWrongPath = opt.approxWrongPath;
+        ReplayEngine engine(prog, {cfg}, ropt);
+
+        const std::size_t blockSize =
+            opt.blockSize ? opt.blockSize : defaultFoldBlock;
+        RunningStat block;
+        engine.run(
+            lib, order, blockSize, opt.stopAtConfidence,
+            [&](std::size_t, const WindowResult *w) {
+                block.add(w->cpi);
+                res.unavailableLoads += w->unavailableLoads;
+                ++res.processed;
+                if (opt.recordTrajectory)
+                    res.trajectory.push_back(estimator.preview(block));
+            },
+            [&](std::size_t) {
+                const OnlineSnapshot snap = estimator.fold(block);
+                block = RunningStat();
+                return !(opt.stopAtConfidence && snap.satisfied);
             });
-        }
-        for (std::thread &th : workers)
-            th.join();
-        for (const WindowResult &w : results) {
-            const OnlineSnapshot snap = estimator.add(w.cpi);
-            res.unavailableLoads += w.unavailableLoads;
-            ++res.processed;
-            if (opt.recordTrajectory)
-                res.trajectory.push_back(snap);
-        }
-    } else {
-        for (const std::size_t pos : order) {
-            const WindowResult w = simulateLivePoint(
-                prog, lib.get(pos), cfg, opt.approxWrongPath);
-            const OnlineSnapshot snap = estimator.add(w.cpi);
-            res.unavailableLoads += w.unavailableLoads;
-            ++res.processed;
-            if (opt.recordTrajectory)
-                res.trajectory.push_back(snap);
-            if (opt.stopAtConfidence && snap.satisfied)
-                break;
-        }
+        res.bytesDecoded = engine.bytesDecoded();
     }
     res.finalSnapshot = estimator.snapshot();
     res.wallSeconds = seconds(t0);
@@ -306,26 +248,38 @@ runMatchedPair(const Program &prog, const LivePointLibrary &lib,
     RunningStat delta;
     MatchedPairOutcome out;
 
-    for (const std::size_t pos : order) {
-        const LivePoint point = lib.get(pos);
-        const WindowResult wb =
-            simulateLivePoint(prog, point, base, opt.approxWrongPath);
-        const WindowResult wt =
-            simulateLivePoint(prog, point, test, opt.approxWrongPath);
-        baseStat.add(wb.cpi);
-        testStat.add(wt.cpi);
-        delta.add(wt.cpi - wb.cpi);
-        ++out.processed;
+    if (!order.empty()) {
+        ReplayEngineOptions ropt;
+        ropt.threads = opt.threads;
+        ropt.decodeThreads = opt.decodeThreads;
+        ropt.approxWrongPath = opt.approxWrongPath;
+        // Both configurations of a point run on the same worker from
+        // the same decoded point, so pairing stays exact.
+        ReplayEngine engine(prog, {base, test}, ropt);
 
-        if (opt.stopAtConfidence && delta.count() >= minCltSample) {
-            const double hw = delta.halfWidth(z);
-            const double noiseFloor =
-                opt.spec.relativeError * std::fabs(baseStat.mean());
-            // Stop once the delta's CI excludes zero (a significant
-            // difference) or is below the noise floor (provably nil).
-            if (std::fabs(delta.mean()) > hw || hw <= noiseFloor)
-                break;
-        }
+        const std::size_t blockSize =
+            opt.blockSize ? opt.blockSize : defaultFoldBlock;
+        engine.run(
+            lib, order, blockSize, opt.stopAtConfidence,
+            [&](std::size_t, const WindowResult *w) {
+                baseStat.add(w[0].cpi);
+                testStat.add(w[1].cpi);
+                delta.add(w[1].cpi - w[0].cpi);
+                ++out.processed;
+            },
+            [&](std::size_t) {
+                if (!opt.stopAtConfidence ||
+                    delta.count() < minCltSample)
+                    return true;
+                const double hw = delta.halfWidth(z);
+                const double noiseFloor = opt.spec.relativeError *
+                                          std::fabs(baseStat.mean());
+                // Stop once the delta's CI excludes zero (a
+                // significant difference) or is below the noise floor
+                // (provably nil).
+                return !(std::fabs(delta.mean()) > hw ||
+                         hw <= noiseFloor);
+            });
     }
 
     const double hw = delta.halfWidth(z);

@@ -59,6 +59,12 @@ SampledEstimate runAdaptiveWarming(const Program &prog,
                                    const MrrlAnalysis &mrrl,
                                    bool stitched);
 
+/**
+ * Options shared by the replay-engine runners. Results are folded in
+ * deterministic blocks of blockSize points, with the confidence check
+ * (early stopping) at the block barriers — so estimates and the
+ * stopping point are bit-identical at every thread count.
+ */
 struct LivePointRunOptions
 {
     ConfidenceSpec spec{};
@@ -66,15 +72,18 @@ struct LivePointRunOptions
     bool approxWrongPath = false;
     std::uint64_t shuffleSeed = 0; //!< 0: process in stored order
     bool recordTrajectory = false;
-    unsigned threads = 1; //!< >1 disables early stopping
+    unsigned threads = 1;       //!< simulation workers
+    unsigned decodeThreads = 0; //!< decode producers; 0 = auto
+    std::size_t blockSize = 0;  //!< fold/stopping block; 0 = default
 };
 
 struct LivePointRunResult
 {
     OnlineSnapshot finalSnapshot;
-    std::size_t processed = 0;
+    std::size_t processed = 0; //!< points folded into the estimate
     double wallSeconds = 0.0;
     std::uint64_t unavailableLoads = 0;
+    std::uint64_t bytesDecoded = 0; //!< raw live-point bytes decoded
     std::vector<OnlineSnapshot> trajectory;
 
     double cpi() const { return finalSnapshot.mean; }

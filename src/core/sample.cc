@@ -63,13 +63,34 @@ OnlineEstimator::add(double x)
 }
 
 OnlineSnapshot
+OnlineEstimator::fold(const RunningStat &block)
+{
+    stat_.merge(block);
+    return snapshot();
+}
+
+OnlineSnapshot
+OnlineEstimator::preview(const RunningStat &pending) const
+{
+    RunningStat merged = stat_;
+    merged.merge(pending);
+    return snapshotOf(merged);
+}
+
+OnlineSnapshot
 OnlineEstimator::snapshot() const
 {
+    return snapshotOf(stat_);
+}
+
+OnlineSnapshot
+OnlineEstimator::snapshotOf(const RunningStat &stat) const
+{
     OnlineSnapshot s;
-    s.n = static_cast<std::size_t>(stat_.count());
-    s.mean = stat_.mean();
-    s.relHalfWidth = stat_.relHalfWidth(z_);
-    s.valid = stat_.count() >= minCltSample;
+    s.n = static_cast<std::size_t>(stat.count());
+    s.mean = stat.mean();
+    s.relHalfWidth = stat.relHalfWidth(z_);
+    s.valid = stat.count() >= minCltSample;
     s.satisfied = s.valid && s.relHalfWidth <= spec_.relativeError;
     return s;
 }

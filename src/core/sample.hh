@@ -105,12 +105,28 @@ class OnlineEstimator
     /** Add a measurement; returns the updated snapshot. */
     OnlineSnapshot add(double x);
 
+    /**
+     * Fold a whole block of measurements at once (RunningStat::merge).
+     * The replay engine's block-synchronous path: folding per-block
+     * statistics in deterministic block order makes the estimate
+     * identical at every thread count.
+     */
+    OnlineSnapshot fold(const RunningStat &block);
+
+    /**
+     * Snapshot as if @p pending were folded, without folding it —
+     * per-point trajectories inside a not-yet-complete block.
+     */
+    OnlineSnapshot preview(const RunningStat &pending) const;
+
     OnlineSnapshot snapshot() const;
 
     const RunningStat &stat() const { return stat_; }
     const ConfidenceSpec &spec() const { return spec_; }
 
   private:
+    OnlineSnapshot snapshotOf(const RunningStat &stat) const;
+
     ConfidenceSpec spec_;
     double z_;
     RunningStat stat_;

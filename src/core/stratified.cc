@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/replay.hh"
+
 namespace lp
 {
 
@@ -46,11 +48,16 @@ runStratified(const Program &prog, const LivePointLibrary &lib,
     std::vector<RunningStat> strat(k);
     const double z = confidenceZ(opt.spec.level);
 
+    ReplayEngineOptions ropt;
+    ropt.threads = opt.threads;
+    ropt.decodeThreads = opt.decodeThreads;
+    ropt.approxWrongPath = opt.approxWrongPath;
+    ReplayEngine engine(prog, {cfg}, ropt);
+
     auto measureFrom = [&](unsigned h) {
         const std::size_t pos = queues[h].back();
         queues[h].pop_back();
-        const WindowResult w = simulateLivePoint(
-            prog, lib.get(pos), cfg, opt.approxWrongPath);
+        const WindowResult w = engine.simulateOne(lib, pos);
         strat[h].add(w.cpi);
         ++res.processed;
     };
@@ -69,12 +76,31 @@ runStratified(const Program &prog, const LivePointLibrary &lib,
     };
 
     // Pilot: a minimum per stratum (at least one, or the allocation
-    // loop below would have no variance estimate to work from).
+    // loop below would have no variance estimate to work from). The
+    // pilot set is fixed up front, so it runs on the engine pool;
+    // folding in the same stratum-major order a sequential pilot
+    // would use keeps the statistics — and thus every later greedy
+    // decision — identical at any thread count.
     const std::size_t minPer =
         std::max<std::size_t>(opt.minPerStratum, 1);
-    for (unsigned h = 0; h < k; ++h)
-        for (std::size_t i = 0; i < minPer && !queues[h].empty(); ++i)
-            measureFrom(h);
+    std::vector<std::size_t> pilotOrder;
+    std::vector<unsigned> pilotStratum;
+    for (unsigned h = 0; h < k; ++h) {
+        for (std::size_t i = 0; i < minPer && !queues[h].empty(); ++i) {
+            pilotOrder.push_back(queues[h].back());
+            queues[h].pop_back();
+            pilotStratum.push_back(h);
+        }
+    }
+    if (!pilotOrder.empty()) {
+        engine.run(
+            lib, pilotOrder, pilotOrder.size(), false,
+            [&](std::size_t i, const WindowResult *w) {
+                strat[pilotStratum[i]].add(w->cpi);
+                ++res.processed;
+            },
+            [](std::size_t) { return true; });
+    }
 
     // Greedy Neyman allocation: always sample the stratum whose next
     // measurement reduces the combined variance the most.

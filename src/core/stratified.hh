@@ -23,6 +23,8 @@ struct StratifiedOptions
     std::size_t minPerStratum = 4;
     std::uint64_t shuffleSeed = 29;
     bool approxWrongPath = false;
+    unsigned threads = 1;       //!< workers for the pilot batch
+    unsigned decodeThreads = 0; //!< decode producers; 0 = auto
 };
 
 struct StratifiedResult

@@ -10,9 +10,17 @@ SparseMemory::page(Addr a)
 {
     const std::uint64_t idx = a / pageBytes;
     auto it = pages_.find(idx);
-    if (it == pages_.end())
+    if (it == pages_.end()) {
         it = pages_.emplace(idx, std::make_unique<Page>()).first;
-    return *it->second;
+        it->second->epoch = epoch_;
+    }
+    Page &p = *it->second;
+    if (p.epoch != epoch_) {
+        // First touch since a reset(): zero the recycled page.
+        std::memset(p.data, 0, pageBytes);
+        p.epoch = epoch_;
+    }
+    return p;
 }
 
 std::uint64_t
@@ -72,10 +80,36 @@ SparseMemory::writeBytes(Addr a, const std::uint8_t *data, std::size_t n)
     }
 }
 
+void
+SparseMemory::reset()
+{
+    ++epoch_;
+}
+
 std::uint64_t
 SparseMemory::footprintBytes() const
 {
     return pages_.size() * pageBytes;
+}
+
+OverlayMemPort::OverlayMemPort(SparseMemory &base,
+                               std::size_t reserveWrites)
+    : base_(base)
+{
+    writes_.reserve(reserveWrites);
+}
+
+std::uint64_t
+OverlayMemPort::read64(Addr a)
+{
+    const auto it = writes_.find(a);
+    return it == writes_.end() ? base_.read64(a) : it->second;
+}
+
+void
+OverlayMemPort::write64(Addr a, std::uint64_t v)
+{
+    writes_[a] = v;
 }
 
 MemoryImage::MemoryImage(unsigned blockBytes) : blockBytes_(blockBytes) {}
@@ -136,14 +170,38 @@ MemoryImage::serialize(DerWriter &w) const
 MemoryImage
 MemoryImage::deserialize(DerReader &r)
 {
+    MemoryImage img;
+    deserializeInto(r, img);
+    return img;
+}
+
+void
+MemoryImage::deserializeInto(DerReader &r, MemoryImage &out)
+{
     DerReader seq = r.getSequence();
-    MemoryImage img(static_cast<unsigned>(seq.getUint()));
+    out.blockBytes_ = static_cast<unsigned>(seq.getUint());
+    // Recycle the previous point's payload buffers — block addresses
+    // differ point to point, so the map nodes must be rebuilt, but
+    // the byte vectors (the bulk of the image) are reused.
+    std::vector<std::vector<std::uint8_t>> spare;
+    spare.reserve(out.blocks_.size());
+    for (auto &kv : out.blocks_)
+        spare.push_back(std::move(kv.second));
+    out.blocks_.clear();
     const std::uint64_t count = seq.getUint();
+    // Blocks were serialized in address order; an end hint keeps each
+    // insertion O(1).
+    auto hint = out.blocks_.end();
     for (std::uint64_t i = 0; i < count; ++i) {
         const Addr base = seq.getUint();
-        img.blocks_.emplace(base, seq.getBytes());
+        std::vector<std::uint8_t> buf;
+        if (!spare.empty()) {
+            buf = std::move(spare.back());
+            spare.pop_back();
+        }
+        seq.getBytes(buf);
+        hint = out.blocks_.emplace_hint(hint, base, std::move(buf));
     }
-    return img;
 }
 
 } // namespace lp

@@ -33,18 +33,33 @@ class SparseMemory
     void readBytes(Addr a, std::uint8_t *out, std::size_t n);
     void writeBytes(Addr a, const std::uint8_t *data, std::size_t n);
 
-    /** Bytes of memory touched so far (page granularity). */
+    /**
+     * Return to the all-zero initial state while keeping every page
+     * allocated, so a pooled replay context reuses its storage across
+     * live-points instead of reconstructing the map. O(1): pages are
+     * lazily zeroed on their first touch after the reset, so a reset
+     * never pays for pages the next point won't reference.
+     */
+    void reset();
+
+    /**
+     * Bytes of memory touched so far (page granularity). On a pooled
+     * memory this is a high-water mark: pages recycled across reset()
+     * epochs stay counted.
+     */
     std::uint64_t footprintBytes() const;
 
   private:
     struct Page
     {
+        std::uint64_t epoch = 0; //!< reset generation last zeroed for
         std::uint8_t data[pageBytes] = {};
     };
 
     Page &page(Addr a);
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    std::uint64_t epoch_ = 0;
 };
 
 /** Abstract load/store port into simulated memory. */
@@ -66,6 +81,30 @@ class DirectMemPort : public MemPort
 
   private:
     SparseMemory &mem_;
+};
+
+/**
+ * A write-private view of a base memory: a detailed window runs on
+ * top of the live functional memory without perturbing it (all
+ * accesses are 8-aligned 8-byte, so a word-granular overlay is
+ * exact). One overlay is reused across windows via clear(); the write
+ * map is pre-reserved so steady state allocates nothing.
+ */
+class OverlayMemPort : public MemPort
+{
+  public:
+    explicit OverlayMemPort(SparseMemory &base,
+                            std::size_t reserveWrites = 4096);
+
+    std::uint64_t read64(Addr a) override;
+    void write64(Addr a, std::uint64_t v) override;
+
+    /** Drop the private writes, keeping the map's capacity. */
+    void clear() { writes_.clear(); }
+
+  private:
+    SparseMemory &base_;
+    std::unordered_map<Addr, std::uint64_t> writes_;
 };
 
 /**
@@ -106,6 +145,9 @@ class MemoryImage
 
     void serialize(DerWriter &w) const;
     static MemoryImage deserialize(DerReader &r);
+
+    /** Deserialize into @p out, reusing what storage it can. */
+    static void deserializeInto(DerReader &r, MemoryImage &out);
 
   private:
     unsigned blockBytes_;

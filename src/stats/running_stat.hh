@@ -23,6 +23,14 @@ class RunningStat
     /** Add one observation. */
     void add(double x);
 
+    /**
+     * Fold another accumulator into this one (Chan et al. pairwise
+     * combine). Equivalent to having added the other sample's
+     * observations, up to floating-point rounding; the replay engine
+     * uses it to fold per-block statistics deterministically.
+     */
+    void merge(const RunningStat &other);
+
     /** Number of observations so far. */
     std::uint64_t count() const { return n_; }
 

@@ -23,9 +23,8 @@ earliest(std::vector<Cycles> &units)
 } // namespace
 
 OoOCore::OoOCore(const CoreConfig &cfg, const CoreBindings &b)
-    : cfg_(cfg), prog_(*b.prog), mem_(*b.mem), hier_(*b.hier),
-      bp_(*b.bp), avail_(b.availability), regs_(b.initialRegs),
-      regReady_(32, 0), window_(cfg.ruuSize, 0), lsq_(cfg.lsqSize, 0),
+    : cfg_(cfg), regReady_(32, 0), window_(cfg.ruuSize, 0),
+      lsq_(cfg.lsqSize, 0),
       storeBuf_(std::max<std::size_t>(cfg.mem.storeBufferEntries, 1), 0),
       mshrs_(std::max<unsigned>(cfg.mem.mshrs, 1), 0),
       l1dPorts_(std::max<unsigned>(cfg.mem.l1dPorts, 1), 0),
@@ -34,12 +33,47 @@ OoOCore::OoOCore(const CoreConfig &cfg, const CoreBindings &b)
       fuFpAlu_(std::max<unsigned>(cfg.fus.fpAlu, 1), 0),
       fuFpMul_(std::max<unsigned>(cfg.fus.fpMulDiv, 1), 0)
 {
+    rebind(b);
+}
+
+void
+OoOCore::rebind(const CoreBindings &b)
+{
+    prog_ = b.prog;
+    mem_ = b.mem;
+    hier_ = b.hier;
+    bp_ = b.bp;
+    avail_ = b.availability;
+    regs_ = b.initialRegs;
+    approxWrongPath_ = false;
+    fetchCycle_ = 0;
+    fetchedThisCycle_ = 0;
+    branchesThisCycle_ = 0;
+    lastFetchLine_ = ~0ull;
+    commitCycle_ = 0;
+    committedThisCycle_ = 0;
+    lastCommit_ = 0;
+    std::fill(regReady_.begin(), regReady_.end(), 0);
+    std::fill(window_.begin(), window_.end(), 0);
+    std::fill(lsq_.begin(), lsq_.end(), 0);
+    std::fill(storeBuf_.begin(), storeBuf_.end(), 0);
+    std::fill(mshrs_.begin(), mshrs_.end(), 0);
+    std::fill(l1dPorts_.begin(), l1dPorts_.end(), 0);
+    std::fill(fuIntAlu_.begin(), fuIntAlu_.end(), 0);
+    std::fill(fuIntMul_.begin(), fuIntMul_.end(), 0);
+    std::fill(fuFpAlu_.begin(), fuFpAlu_.end(), 0);
+    std::fill(fuFpMul_.begin(), fuFpMul_.end(), 0);
+    windowHead_ = 0;
+    lsqHead_ = 0;
+    storeHead_ = 0;
+    mshrHead_ = 0;
+    unavailableLoads_ = 0;
 }
 
 bool
 OoOCore::programEnded() const
 {
-    return regs_.instIndex >= prog_.length;
+    return regs_.instIndex >= prog_->length;
 }
 
 void
@@ -54,12 +88,12 @@ OoOCore::simulateWrongPath(InstCount index, Cycles resolve, Cycles fetched)
     const std::uint64_t n =
         std::min<std::uint64_t>(2 + span / 2, 24);
     for (unsigned k = 0; k < n; ++k) {
-        const Instruction wp = prog_.wrongPath(index, k);
+        const Instruction wp = prog_->wrongPath(index, k);
         if (wp.op != Opcode::Load)
             continue;
         if (avail_ && !avail_->contains(wp.addr))
             ++unavailableLoads_;
-        hier_.timedData(wp.addr, false);
+        hier_->timedData(wp.addr, false);
     }
 }
 
@@ -67,7 +101,7 @@ void
 OoOCore::step()
 {
     const InstCount index = regs_.instIndex;
-    const Instruction ins = prog_.fetch(index);
+    const Instruction ins = prog_->fetch(index);
 
     // --- Fetch ---
     if (fetchedThisCycle_ >= cfg_.width) {
@@ -75,11 +109,11 @@ OoOCore::step()
         fetchedThisCycle_ = 0;
         branchesThisCycle_ = 0;
     }
-    const Addr fetchAddr = prog_.fetchAddr(ins.pc);
+    const Addr fetchAddr = prog_->fetchAddr(ins.pc);
     const Addr fetchLine = fetchAddr & ~63ull;
     if (fetchLine != lastFetchLine_) {
         lastFetchLine_ = fetchLine;
-        const Cycles lat = hier_.timedFetch(fetchAddr);
+        const Cycles lat = hier_->timedFetch(fetchAddr);
         if (lat > cfg_.mem.l1Latency)
             fetchCycle_ += lat - cfg_.mem.l1Latency;
     }
@@ -139,7 +173,7 @@ OoOCore::step()
         Cycles &port = earliest(l1dPorts_);
         Cycles issue = std::max(ready, port);
         bool l1Miss = false;
-        const Cycles lat = hier_.timedData(
+        const Cycles lat = hier_->timedData(
             ins.addr, ins.op == Opcode::Store, &l1Miss);
         if (l1Miss) {
             // A miss occupies an MSHR.
@@ -166,8 +200,8 @@ OoOCore::step()
 
     // --- Branch resolution ---
     if (ins.op == Opcode::Bne) {
-        const bool predicted = bp_.predict(ins.pc);
-        bp_.update(ins.pc, ins.taken);
+        const bool predicted = bp_->predict(ins.pc);
+        bp_->update(ins.pc, ins.taken);
         if (predicted != ins.taken) {
             simulateWrongPath(index, complete, fetched);
             const Cycles redirect =
@@ -202,7 +236,7 @@ OoOCore::step()
     }
 
     // --- Architectural execution ---
-    executeArch(ins, regs_, mem_);
+    executeArch(ins, regs_, *mem_);
 }
 
 WindowResult

@@ -52,6 +52,14 @@ class OoOCore
     OoOCore(const CoreConfig &cfg, const CoreBindings &b);
 
     /**
+     * Re-arm the core for a fresh run over new bindings (same
+     * configuration): equivalent to reconstructing it, but reuses the
+     * timing arrays — the zero-realloc path pooled replay contexts
+     * take between live-points.
+     */
+    void rebind(const CoreBindings &b);
+
+    /**
      * Run @p warmLen instructions of detailed warming (discarded),
      * then @p measureLen measured instructions; returns the measured
      * window's timing.
@@ -78,10 +86,10 @@ class OoOCore
                            Cycles fetched);
 
     const CoreConfig &cfg_;
-    const Program &prog_;
-    MemPort &mem_;
-    MemHierarchy &hier_;
-    BranchPredictor &bp_;
+    const Program *prog_;
+    MemPort *mem_;
+    MemHierarchy *hier_;
+    BranchPredictor *bp_;
     const MemoryImage *avail_;
     ArchRegs regs_;
     bool approxWrongPath_ = false;

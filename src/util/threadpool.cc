@@ -1,0 +1,94 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace lp
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(threads, 1u);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i]() { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        shutdown_ = true;
+    }
+    cvStart_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(unsigned)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvStart_.wait(lk, [&]() {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        try {
+            (*job)(id);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--running_ == 0)
+                cvDone_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::start(const std::function<void(unsigned)> &body)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (active_)
+        throw std::logic_error("ThreadPool: job already running");
+    job_ = &body;
+    error_ = nullptr;
+    running_ = size();
+    active_ = true;
+    ++generation_;
+    cvStart_.notify_all();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    if (!active_)
+        return;
+    cvDone_.wait(lk, [&]() { return running_ == 0; });
+    active_ = false;
+    job_ = nullptr;
+    if (error_)
+        std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+void
+ThreadPool::run(const std::function<void(unsigned)> &body)
+{
+    start(body);
+    wait();
+}
+
+} // namespace lp

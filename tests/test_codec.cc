@@ -42,6 +42,24 @@ main()
         Blob data(10000, 7);
         CHECK(zipCompress(data) == zipCompress(data));
     }
+    // zipDecompressInto: reuses the caller's buffer across calls and
+    // matches zipDecompress, including overlapping (RLE-style)
+    // matches where the copy source overruns into the copy itself.
+    {
+        Blob rle(5000, 9); // long runs -> offset < match length
+        Blob mixed(64 * 1024);
+        Rng rng(5, "zip-into");
+        for (std::size_t i = 0; i < mixed.size(); ++i)
+            mixed[i] =
+                static_cast<std::uint8_t>((i >> 6) ^ (rng.next() & 1));
+        Blob out;
+        for (const Blob *data : {&rle, &mixed, &rle}) {
+            const Blob z = zipCompress(*data);
+            zipDecompressInto(z, out); // recycled across iterations
+            CHECK(out == *data);
+            CHECK(zipDecompress(z) == *data);
+        }
+    }
 
     // der: nested sequences with every value type.
     {

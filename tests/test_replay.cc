@@ -1,0 +1,168 @@
+/**
+ * The replay engine's contract: pooled, reused contexts reproduce
+ * fresh-context results exactly, and the block-synchronous runners
+ * produce bit-identical estimates at every thread count — with and
+ * without early stopping, which must stop at the same block prefix
+ * everywhere.
+ */
+
+#include "harness.hh"
+
+#include "core/replay.hh"
+#include "core/runners.hh"
+#include "core/stratified.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    WorkloadProfile profile = tinyProfile(500'000, 17);
+    profile.name = "replaytest";
+    const Program prog = generateProgram(profile);
+    const InstCount length = measureProgramLength(prog);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const SampleDesign design = SampleDesign::systematic(
+        length, 64, 1000, cfg.detailedWarming);
+    LivePointBuilderConfig bc;
+    bc.bpredConfigs = {cfg.bpred};
+    LivePointBuilder builder(bc);
+    LivePointLibrary lib = builder.build(prog, design);
+    Rng shuffleRng(11, "replay-test");
+    lib.shuffle(shuffleRng);
+
+    // (a) One pooled context reused across every point reproduces the
+    // fresh-context result exactly, in any visit order.
+    {
+        ReplayContext pooled(prog, cfg);
+        for (std::size_t pass = 0; pass < 2; ++pass) {
+            for (std::size_t i = 0; i < lib.size(); ++i) {
+                const std::size_t pos =
+                    pass ? lib.size() - 1 - i : i;
+                const LivePoint point = lib.get(pos);
+                const WindowResult fresh =
+                    simulateLivePoint(prog, point, cfg);
+                const WindowResult reused = pooled.simulate(point);
+                CHECK_NEAR(reused.cpi, fresh.cpi, 0.0);
+                CHECK_EQ(reused.insts, fresh.insts);
+                CHECK_EQ(reused.cycles, fresh.cycles);
+                CHECK_EQ(reused.unavailableLoads,
+                         fresh.unavailableLoads);
+            }
+        }
+    }
+
+    // decodeInto with recycled buffers matches get().
+    {
+        Blob scratch;
+        LivePoint reused;
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            lib.decodeInto(i, scratch, reused);
+            const LivePoint fresh = lib.get(i);
+            CHECK(reused.serialize() == fresh.serialize());
+        }
+    }
+
+    // (b) runLivePoints is bit-identical across thread counts, with
+    // and without early stopping.
+    {
+        for (const bool stopping : {false, true}) {
+            LivePointRunOptions ref;
+            ref.threads = 1;
+            ref.shuffleSeed = 5;
+            ref.recordTrajectory = true;
+            ref.stopAtConfidence = stopping;
+            ref.blockSize = 8;
+            // Loose target so stopping fires inside the library.
+            ref.spec = ConfidenceSpec{0.95, 0.20};
+            const LivePointRunResult base =
+                runLivePoints(prog, lib, cfg, ref);
+            CHECK(base.processed > 0);
+            if (stopping) {
+                // (c) early stopping must cut the run at a block
+                // barrier before the end of the library.
+                CHECK(base.processed < lib.size());
+                CHECK_EQ(base.processed % ref.blockSize, 0u);
+            } else {
+                CHECK_EQ(base.processed, lib.size());
+            }
+            for (const unsigned threads : {2u, 4u, 8u}) {
+                LivePointRunOptions opt = ref;
+                opt.threads = threads;
+                const LivePointRunResult r =
+                    runLivePoints(prog, lib, cfg, opt);
+                CHECK_EQ(r.processed, base.processed);
+                CHECK_NEAR(r.cpi(), base.cpi(), 0.0);
+                CHECK_NEAR(r.finalSnapshot.relHalfWidth,
+                           base.finalSnapshot.relHalfWidth, 0.0);
+                CHECK_EQ(r.unavailableLoads, base.unavailableLoads);
+                CHECK_EQ(r.trajectory.size(), base.trajectory.size());
+                for (std::size_t i = 0; i < r.trajectory.size(); ++i) {
+                    CHECK_NEAR(r.trajectory[i].mean,
+                               base.trajectory[i].mean, 0.0);
+                    CHECK_NEAR(r.trajectory[i].relHalfWidth,
+                               base.trajectory[i].relHalfWidth, 0.0);
+                }
+            }
+        }
+    }
+
+    // The block-folded estimate matches a plain sequential fold of
+    // the same observations (merge adds no statistical bias).
+    {
+        LivePointRunOptions opt;
+        const LivePointRunResult r = runLivePoints(prog, lib, cfg, opt);
+        RunningStat direct;
+        for (std::size_t i = 0; i < lib.size(); ++i)
+            direct.add(simulateLivePoint(prog, lib.get(i), cfg).cpi);
+        CHECK_NEAR(r.cpi(), direct.mean(), 1e-12);
+    }
+
+    // Matched pairs: identical across thread counts, including the
+    // block-synchronous stopping point.
+    {
+        CoreConfig slow = cfg;
+        slow.mem.memLatency = 400;
+        LivePointRunOptions ref;
+        ref.stopAtConfidence = true;
+        ref.blockSize = 8;
+        const MatchedPairOutcome base =
+            runMatchedPair(prog, lib, cfg, slow, ref);
+        CHECK(base.result.meanDelta > 0.0);
+        for (const unsigned threads : {2u, 4u}) {
+            LivePointRunOptions opt = ref;
+            opt.threads = threads;
+            const MatchedPairOutcome r =
+                runMatchedPair(prog, lib, cfg, slow, opt);
+            CHECK_EQ(r.processed, base.processed);
+            CHECK_NEAR(r.result.meanDelta, base.result.meanDelta, 0.0);
+            CHECK_NEAR(r.result.deltaHalfWidth,
+                       base.result.deltaHalfWidth, 0.0);
+            CHECK_EQ(r.pairedSampleSize, base.pairedSampleSize);
+        }
+    }
+
+    // Stratified: the parallel pilot leaves every greedy decision —
+    // and so the whole outcome — unchanged.
+    {
+        StratifiedOptions ref;
+        ref.spec = ConfidenceSpec{0.997, 0.10};
+        const StratifiedResult base =
+            runStratified(prog, lib, cfg, ref);
+        CHECK(base.processed > 0);
+        for (const unsigned threads : {2u, 4u}) {
+            StratifiedOptions opt = ref;
+            opt.threads = threads;
+            const StratifiedResult r =
+                runStratified(prog, lib, cfg, opt);
+            CHECK_EQ(r.processed, base.processed);
+            CHECK_NEAR(r.mean, base.mean, 0.0);
+            CHECK_NEAR(r.relHalfWidth, base.relHalfWidth, 0.0);
+        }
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -59,6 +59,44 @@ main()
                    2.0 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0), 1e-12);
     }
 
+    // RunningStat::merge (Chan et al.) against the same hand-computed
+    // sample, split unevenly: {2, 4, 4} + {4, 5, 5, 7, 9}.
+    {
+        RunningStat a;
+        for (const double x : {2.0, 4.0, 4.0})
+            a.add(x);
+        RunningStat b;
+        for (const double x : {4.0, 5.0, 5.0, 7.0, 9.0})
+            b.add(x);
+        a.merge(b);
+        CHECK_EQ(a.count(), 8u);
+        CHECK_NEAR(a.mean(), 5.0, 1e-12);
+        CHECK_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+        CHECK_NEAR(a.min(), 2.0, 0.0);
+        CHECK_NEAR(a.max(), 9.0, 0.0);
+
+        // Merging an empty accumulator is a no-op, either way.
+        RunningStat empty;
+        a.merge(empty);
+        CHECK_EQ(a.count(), 8u);
+        CHECK_NEAR(a.mean(), 5.0, 1e-12);
+        RunningStat c;
+        c.merge(a);
+        CHECK_EQ(c.count(), 8u);
+        CHECK_NEAR(c.mean(), 5.0, 1e-12);
+        CHECK_NEAR(c.variance(), 32.0 / 7.0, 1e-12);
+
+        // Single observations merge like adds: {3} + {7}.
+        RunningStat d;
+        d.add(3.0);
+        RunningStat e;
+        e.add(7.0);
+        d.merge(e);
+        CHECK_EQ(d.count(), 2u);
+        CHECK_NEAR(d.mean(), 5.0, 1e-12);
+        CHECK_NEAR(d.variance(), 8.0, 1e-12); // ((3-5)^2+(7-5)^2)/1
+    }
+
     // Normal quantiles: well-known two-sided z values.
     CHECK_NEAR(confidenceZ(0.95), 1.959964, 1e-4);
     CHECK_NEAR(confidenceZ(0.99), 2.575829, 1e-4);
