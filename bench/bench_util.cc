@@ -30,6 +30,13 @@ settings()
         s.cacheDir = v;
     if (const char *v = std::getenv("LP_BENCH_JSON"))
         s.jsonPath = v;
+    if (const char *v = std::getenv("LP_BENCH_BUILD_THREADS"))
+        s.buildThreads = static_cast<unsigned>(
+            std::strtoul(v, nullptr, 10));
+    if (const char *v = std::getenv("LP_BENCH_BUILD_PREFIX"))
+        s.buildPrefix = std::strtoull(v, nullptr, 10);
+    if (s.buildThreads == 0)
+        s.buildThreads = 1;
     std::filesystem::create_directories(s.cacheDir);
     return s;
 }
@@ -144,24 +151,35 @@ sampleSize(const PreparedBench &b, const CoreConfig &cfg,
 LivePointLibrary
 cachedLibrary(const PreparedBench &b, const SampleDesign &design,
               const LivePointBuilderConfig &bc, const BenchSettings &s,
-              double *creation_seconds)
+              BuilderStats *stats)
 {
+    LivePointBuilderConfig cfg = bc;
+    cfg.buildThreads = s.buildThreads;
+    cfg.shardPrefixInsts = s.buildPrefix;
+
     std::string bpKeys;
     for (const BpredConfig &c : bc.bpredConfigs)
         bpKeys += "-" + c.key();
+    // Sharded builds (S>1) are keyed separately: their warm state
+    // differs from the exact full-warming library's.
+    std::string shardKey;
+    if (cfg.buildThreads > 1)
+        shardKey = strfmt("-S%u.p%llu", cfg.buildThreads,
+                          static_cast<unsigned long long>(
+                              cfg.shardPrefixInsts));
     const std::string path = strfmt(
-        "%s/lib-%s-n%llu-w%llu-L2.%llu%s.lpl", s.cacheDir.c_str(),
+        "%s/lib-%s-n%llu-w%llu-L2.%llu%s%s.lpl", s.cacheDir.c_str(),
         b.profile.name.c_str(),
         static_cast<unsigned long long>(design.count),
         static_cast<unsigned long long>(design.warmLen),
         static_cast<unsigned long long>(bc.maxL2.sizeBytes),
-        bpKeys.c_str());
+        bpKeys.c_str(), shardKey.c_str());
     if (std::filesystem::exists(path)) {
         try {
             LivePointLibrary lib = LivePointLibrary::load(path);
             if (lib.design() == design) {
-                if (creation_seconds)
-                    *creation_seconds = 0.0;
+                if (stats)
+                    *stats = BuilderStats{};
                 return lib;
             }
         } catch (const std::exception &) {
@@ -169,10 +187,10 @@ cachedLibrary(const PreparedBench &b, const SampleDesign &design,
         }
         // Stale cache entry (e.g. length changed): rebuild below.
     }
-    LivePointBuilder builder(bc);
+    LivePointBuilder builder(cfg);
     LivePointLibrary lib = builder.build(b.prog, design);
-    if (creation_seconds)
-        *creation_seconds = builder.stats().wallSeconds;
+    if (stats)
+        *stats = builder.stats();
     lib.save(path);
     return lib;
 }

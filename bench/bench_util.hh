@@ -14,6 +14,11 @@
  *   LP_BENCH_JSON=path write machine-readable timings to this file
  *                      (benches that support it; CI uploads them to
  *                      track the perf trajectory)
+ *   LP_BENCH_BUILD_THREADS=n  warming shards for library creation
+ *                      (default 1: exact full warming, encode
+ *                      pipelined; n>1 shards the sample)
+ *   LP_BENCH_BUILD_PREFIX=n   fixed per-shard warming prefix in
+ *                      instructions (default 0: MRRL-derived)
  */
 
 #ifndef LP_BENCH_BENCH_UTIL_HH
@@ -40,7 +45,9 @@ struct BenchSettings
     double scale = 0.25;
     std::uint64_t maxSampleSize = 300;
     std::string cacheDir = "lp-cache";
-    std::string jsonPath; //!< empty: no JSON output
+    std::string jsonPath;         //!< empty: no JSON output
+    unsigned buildThreads = 1;    //!< warming shards for creation
+    std::uint64_t buildPrefix = 0; //!< fixed shard prefix; 0 = MRRL
 };
 
 /** Read settings from the environment. */
@@ -82,14 +89,17 @@ std::uint64_t sampleSize(const PreparedBench &b,
 
 /**
  * Build (or load from cache) a live-point library for the benchmark
- * with the given design and builder configuration. The creation wall
- * time (0 when loaded from cache) is written to @p creation_seconds.
+ * with the given design and builder configuration, applying the
+ * settings' build-parallelism knobs. When the library is built, the
+ * builder's statistics (wall time, warmed instructions, shards) are
+ * written to @p stats; when it is loaded from cache, @p stats is
+ * zeroed (wallSeconds 0 marks a cache hit).
  */
 lp::LivePointLibrary cachedLibrary(const PreparedBench &b,
                                    const lp::SampleDesign &design,
                                    const lp::LivePointBuilderConfig &bc,
                                    const BenchSettings &s,
-                                   double *creation_seconds = nullptr);
+                                   lp::BuilderStats *stats = nullptr);
 
 /** Default builder config covering both Table 1 configurations. */
 lp::LivePointBuilderConfig defaultBuilderConfig();

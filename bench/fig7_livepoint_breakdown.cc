@@ -49,8 +49,11 @@ main()
     const LivePointLibrary lib = cachedLibrary(b, design, bc, s);
 
     LivePointBreakdown avg;
+    Blob scratch;
+    LivePoint pt;
     for (std::size_t i = 0; i < lib.size(); ++i) {
-        const LivePointBreakdown one = lib.get(i).breakdown();
+        lib.decodeInto(i, scratch, pt);
+        const LivePointBreakdown one = pt.breakdown();
         avg.regsAndTlb += one.regsAndTlb;
         avg.memData += one.memData;
         avg.bpred += one.bpred;

@@ -78,6 +78,7 @@ main()
     std::printf("%-22s | %14s %14s | %14s %14s\n", "max configuration",
                 "LP size", "LP load (ms)", "AW size", "AW warm (ms)");
 
+    std::string jsonRows;
     for (unsigned step = 0; step < 5; ++step) {
         const std::uint64_t l2Size = (1ull << step) * 1024 * 1024;
         const unsigned bpredK = 1u << step;
@@ -98,14 +99,18 @@ main()
 
         // Processing (load) time: decompress + decode + reconstruct
         // the warm state at the target geometry (the 8-way config,
-        // clipped to the library maximum for the small steps).
+        // clipped to the library maximum for the small steps). The
+        // decode goes through the allocation-free span path, like the
+        // replay engine's producers.
         CoreConfig target = cfg8;
         target.bpred = bp;
         if (target.mem.l2.sizeBytes > l2Size)
             target.mem.l2.sizeBytes = l2Size;
         const auto t0 = std::chrono::steady_clock::now();
+        Blob scratch;
+        LivePoint pt;
         for (std::size_t i = 0; i < lib.size(); ++i) {
-            const LivePoint pt = lib.get(i);
+            lib.decodeInto(i, scratch, pt);
             MemHierarchy hier(target.mem);
             pt.l1i.reconstruct(hier.l1i());
             pt.l1d.reconstruct(hier.l1d());
@@ -126,7 +131,22 @@ main()
                     static_cast<unsigned long long>(l2Size >> 20),
                     bpredK, fmtBytes(avgSize).c_str(), loadMs,
                     fmtBytes(awSize).c_str(), awMs);
+        jsonRows += strfmt(
+            "%s    {\"l2_mb\": %llu, \"bpred_k\": %u, "
+            "\"lp_bytes_per_point\": %llu, \"lp_load_ms\": %.4f, "
+            "\"aw_bytes\": %llu, \"aw_warm_ms\": %.4f}",
+            jsonRows.empty() ? "" : ",\n",
+            static_cast<unsigned long long>(l2Size >> 20), bpredK,
+            static_cast<unsigned long long>(avgSize), loadMs,
+            static_cast<unsigned long long>(awSize), awMs);
     }
+    const std::string json = strfmt(
+        "{\n  \"bench\": \"fig8_size_time\",\n  \"benchmark\": "
+        "\"%s\",\n  \"points\": %llu,\n  \"results\": [\n%s\n  ]\n}\n",
+        b.profile.name.c_str(), static_cast<unsigned long long>(n),
+        jsonRows.c_str());
+    if (writeBenchJson(s, json))
+        std::printf("\ntimings written to %s\n", s.jsonPath.c_str());
 
     std::printf("\npaper shape: LP size grows with the max tag arrays "
                 "and crosses the flat AW size near 4MB; LP load time "

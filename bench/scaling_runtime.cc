@@ -47,9 +47,10 @@ main()
         const SampledEstimate sm = runSmarts(b.prog, cfg, design);
 
         LivePointBuilderConfig bc = defaultBuilderConfig();
-        double creation = 0.0;
+        BuilderStats bstats;
         const LivePointLibrary lib =
-            cachedLibrary(b, design, bc, s, &creation);
+            cachedLibrary(b, design, bc, s, &bstats);
+        const double creation = bstats.wallSeconds;
         LivePointRunOptions opt;
         const LivePointRunResult lp =
             runLivePoints(b.prog, lib, cfg, opt);

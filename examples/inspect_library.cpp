@@ -74,8 +74,11 @@ main(int argc, char **argv)
     for (const auto &kv : first.bpredImages)
         std::printf("                   - %s\n", kv.first.c_str());
 
+    Blob scratch;
+    LivePoint pt;
     for (std::size_t i = 0; i < lib.size(); ++i) {
-        const LivePointBreakdown b = lib.get(i).breakdown();
+        lib.decodeInto(i, scratch, pt);
+        const LivePointBreakdown b = pt.breakdown();
         total.add(static_cast<double>(b.total));
         memData.add(static_cast<double>(b.memData));
         l2Tags.add(static_cast<double>(b.l2Tags));
@@ -97,10 +100,10 @@ main(int argc, char **argv)
     std::printf("  %6s %12s %12s %10s\n", "rec", "window idx",
                 "win start", "zipped B");
     for (std::size_t i = 0; i < std::min(showPoints, lib.size()); ++i) {
-        const LivePoint lp = lib.get(i);
+        lib.decodeInto(i, scratch, pt);
         std::printf("  %6zu %12llu %12llu %10zu\n", i,
-                    static_cast<unsigned long long>(lp.index),
-                    static_cast<unsigned long long>(lp.windowStart),
+                    static_cast<unsigned long long>(pt.index),
+                    static_cast<unsigned long long>(pt.windowStart),
                     lib.compressedSize(i));
     }
     return 0;

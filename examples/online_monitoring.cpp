@@ -61,8 +61,10 @@ main(int argc, char **argv)
     OnlineEstimator estimator(spec);
     std::printf("\n%8s %12s %14s %10s\n", "n", "CPI estimate",
                 "conf. interval", "status");
+    Blob scratch;
+    LivePoint lp;
     for (std::size_t i = 0; i < lib.size(); ++i) {
-        const LivePoint lp = lib.get(i);
+        lib.decodeInto(i, scratch, lp);
         SparseMemory mem;
         lp.memImage.applyTo(mem);
         DirectMemPort port(mem);

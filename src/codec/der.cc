@@ -218,6 +218,14 @@ DerReader::getBytes(Blob &out)
     out.assign(p, p + len);
 }
 
+ByteSpan
+DerReader::getBytesSpan()
+{
+    std::size_t len = 0;
+    const std::uint8_t *p = expect(kTagBytes, len);
+    return ByteSpan(p, len);
+}
+
 std::string
 DerReader::getString()
 {

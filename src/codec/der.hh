@@ -77,6 +77,12 @@ class DerReader
     /** Read the next octet string into @p out, reusing its storage. */
     void getBytes(Blob &out);
 
+    /**
+     * Read the next octet string as a borrowed view into the encoded
+     * buffer — no copy. Valid as long as the underlying blob lives.
+     */
+    ByteSpan getBytesSpan();
+
     /** Read the next value as a UTF-8 string. */
     std::string getString();
 

@@ -19,6 +19,54 @@ constexpr std::size_t kWindow = 65535;
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = 259;
 
+constexpr std::uint32_t kNil = 0xffffffffu;
+constexpr unsigned kHashBits = 16;
+
+// Chain candidates examined per position. Deep enough to find the
+// good match in the chain, shallow enough that pathological inputs
+// (long runs hashing to one bucket) stay linear-time.
+constexpr unsigned kMaxChainDepth = 4;
+
+// A match this long is good enough: stop walking the chain, and skip
+// the lazy one-byte-later probe entirely.
+constexpr std::size_t kNiceMatch = 96;
+
+// In-match insertion policy: a long match indexes its first
+// kFullInsert and last kTailInsert positions instead of every one.
+constexpr std::size_t kFullInsert = 16;
+constexpr std::size_t kTailInsert = 8;
+
+/** Longest common prefix of a and b, at most limit, word-at-a-time. */
+std::size_t
+matchExtent(const std::uint8_t *a, const std::uint8_t *b,
+            std::size_t limit)
+{
+    std::size_t len = 0;
+    while (len + 8 <= limit) {
+        std::uint64_t va;
+        std::uint64_t vb;
+        std::memcpy(&va, a + len, 8);
+        std::memcpy(&vb, b + len, 8);
+        if (va != vb) {
+            const std::uint64_t diff = va ^ vb;
+#if (defined(__GNUC__) || defined(__clang__)) &&                          \
+    defined(__BYTE_ORDER__) &&                                            \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+            return len + static_cast<std::size_t>(
+                             __builtin_ctzll(diff) >> 3);
+#else
+            while (len < limit && a[len] == b[len])
+                ++len;
+            return len;
+#endif
+        }
+        len += 8;
+    }
+    while (len < limit && a[len] == b[len])
+        ++len;
+    return len;
+}
+
 void
 putLeb(Blob &out, std::uint64_t v)
 {
@@ -30,12 +78,12 @@ putLeb(Blob &out, std::uint64_t v)
 }
 
 std::uint64_t
-getLeb(const Blob &in, std::size_t &pos)
+getLeb(const std::uint8_t *in, std::size_t size, std::size_t &pos)
 {
     std::uint64_t v = 0;
     unsigned shift = 0;
     while (true) {
-        if (pos >= in.size())
+        if (pos >= size)
             throw std::runtime_error("zip: truncated header");
         const std::uint8_t b = in[pos++];
         v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
@@ -52,8 +100,135 @@ hash4(const std::uint8_t *p)
 {
     std::uint32_t v;
     std::memcpy(&v, p, 4);
-    return (v * 2654435761u) >> 16;
+    return (v * 2654435761u) >> (32 - kHashBits);
 }
+
+/**
+ * Hash-chain match finder: head[h] is the most recent position whose
+ * 4-byte prefix hashes to h, chain[p] the previous such position.
+ * Positions *inside* matches are inserted too, so repeated structure
+ * shifted by less than a match length is still found (the greedy
+ * single-entry table lost those). A second, single-entry table keyed
+ * by *scan* positions only (token starts — what the old greedy
+ * compressor kept) rides along: in-match insertions favour
+ * short-range candidates, and on run-heavy data they can crowd the
+ * long-range period-aligned candidate out of the chain's depth
+ * budget. The scan table keeps that candidate reachable, so this
+ * finder's candidate set dominates the old one's.
+ */
+class MatchFinder
+{
+  public:
+    explicit MatchFinder(const Blob &raw)
+        : raw_(raw.data()), n_(raw.size()), head_(1u << kHashBits, kNil),
+          scanHead_(1u << kHashBits, kNil),
+          chain_(n_ >= kMinMatch ? n_ - (kMinMatch - 1) : 0)
+    {
+    }
+
+    /** Make positions [inserted, end) available as candidates. */
+    void insertUpTo(std::size_t end)
+    {
+        const std::size_t last = chain_.size(); // first uninsertable pos
+        end = std::min(end, last);
+        for (; inserted_ < end; ++inserted_) {
+            const std::uint32_t h = hash4(raw_ + inserted_);
+            chain_[inserted_] = head_[h];
+            head_[h] = static_cast<std::uint32_t>(inserted_);
+        }
+    }
+
+    /**
+     * Insert the positions covered by a match at @p pos. Short
+     * matches insert fully; long ones insert their head and tail
+     * only — the interior repeats what the head already indexed, and
+     * skipping it is where the codec's speed comes from. (Skipped
+     * positions are never match *sources*; they remain reachable as
+     * copy content through the inserted head.)
+     */
+    void insertForMatch(std::size_t pos, std::size_t len)
+    {
+        if (len <= kFullInsert + kTailInsert) {
+            insertUpTo(pos + len);
+            return;
+        }
+        insertUpTo(pos + kFullInsert);
+        inserted_ = std::max(inserted_,
+                             std::min(pos + len - kTailInsert,
+                                      chain_.size()));
+        insertUpTo(pos + len);
+    }
+
+    /**
+     * Longest match for @p pos among earlier candidates within the
+     * window; ties prefer the closest (most recent) candidate.
+     * Inserts @p pos into the table on the way — one hash and one
+     * head-table access serve both jobs, the scan loop's whole cost
+     * model. Returns the length (0 when below the format minimum)
+     * and writes the source position to @p matchPos.
+     */
+    std::size_t findAndInsert(std::size_t pos, std::size_t &matchPos)
+    {
+        if (pos + kMinMatch > n_)
+            return 0;
+        const std::uint32_t h = hash4(raw_ + pos);
+        std::uint32_t cand = head_[h];
+        const std::uint32_t scan = scanHead_[h];
+        scanHead_[h] = static_cast<std::uint32_t>(pos);
+        if (pos == inserted_) {
+            // pos < chain_.size() follows from the length guard.
+            chain_[pos] = cand;
+            head_[h] = static_cast<std::uint32_t>(pos);
+            ++inserted_;
+        } else if (cand == pos) {
+            // pos was already inserted (a failed lazy probe): start
+            // the walk at its predecessor, never at itself.
+            cand = chain_[pos];
+        }
+        const std::size_t limit = std::min(n_ - pos, kMaxMatch);
+        const std::size_t nice = std::min(limit, kNiceMatch);
+        std::size_t best = 0;
+        unsigned depth = kMaxChainDepth;
+        while (cand != kNil && pos - cand <= kWindow && depth--) {
+            const std::uint8_t *a = raw_ + cand;
+            const std::uint8_t *b = raw_ + pos;
+            // A longer match must extend past the current best; check
+            // that byte first to skip most candidates in O(1).
+            if (a[best] == b[best]) {
+                const std::size_t len = matchExtent(a, b, limit);
+                if (len > best) {
+                    best = len;
+                    matchPos = cand;
+                    if (best >= nice)
+                        break;
+                }
+            }
+            cand = chain_[cand];
+        }
+        if (best < nice && scan != kNil &&
+            scan != static_cast<std::uint32_t>(pos) &&
+            pos - scan <= kWindow) {
+            const std::uint8_t *a = raw_ + scan;
+            const std::uint8_t *b = raw_ + pos;
+            if (a[best] == b[best]) {
+                const std::size_t len = matchExtent(a, b, limit);
+                if (len > best) {
+                    best = len;
+                    matchPos = scan;
+                }
+            }
+        }
+        return best >= kMinMatch ? best : 0;
+    }
+
+  private:
+    const std::uint8_t *raw_;
+    std::size_t n_;
+    std::size_t inserted_ = 0;
+    std::vector<std::uint32_t> head_;
+    std::vector<std::uint32_t> scanHead_;
+    std::vector<std::uint32_t> chain_;
+};
 
 } // namespace
 
@@ -64,10 +239,8 @@ zipCompress(const Blob &raw)
     out.reserve(raw.size() / 2 + 16);
     putLeb(out, raw.size());
 
-    // Single-entry hash table of 4-byte prefixes -> last position.
-    std::vector<std::uint32_t> table(1u << 16, 0xffffffffu);
+    MatchFinder mf(raw);
 
-    std::size_t i = 0;
     std::size_t flagPos = 0;
     unsigned flagBit = 8; // force new flag byte on first item
     std::uint8_t flags = 0;
@@ -86,37 +259,38 @@ zipCompress(const Blob &raw)
         ++flagBit;
     };
 
+    std::size_t i = 0;
     while (i < raw.size()) {
-        std::size_t matchLen = 0;
         std::size_t matchPos = 0;
-        if (i + kMinMatch <= raw.size()) {
-            const std::uint32_t h = hash4(&raw[i]);
-            const std::uint32_t cand = table[h];
-            table[h] = static_cast<std::uint32_t>(i);
-            if (cand != 0xffffffffu && i - cand <= kWindow) {
-                const std::size_t limit =
-                    std::min(raw.size() - i, kMaxMatch);
-                std::size_t len = 0;
-                while (len < limit && raw[cand + len] == raw[i + len])
-                    ++len;
-                if (len >= kMinMatch) {
-                    matchLen = len;
-                    matchPos = cand;
-                }
-            }
-        }
-        if (matchLen) {
-            beginItem(true);
-            const std::size_t off = i - matchPos;
-            out.push_back(static_cast<std::uint8_t>(off));
-            out.push_back(static_cast<std::uint8_t>(off >> 8));
-            out.push_back(static_cast<std::uint8_t>(matchLen - kMinMatch));
-            i += matchLen;
-        } else {
+        std::size_t matchLen = mf.findAndInsert(i, matchPos);
+        if (!matchLen) {
             beginItem(false);
             out.push_back(raw[i]);
             ++i;
+            continue;
         }
+        // Lazy matching: when the next position starts a strictly
+        // longer match, emit this byte as a literal and slide
+        // forward. A nice-length match is taken as-is — the probe
+        // rarely beats it and costs a full chain walk.
+        while (matchLen < kNiceMatch && i + 1 < raw.size()) {
+            std::size_t nextPos = 0;
+            const std::size_t nextLen = mf.findAndInsert(i + 1, nextPos);
+            if (nextLen <= matchLen)
+                break;
+            beginItem(false);
+            out.push_back(raw[i]);
+            ++i;
+            matchLen = nextLen;
+            matchPos = nextPos;
+        }
+        beginItem(true);
+        const std::size_t off = i - matchPos;
+        out.push_back(static_cast<std::uint8_t>(off));
+        out.push_back(static_cast<std::uint8_t>(off >> 8));
+        out.push_back(static_cast<std::uint8_t>(matchLen - kMinMatch));
+        mf.insertForMatch(i, matchLen);
+        i += matchLen;
     }
     if (flagPos)
         out[flagPos] = flags;
@@ -127,15 +301,22 @@ Blob
 zipDecompress(const Blob &compressed)
 {
     Blob out;
-    zipDecompressInto(compressed, out);
+    zipDecompressInto(compressed.data(), compressed.size(), out);
     return out;
 }
 
 void
 zipDecompressInto(const Blob &compressed, Blob &out)
 {
+    zipDecompressInto(compressed.data(), compressed.size(), out);
+}
+
+void
+zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
+                  Blob &out)
+{
     std::size_t pos = 0;
-    const std::uint64_t rawSize = getLeb(compressed, pos);
+    const std::uint64_t rawSize = getLeb(compressed, size, pos);
     out.clear();
     out.reserve(rawSize);
 
@@ -143,7 +324,7 @@ zipDecompressInto(const Blob &compressed, Blob &out)
     unsigned flagBit = 8;
     while (out.size() < rawSize) {
         if (flagBit == 8) {
-            if (pos >= compressed.size())
+            if (pos >= size)
                 throw std::runtime_error("zip: truncated stream");
             flags = compressed[pos++];
             flagBit = 0;
@@ -151,7 +332,7 @@ zipDecompressInto(const Blob &compressed, Blob &out)
         const bool isMatch = (flags >> flagBit) & 1;
         ++flagBit;
         if (isMatch) {
-            if (pos + 3 > compressed.size())
+            if (pos + 3 > size)
                 throw std::runtime_error("zip: truncated match");
             const std::size_t off =
                 static_cast<std::size_t>(compressed[pos]) |
@@ -173,7 +354,7 @@ zipDecompressInto(const Blob &compressed, Blob &out)
                     out[dst + k] = out[src + k];
             }
         } else {
-            if (pos >= compressed.size())
+            if (pos >= size)
                 throw std::runtime_error("zip: truncated literal");
             out.push_back(compressed[pos++]);
         }

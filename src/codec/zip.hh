@@ -1,13 +1,17 @@
 /**
  * @file
  * Block compressor for live-point payloads. A self-contained LZSS
- * variant (64KB window, greedy hash matching): no external library
- * dependency, deterministic output across platforms, and effective on
- * the structured tag/counter payloads live-points are made of.
+ * variant (64KB window, hash-chain match finding with lazy matching):
+ * no external library dependency, deterministic output across
+ * platforms, and effective on the structured tag/counter payloads
+ * live-points are made of. The token format has been stable since the
+ * first library release, so any decompressor reads any library.
  */
 
 #ifndef LP_CODEC_ZIP_HH
 #define LP_CODEC_ZIP_HH
+
+#include <cstddef>
 
 #include "util/types.hh"
 
@@ -29,6 +33,13 @@ Blob zipDecompress(const Blob &compressed);
  * library's points makes decompression allocation-free.
  */
 void zipDecompressInto(const Blob &compressed, Blob &out);
+
+/**
+ * As above, reading the compressed record from a borrowed buffer —
+ * the zero-copy path a memory-mapped-style library container feeds.
+ */
+void zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
+                       Blob &out);
 
 } // namespace lp
 

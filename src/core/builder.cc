@@ -1,42 +1,59 @@
 #include "core/builder.hh"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 
+#include "codec/zip.hh"
 #include "func/functional.hh"
+#include "mrrl/mrrl.hh"
+#include "util/log.hh"
+#include "util/threadpool.hh"
 
 namespace lp
 {
 
-LivePointBuilder::LivePointBuilder(const LivePointBuilderConfig &cfg)
-    : cfg_(cfg)
+namespace
 {
+
+MemHierarchyConfig
+maxMemConfig(const LivePointBuilderConfig &cfg)
+{
+    MemHierarchyConfig mem;
+    mem.l1i = cfg.maxL1i;
+    mem.l1d = cfg.maxL1d;
+    mem.l2 = cfg.maxL2;
+    mem.itlb = cfg.maxItlb;
+    mem.dtlb = cfg.maxDtlb;
+    return mem;
 }
 
-LivePointLibrary
-LivePointBuilder::build(const Program &prog, const SampleDesign &design)
+/**
+ * One shard's warming state: a functional simulator with the
+ * library-maximum hierarchy and every covered predictor attached.
+ */
+struct WarmingRig
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    WarmingRig(const Program &prog, const LivePointBuilderConfig &cfg)
+        : sim(prog), hier(maxMemConfig(cfg))
+    {
+        for (const BpredConfig &bc : cfg.bpredConfigs)
+            preds.push_back(std::make_unique<BranchPredictor>(bc));
+        sim.setHierarchy(&hier);
+        for (auto &bp : preds)
+            sim.addPredictor(bp.get());
+    }
 
-    MemHierarchyConfig maxMem;
-    maxMem.l1i = cfg_.maxL1i;
-    maxMem.l1d = cfg_.maxL1d;
-    maxMem.l2 = cfg_.maxL2;
-    maxMem.itlb = cfg_.maxItlb;
-    maxMem.dtlb = cfg_.maxDtlb;
-    MemHierarchy hier(maxMem);
-
-    std::vector<std::unique_ptr<BranchPredictor>> preds;
-    for (const BpredConfig &bc : cfg_.bpredConfigs)
-        preds.push_back(std::make_unique<BranchPredictor>(bc));
-
-    FunctionalSimulator sim(prog);
-    sim.setHierarchy(&hier);
-    for (auto &bp : preds)
-        sim.addPredictor(bp.get());
-
-    LivePointLibrary lib(prog.name, design);
-    for (std::uint64_t i = 0; i < design.count; ++i) {
+    /**
+     * Warm to window @p i's start, snapshot the point, then keep
+     * warming through the window while capturing its live-state.
+     */
+    LivePoint capture(const LivePointBuilderConfig &cfg,
+                      const SampleDesign &design, std::uint64_t i)
+    {
         const InstCount start = design.windowStart(i);
         sim.run(start - sim.regs().instIndex);
 
@@ -52,26 +69,238 @@ LivePointBuilder::build(const Program &prog, const SampleDesign &design)
         point.itlb = CacheSetRecord(hier.itlb());
         point.dtlb = CacheSetRecord(hier.dtlb());
         for (std::size_t b = 0; b < preds.size(); ++b)
-            point.bpredImages.emplace(cfg_.bpredConfigs[b].key(),
+            point.bpredImages.emplace(cfg.bpredConfigs[b].key(),
                                       preds[b]->serialize());
 
         // Capture the window's restricted live-state while warming
         // continues through it.
-        MemoryImage image(cfg_.imageBlockBytes);
+        MemoryImage image(cfg.imageBlockBytes);
         sim.setCaptureImage(&image);
         sim.run(design.windowLen());
         sim.setCaptureImage(nullptr);
         point.memImage = std::move(image);
-
-        lib.add(point);
+        return point;
     }
+
+    FunctionalSimulator sim;
+    MemHierarchy hier;
+    std::vector<std::unique_ptr<BranchPredictor>> preds;
+};
+
+} // namespace
+
+LivePointBuilder::LivePointBuilder(const LivePointBuilderConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+LivePointLibrary
+LivePointBuilder::build(const Program &prog, const SampleDesign &design)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    stats_ = BuilderStats{};
+
+    const bool parallel =
+        design.count > 0 && (cfg_.buildThreads > 1 || cfg_.pipelineEncode);
+    LivePointLibrary lib = parallel ? buildParallel(prog, design)
+                                    : buildSequential(prog, design);
 
     stats_.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
     stats_.points = design.count;
-    stats_.instsSimulated = sim.regs().instIndex;
+    return lib;
+}
+
+LivePointLibrary
+LivePointBuilder::buildSequential(const Program &prog,
+                                  const SampleDesign &design)
+{
+    WarmingRig rig(prog, cfg_);
+    LivePointLibrary lib(prog.name, design);
+    for (std::uint64_t i = 0; i < design.count; ++i)
+        lib.add(rig.capture(cfg_, design, i));
+    stats_.instsSimulated = rig.sim.regs().instIndex;
+    stats_.shards = 1;
+    return lib;
+}
+
+LivePointLibrary
+LivePointBuilder::buildParallel(const Program &prog,
+                                const SampleDesign &design)
+{
+    const std::uint64_t count = design.count;
+    const unsigned S = static_cast<unsigned>(std::min<std::uint64_t>(
+        std::max(cfg_.buildThreads, 1u), count));
+    stats_.shards = S;
+
+    // Contiguous shard ranges: shard s owns windows [lo[s], lo[s+1]).
+    std::vector<std::uint64_t> lo(S + 1);
+    for (unsigned s = 0; s <= S; ++s)
+        lo[s] = count * s / S;
+
+    // Warming prefix ahead of each shard's first window: MRRL-derived
+    // by default (the reuse-latency bound of the shard's leading
+    // window), or the configured fixed length. Shard 0 warms from
+    // program start and is exact.
+    std::vector<InstCount> prefix(S, 0);
+    if (S > 1) {
+        if (cfg_.shardPrefixInsts > 0) {
+            for (unsigned s = 1; s < S; ++s)
+                prefix[s] = cfg_.shardPrefixInsts;
+        } else {
+            std::vector<InstCount> starts;
+            for (unsigned s = 1; s < S; ++s)
+                starts.push_back(design.windowStart(lo[s]));
+            const MrrlAnalysis m =
+                analyzeMrrl(prog, starts, design.windowLen());
+            for (unsigned s = 1; s < S; ++s)
+                prefix[s] = m.warmingLengths[s - 1];
+        }
+    }
+
+    // Arch-only pre-pass: capture registers + memory where each
+    // shard's warming begins. No hierarchy, predictors, or capture
+    // attached — this pass costs a fraction of functional warming.
+    std::vector<ArchRegs> snapRegs(S);
+    std::vector<SparseMemory> snapMem(S);
+    if (S > 1) {
+        FunctionalSimulator pre(prog);
+        for (unsigned s = 1; s < S; ++s) {
+            const InstCount ws = design.windowStart(lo[s]);
+            const InstCount pos = ws > prefix[s] ? ws - prefix[s] : 0;
+            // Snapshot positions are visited in one forward pass; a
+            // prefix reaching back past the previous snapshot starts
+            // where the pass already is. That truncation shortens the
+            // warming below the MRRL bound, so it is accounted and
+            // warned, not silently absorbed.
+            if (pos > pre.regs().instIndex) {
+                pre.run(pos - pre.regs().instIndex);
+            } else {
+                stats_.prefixShortfallInsts +=
+                    pre.regs().instIndex - pos;
+            }
+            snapRegs[s] = pre.regs();
+            snapMem[s] = pre.memory().clone();
+        }
+        stats_.prePassInsts = pre.regs().instIndex;
+        if (stats_.prefixShortfallInsts)
+            warn("sharded build: %llu warming insts truncated by "
+                 "overlapping shard prefixes (use fewer shards or a "
+                 "shorter prefix)",
+                 static_cast<unsigned long long>(
+                     stats_.prefixShortfallInsts));
+    }
+
+    // Simulating shards hand finished points to encoder threads
+    // through a bounded queue; encoders serialize + compress into
+    // per-slot buffers, so record bytes land in window order no
+    // matter which thread produced them.
+    const unsigned E = cfg_.encodeThreads ? cfg_.encodeThreads
+                                          : std::max(1u, (S + 1) / 2);
+    struct Job
+    {
+        std::uint64_t slot = 0;
+        LivePoint point;
+    };
+    std::mutex m;
+    std::condition_variable cvSpace; //!< shards wait for queue room
+    std::condition_variable cvWork;  //!< encoders wait for points
+    std::deque<Job> queue;
+    const std::size_t cap = 2 * E + 2;
+    unsigned liveShards = S; //!< guarded by m
+    std::atomic<bool> failed{false};
+
+    std::vector<Blob> recs(count);
+    std::vector<std::uint64_t> rawSizes(count);
+    std::vector<std::uint64_t> indices(count);
+    std::atomic<InstCount> warmed{0};
+
+    auto halt = [&]() {
+        failed.store(true);
+        {
+            std::lock_guard<std::mutex> lk(m);
+        }
+        cvSpace.notify_all();
+        cvWork.notify_all();
+    };
+
+    auto shardWorker = [&](unsigned s) {
+        WarmingRig rig(prog, cfg_);
+        if (s > 0)
+            rig.sim.restore(snapRegs[s], std::move(snapMem[s]));
+        const InstCount simStart = rig.sim.regs().instIndex;
+        for (std::uint64_t i = lo[s]; i < lo[s + 1]; ++i) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            LivePoint point = rig.capture(cfg_, design, i);
+            std::unique_lock<std::mutex> lk(m);
+            cvSpace.wait(lk, [&]() {
+                return failed.load() || queue.size() < cap;
+            });
+            if (failed.load())
+                return;
+            queue.push_back(Job{i, std::move(point)});
+            lk.unlock();
+            cvWork.notify_one();
+        }
+        warmed.fetch_add(rig.sim.regs().instIndex - simStart,
+                         std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lk(m);
+        if (--liveShards == 0) {
+            lk.unlock();
+            cvWork.notify_all();
+        }
+    };
+
+    auto encoder = [&]() {
+        while (true) {
+            Job job;
+            {
+                std::unique_lock<std::mutex> lk(m);
+                cvWork.wait(lk, [&]() {
+                    return failed.load() || !queue.empty() ||
+                           liveShards == 0;
+                });
+                if (failed.load())
+                    return;
+                if (queue.empty())
+                    return; // every shard done and queue drained
+                job = std::move(queue.front());
+                queue.pop_front();
+            }
+            cvSpace.notify_one();
+            const Blob raw = job.point.serialize();
+            recs[job.slot] = zipCompress(raw);
+            rawSizes[job.slot] = raw.size();
+            indices[job.slot] = job.point.index;
+        }
+    };
+
+    ThreadPool pool(S + E);
+    pool.run([&](unsigned id) {
+        try {
+            if (id < S)
+                shardWorker(id);
+            else
+                encoder();
+        } catch (...) {
+            halt();
+            throw;
+        }
+    });
+
+    LivePointLibrary lib(prog.name, design);
+    std::uint64_t totalBytes = 0;
+    for (const Blob &r : recs)
+        totalBytes += r.size();
+    lib.reserve(totalBytes, count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        lib.addCompressed(recs[i], rawSizes[i], indices[i]);
+        Blob().swap(recs[i]); // keep peak memory at ~one library
+    }
+    stats_.instsSimulated = warmed.load();
     return lib;
 }
 

@@ -6,6 +6,19 @@
  * and every covered branch predictor warm; at each window start it
  * snapshots registers and warm state, then captures the window's
  * touched memory blocks as the restricted live-state image.
+ *
+ * Creation parallelises the same way replay does. The sample is split
+ * into S contiguous shards; a cheap arch-only functional pre-pass
+ * captures registers + memory at each shard boundary, and each pool
+ * worker warms caches/TLBs/predictors over an MRRL-derived (or
+ * fixed, configurable) prefix before emitting its shard's points. The
+ * architectural content of every point (registers, live-state image)
+ * is *exact* regardless of sharding — execution is deterministic from
+ * the snapshots — and the MRRL result (Figs 4-5) bounds the warm-state
+ * bias at each shard's leading windows. Point serialization and
+ * compression are pipelined onto encoder threads, so even the S=1
+ * build overlaps simulation with encoding while staying bit-identical
+ * to the sequential reference.
  */
 
 #ifndef LP_CORE_BUILDER_HH
@@ -33,13 +46,51 @@ struct LivePointBuilderConfig
 
     /** Block size of the restricted live-state image. */
     unsigned imageBlockBytes = 64;
+
+    /**
+     * Warming shards (S). 1 = the whole sample on one simulating
+     * thread (exact full warming); S>1 splits the sample into S
+     * contiguous shards warmed concurrently.
+     */
+    unsigned buildThreads = 1;
+
+    /** Serialize+compress threads; 0 = derived from buildThreads. */
+    unsigned encodeThreads = 0;
+
+    /**
+     * Functional-warming prefix ahead of each shard's first window.
+     * 0 = derive per shard from an MRRL analysis of the shard's
+     * leading window (coverage 99.9%); >0 = use this fixed length.
+     * Ignored for shard 0, which always warms from program start.
+     */
+    InstCount shardPrefixInsts = 0;
+
+    /**
+     * Offload point serialization + compression from the simulating
+     * threads. Off = the PR-2 sequential reference path (only
+     * meaningful with buildThreads == 1).
+     */
+    bool pipelineEncode = true;
 };
 
 struct BuilderStats
 {
     double wallSeconds = 0.0;
     std::uint64_t points = 0;
+    /** Functionally *warmed* instructions, summed over shards. */
     InstCount instsSimulated = 0;
+    /** Arch-only pre-pass instructions (0 for a 1-shard build). */
+    InstCount prePassInsts = 0;
+    unsigned shards = 1;
+    /**
+     * Warming instructions the shards *wanted* but could not get:
+     * a shard's prefix may reach back before the previous shard's
+     * snapshot, and the one-forward-pass pre-pass cannot rewind. A
+     * nonzero value means some shard-leading windows were warmed
+     * short of the MRRL bound (also warned at build time) — use
+     * fewer shards or a shorter configured prefix.
+     */
+    InstCount prefixShortfallInsts = 0;
 };
 
 class LivePointBuilder
@@ -57,6 +108,11 @@ class LivePointBuilder
     const LivePointBuilderConfig &config() const { return cfg_; }
 
   private:
+    LivePointLibrary buildSequential(const Program &prog,
+                                     const SampleDesign &design);
+    LivePointLibrary buildParallel(const Program &prog,
+                                   const SampleDesign &design);
+
     LivePointBuilderConfig cfg_;
     BuilderStats stats_;
 };

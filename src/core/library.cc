@@ -1,6 +1,8 @@
 #include "core/library.hh"
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 #include "codec/zip.hh"
@@ -12,7 +14,74 @@ namespace lp
 namespace
 {
 
-constexpr std::uint64_t kFileMagic = 0x4c50'4c49'4232ull; // "LPLIB2"
+// LPLIB2: the whole library is one DER sequence starting with this
+// magic integer. LPLIB3: the file starts with the 8-byte tag below
+// (first byte 'L' can never open a DER sequence, so the two formats
+// dispatch on the first bytes alone).
+constexpr std::uint64_t kFileMagic2 = 0x4c50'4c49'4232ull; // "LPLIB2"
+constexpr std::uint8_t kMagic3[8] = {'L', 'P', 'L', 'I',
+                                     'B', '3', '\n', '\0'};
+constexpr std::uint64_t kLpl3Version = 1;
+constexpr std::size_t kLpl3HeaderBytes = 64;
+constexpr std::size_t kLpl3TableEntryBytes = 32;
+
+/** RAII stdio handle: no error path can leak the FILE. */
+class FileHandle
+{
+  public:
+    FileHandle(const std::string &path, const char *mode)
+        : f_(std::fopen(path.c_str(), mode))
+    {
+    }
+
+    ~FileHandle()
+    {
+        if (f_)
+            std::fclose(f_);
+    }
+
+    FileHandle(const FileHandle &) = delete;
+    FileHandle &operator=(const FileHandle &) = delete;
+
+    explicit operator bool() const { return f_ != nullptr; }
+    FILE *get() const { return f_; }
+
+    /** Close eagerly; returns false if the flush failed. */
+    bool close()
+    {
+        FILE *f = f_;
+        f_ = nullptr;
+        return f && std::fclose(f) == 0;
+    }
+
+  private:
+    FILE *f_;
+};
+
+void
+putU64le(std::uint8_t *out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64le(const std::uint8_t *in)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+void
+writeAll(FILE *f, const std::uint8_t *data, std::size_t size,
+         const std::string &path)
+{
+    if (std::fwrite(data, 1, size, f) != size)
+        throw std::runtime_error(
+            strfmt("short write to library '%s'", path.c_str()));
+}
 
 void
 serializeDesign(DerWriter &w, const SampleDesign &d)
@@ -146,35 +215,68 @@ LivePointLibrary::LivePointLibrary(std::string benchmark,
 {
 }
 
+ByteSpan
+LivePointLibrary::record(std::size_t i) const
+{
+    const RecordRef &r = refs_[i];
+    const Blob &src = r.inArena ? arena_ : backing_;
+    return ByteSpan(src.data() + r.offset,
+                    static_cast<std::size_t>(r.size));
+}
+
 LivePoint
 LivePointLibrary::get(std::size_t i) const
 {
-    return LivePoint::deserialize(zipDecompress(records_[i]));
+    Blob scratch;
+    LivePoint p;
+    decodeInto(i, scratch, p);
+    return p;
 }
 
 void
 LivePointLibrary::decodeInto(std::size_t i, Blob &scratch,
                              LivePoint &out) const
 {
-    zipDecompressInto(records_[i], scratch);
+    const ByteSpan rec = record(i);
+    zipDecompressInto(rec.data, rec.size, scratch);
     LivePoint::deserializeInto(scratch, out);
 }
 
 void
 LivePointLibrary::add(const LivePoint &point)
 {
-    Blob raw = point.serialize();
-    rawSizes_.push_back(raw.size());
-    indices_.push_back(point.index);
-    records_.push_back(zipCompress(raw));
+    const Blob raw = point.serialize();
+    addCompressed(zipCompress(raw), raw.size(), point.index);
+}
+
+void
+LivePointLibrary::reserve(std::uint64_t recordBytes, std::size_t count)
+{
+    arena_.reserve(arena_.size() + recordBytes);
+    refs_.reserve(refs_.size() + count);
+}
+
+void
+LivePointLibrary::addCompressed(const Blob &compressed,
+                                std::uint64_t rawSize,
+                                std::uint64_t windowIndex)
+{
+    RecordRef r;
+    r.offset = arena_.size();
+    r.size = compressed.size();
+    r.rawSize = rawSize;
+    r.index = windowIndex;
+    r.inArena = true;
+    arena_.insert(arena_.end(), compressed.begin(), compressed.end());
+    refs_.push_back(r);
 }
 
 std::uint64_t
 LivePointLibrary::totalCompressedBytes() const
 {
     std::uint64_t total = 0;
-    for (const Blob &r : records_)
-        total += r.size();
+    for (const RecordRef &r : refs_)
+        total += r.size;
     return total;
 }
 
@@ -182,47 +284,109 @@ std::uint64_t
 LivePointLibrary::totalUncompressedBytes() const
 {
     std::uint64_t total = 0;
-    for (const std::uint64_t s : rawSizes_)
-        total += s;
+    for (const RecordRef &r : refs_)
+        total += r.rawSize;
     return total;
 }
 
 void
 LivePointLibrary::shuffle(Rng &rng)
 {
-    for (std::size_t i = records_.size(); i > 1; --i) {
+    for (std::size_t i = refs_.size(); i > 1; --i) {
         const std::size_t j =
             static_cast<std::size_t>(rng.nextBounded(i));
-        std::swap(records_[i - 1], records_[j]);
-        std::swap(rawSizes_[i - 1], rawSizes_[j]);
-        std::swap(indices_[i - 1], indices_[j]);
+        std::swap(refs_[i - 1], refs_[j]);
     }
 }
 
 void
-LivePointLibrary::save(const std::string &path) const
+LivePointLibrary::save(const std::string &path, Format format) const
+{
+    if (format == Format::lpl2)
+        saveLpl2(path);
+    else
+        saveLpl3(path);
+}
+
+void
+LivePointLibrary::saveLpl3(const std::string &path) const
+{
+    // Meta blob: benchmark name + design.
+    DerWriter mw;
+    mw.putString(benchmark_);
+    serializeDesign(mw, design_);
+    const Blob meta = mw.finish();
+
+    const std::uint64_t count = refs_.size();
+    const std::uint64_t metaOffset = kLpl3HeaderBytes;
+    const std::uint64_t tableOffset = metaOffset + meta.size();
+    const std::uint64_t dataOffset =
+        tableOffset + count * kLpl3TableEntryBytes;
+    const std::uint64_t fileSize =
+        dataOffset + totalCompressedBytes();
+
+    FileHandle f(path, "wb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("cannot write library '%s'", path.c_str()));
+
+    std::uint8_t header[kLpl3HeaderBytes] = {};
+    std::memcpy(header, kMagic3, sizeof(kMagic3));
+    putU64le(header + 8, kLpl3Version);
+    putU64le(header + 16, count);
+    putU64le(header + 24, metaOffset);
+    putU64le(header + 32, meta.size());
+    putU64le(header + 40, tableOffset);
+    putU64le(header + 48, dataOffset);
+    putU64le(header + 56, fileSize);
+    writeAll(f.get(), header, sizeof(header), path);
+    writeAll(f.get(), meta.data(), meta.size(), path);
+
+    // Index table, then the records, streamed straight from their
+    // resident storage — the save never stages the library twice.
+    std::uint64_t rel = 0;
+    for (const RecordRef &r : refs_) {
+        std::uint8_t row[kLpl3TableEntryBytes];
+        putU64le(row + 0, rel);
+        putU64le(row + 8, r.size);
+        putU64le(row + 16, r.rawSize);
+        putU64le(row + 24, r.index);
+        writeAll(f.get(), row, sizeof(row), path);
+        rel += r.size;
+    }
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        const ByteSpan rec = record(i);
+        writeAll(f.get(), rec.data, rec.size, path);
+    }
+    if (!f.close())
+        throw std::runtime_error(
+            strfmt("short write to library '%s'", path.c_str()));
+}
+
+void
+LivePointLibrary::saveLpl2(const std::string &path) const
 {
     DerWriter w;
     w.beginSequence();
-    w.putUint(kFileMagic);
+    w.putUint(kFileMagic2);
     w.putString(benchmark_);
     serializeDesign(w, design_);
-    w.putUint(records_.size());
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-        w.putUint(rawSizes_[i]);
-        w.putUint(indices_[i]);
-        w.putBytes(records_[i]);
+    w.putUint(refs_.size());
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        const ByteSpan rec = record(i);
+        w.putUint(refs_[i].rawSize);
+        w.putUint(refs_[i].index);
+        w.putBytes(rec.data, rec.size);
     }
     w.endSequence();
     const Blob data = w.finish();
 
-    FILE *f = std::fopen(path.c_str(), "wb");
+    FileHandle f(path, "wb");
     if (!f)
         throw std::runtime_error(
             strfmt("cannot write library '%s'", path.c_str()));
-    const std::size_t n = std::fwrite(data.data(), 1, data.size(), f);
-    std::fclose(f);
-    if (n != data.size())
+    writeAll(f.get(), data.data(), data.size(), path);
+    if (!f.close())
         throw std::runtime_error(
             strfmt("short write to library '%s'", path.c_str()));
 }
@@ -230,42 +394,128 @@ LivePointLibrary::save(const std::string &path) const
 LivePointLibrary
 LivePointLibrary::load(const std::string &path)
 {
-    FILE *f = std::fopen(path.c_str(), "rb");
+    std::error_code ec;
+    const std::uintmax_t fsSize =
+        std::filesystem::file_size(path, ec);
+    if (ec)
+        throw std::runtime_error(
+            strfmt("cannot open library '%s'", path.c_str()));
+
+    FileHandle f(path, "rb");
     if (!f)
         throw std::runtime_error(
             strfmt("cannot open library '%s'", path.c_str()));
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    if (size < 0) {
-        std::fclose(f);
-        throw std::runtime_error(
-            strfmt("cannot read library '%s'", path.c_str()));
-    }
-    std::fseek(f, 0, SEEK_SET);
-    Blob data(static_cast<std::size_t>(size));
-    const std::size_t n = std::fread(data.data(), 1, data.size(), f);
-    std::fclose(f);
-    if (n != data.size())
+    Blob data(static_cast<std::size_t>(fsSize));
+    if (!data.empty() &&
+        std::fread(data.data(), 1, data.size(), f.get()) != data.size())
         throw std::runtime_error(
             strfmt("short read from library '%s'", path.c_str()));
 
+    if (data.size() >= sizeof(kMagic3) &&
+        std::memcmp(data.data(), kMagic3, sizeof(kMagic3)) == 0)
+        return loadLpl3(std::move(data), path);
+    return loadLpl2(std::move(data), path);
+}
+
+LivePointLibrary
+LivePointLibrary::loadLpl3(Blob data, const std::string &path)
+{
+    auto malformed = [&path]() {
+        return std::runtime_error(
+            strfmt("'%s' is not a valid LPLIB3 library", path.c_str()));
+    };
+    if (data.size() < kLpl3HeaderBytes)
+        throw malformed();
+    const std::uint8_t *h = data.data();
+    const std::uint64_t version = getU64le(h + 8);
+    const std::uint64_t count = getU64le(h + 16);
+    const std::uint64_t metaOffset = getU64le(h + 24);
+    const std::uint64_t metaSize = getU64le(h + 32);
+    const std::uint64_t tableOffset = getU64le(h + 40);
+    const std::uint64_t dataOffset = getU64le(h + 48);
+    const std::uint64_t fileSize = getU64le(h + 56);
+    // Overflow-safe layout checks: every field is validated against
+    // the real file size before it is used as an offset.
+    if (version != kLpl3Version || fileSize != data.size() ||
+        metaOffset != kLpl3HeaderBytes ||
+        metaSize > fileSize - metaOffset ||
+        tableOffset != metaOffset + metaSize ||
+        count > (fileSize - tableOffset) / kLpl3TableEntryBytes ||
+        dataOffset != tableOffset + count * kLpl3TableEntryBytes)
+        throw malformed();
+
+    LivePointLibrary lib;
+    {
+        const Blob meta(h + metaOffset, h + metaOffset + metaSize);
+        DerReader mr(meta);
+        lib.benchmark_ = mr.getString();
+        lib.design_ = deserializeDesign(mr);
+    }
+    lib.refs_.reserve(count);
+    const std::uint64_t dataBytes = fileSize - dataOffset;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t *row =
+            h + tableOffset + i * kLpl3TableEntryBytes;
+        RecordRef r;
+        const std::uint64_t rel = getU64le(row + 0);
+        r.size = getU64le(row + 8);
+        r.rawSize = getU64le(row + 16);
+        r.index = getU64le(row + 24);
+        if (rel > dataBytes || r.size > dataBytes - rel)
+            throw malformed();
+        r.offset = dataOffset + rel;
+        r.inArena = false;
+        lib.refs_.push_back(r);
+    }
+    // The whole file becomes the backing buffer; records are spans
+    // into it — the load allocates nothing beyond the file bytes.
+    lib.backing_ = std::move(data);
+    return lib;
+}
+
+bool
+identicalRecords(const LivePointLibrary &a, const LivePointLibrary &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.windowIndex(i) != b.windowIndex(i))
+            return false;
+        const ByteSpan ra = a.record(i);
+        const ByteSpan rb = b.record(i);
+        if (ra.size != rb.size ||
+            std::memcmp(ra.data, rb.data, ra.size) != 0)
+            return false;
+    }
+    return true;
+}
+
+LivePointLibrary
+LivePointLibrary::loadLpl2(Blob data, const std::string &path)
+{
     DerReader top(data);
     DerReader seq = top.getSequence();
-    if (seq.getUint() != kFileMagic)
+    if (seq.getUint() != kFileMagic2)
         throw std::runtime_error(
             strfmt("'%s' is not a live-point library", path.c_str()));
     LivePointLibrary lib;
     lib.benchmark_ = seq.getString();
     lib.design_ = deserializeDesign(seq);
     const std::uint64_t count = seq.getUint();
-    lib.records_.reserve(count);
-    lib.rawSizes_.reserve(count);
-    lib.indices_.reserve(count);
+    lib.refs_.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-        lib.rawSizes_.push_back(seq.getUint());
-        lib.indices_.push_back(seq.getUint());
-        lib.records_.push_back(seq.getBytes());
+        RecordRef r;
+        r.rawSize = seq.getUint();
+        r.index = seq.getUint();
+        // The record's content bytes sit inside the DER stream; keep
+        // the file as the backing buffer and reference them in place.
+        const ByteSpan rec = seq.getBytesSpan();
+        r.offset = static_cast<std::uint64_t>(rec.data - data.data());
+        r.size = rec.size;
+        r.inArena = false;
+        lib.refs_.push_back(r);
     }
+    lib.backing_ = std::move(data);
     return lib;
 }
 

@@ -8,6 +8,14 @@
  * configuration. The library stores each point individually
  * compressed, supports shuffling (so any prefix is an unbiased random
  * sub-sample), and round-trips through a single on-disk file.
+ *
+ * On-disk container (LPLIB3): a fixed header, a DER meta blob
+ * (benchmark + design), a per-point index table (offset / compressed
+ * size / raw size / window index), then the raw compressed records
+ * back-to-back. Written streaming — no whole-library staging buffer —
+ * and loaded as one backing buffer whose records are exposed as
+ * zero-copy spans. Older DER-blob libraries (LPLIB2) are detected by
+ * magic and still load.
  */
 
 #ifndef LP_CORE_LIBRARY_HH
@@ -73,14 +81,25 @@ struct LivePoint
 class LivePointLibrary
 {
   public:
+    /** On-disk container format. */
+    enum class Format
+    {
+        lpl3, //!< indexed, streaming, zero-copy load (default)
+        lpl2  //!< legacy single-DER-blob container
+    };
+
     LivePointLibrary() = default;
     LivePointLibrary(std::string benchmark, const SampleDesign &design);
 
     const std::string &benchmark() const { return benchmark_; }
     const SampleDesign &design() const { return design_; }
-    std::size_t size() const { return records_.size(); }
+    std::size_t size() const { return refs_.size(); }
 
-    /** Decompress and decode the @p i-th stored point. */
+    /**
+     * Decompress and decode the @p i-th stored point. Convenience for
+     * one-off inspection; hot paths (replay producers, benches) use
+     * decodeInto(), which allocates nothing in steady state.
+     */
     LivePoint get(std::size_t i) const;
 
     /**
@@ -94,34 +113,99 @@ class LivePointLibrary
     /** Compress and append a point. */
     void add(const LivePoint &point);
 
+    /**
+     * Append an already-compressed record (the parallel builder's
+     * encoder threads compress off the simulating thread and hand the
+     * finished bytes over). @p rawSize is the uncompressed size,
+     * @p windowIndex the point's window number.
+     */
+    void addCompressed(const Blob &compressed, std::uint64_t rawSize,
+                       std::uint64_t windowIndex);
+
+    /**
+     * Pre-size the arena for @p count records totalling
+     * @p recordBytes compressed bytes, so a bulk assembly never pays
+     * vector doubling (which would transiently hold ~2x the library).
+     */
+    void reserve(std::uint64_t recordBytes, std::size_t count);
+
+    /**
+     * Borrowed view of the @p i-th compressed record — points into
+     * the library's backing buffer. Valid until the next
+     * add()/addCompressed() (appends may reallocate the arena) or
+     * the library's destruction, whichever comes first.
+     */
+    ByteSpan record(std::size_t i) const;
+
     /** Stored (compressed) bytes of the @p i-th point. */
     std::size_t compressedSize(std::size_t i) const
     {
-        return records_[i].size();
+        return refs_[i].size;
     }
 
     /**
      * Window index of the @p i-th stored point, without decompressing
      * it (kept as library metadata for stratum assignment).
      */
-    std::uint64_t windowIndex(std::size_t i) const { return indices_[i]; }
+    std::uint64_t windowIndex(std::size_t i) const
+    {
+        return refs_[i].index;
+    }
 
     std::uint64_t totalCompressedBytes() const;
     std::uint64_t totalUncompressedBytes() const;
 
-    /** Permute the stored order (Fisher-Yates with @p rng). */
+    /**
+     * Permute the stored order (Fisher-Yates with @p rng). Only the
+     * record references move; the compressed bytes stay put.
+     */
     void shuffle(Rng &rng);
 
-    void save(const std::string &path) const;
+    /**
+     * Write the container. The default (LPLIB3) streams records to
+     * the file — peak memory stays at the library's resident size,
+     * not double it. The legacy format is kept for compatibility
+     * tests and older readers.
+     */
+    void save(const std::string &path,
+              Format format = Format::lpl3) const;
+
+    /** Load either container format (dispatched on the file magic). */
     static LivePointLibrary load(const std::string &path);
 
   private:
+    /** Where one compressed record lives. */
+    struct RecordRef
+    {
+        std::uint64_t offset = 0; //!< into backing_ or arena_
+        std::uint64_t size = 0;
+        std::uint64_t rawSize = 0; //!< uncompressed size
+        std::uint64_t index = 0;   //!< window index
+        bool inArena = false;      //!< offset is into arena_
+    };
+
+    static LivePointLibrary loadLpl3(Blob data,
+                                     const std::string &path);
+    static LivePointLibrary loadLpl2(Blob data,
+                                     const std::string &path);
+    void saveLpl3(const std::string &path) const;
+    void saveLpl2(const std::string &path) const;
+
     std::string benchmark_;
     SampleDesign design_;
-    std::vector<Blob> records_;           //!< zip-compressed points
-    std::vector<std::uint64_t> rawSizes_; //!< uncompressed sizes
-    std::vector<std::uint64_t> indices_;  //!< window index per record
+    Blob backing_; //!< loaded container file, referenced by refs_
+    Blob arena_;   //!< appended compressed records, back-to-back
+    std::vector<RecordRef> refs_;
 };
+
+/**
+ * True when two libraries store byte-identical records in the same
+ * order with the same window indices — the bit-identity contract the
+ * pipelined S=1 build guarantees against the sequential reference
+ * (checked by both the test suite and the CI build bench).
+ */
+bool identicalRecords(const LivePointLibrary &a,
+                      const LivePointLibrary &b);
 
 } // namespace lp
 

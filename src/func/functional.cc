@@ -18,6 +18,15 @@ FunctionalSimulator::addPredictor(BranchPredictor *bp)
 }
 
 void
+FunctionalSimulator::restore(const ArchRegs &regs, SparseMemory mem)
+{
+    regs_ = regs;
+    // Move-assign keeps mem_'s identity, so port_ stays valid.
+    mem_ = std::move(mem);
+    lastFetchLine_ = ~0ull;
+}
+
+void
 FunctionalSimulator::run(InstCount n)
 {
     const InstCount end =

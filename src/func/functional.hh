@@ -28,6 +28,14 @@ class FunctionalSimulator
     /** Execute up to @p n instructions (stops at program end). */
     void run(InstCount n);
 
+    /**
+     * Jump the simulator to a previously captured architectural state
+     * (registers + memory) — the parallel builder's shard workers
+     * start mid-program from pre-pass snapshots. Attached observers
+     * are unaffected; the fetch-line filter is reset.
+     */
+    void restore(const ArchRegs &regs, SparseMemory mem);
+
     bool finished() const { return regs_.instIndex >= prog_.length; }
 
     const ArchRegs &regs() const { return regs_; }

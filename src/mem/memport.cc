@@ -92,6 +92,21 @@ SparseMemory::footprintBytes() const
     return pages_.size() * pageBytes;
 }
 
+SparseMemory
+SparseMemory::clone() const
+{
+    SparseMemory out;
+    out.pages_.reserve(pages_.size());
+    for (const auto &kv : pages_) {
+        if (kv.second->epoch != epoch_)
+            continue; // logically zero: first touch re-creates it
+        auto p = std::make_unique<Page>();
+        std::memcpy(p->data, kv.second->data, pageBytes);
+        out.pages_.emplace(kv.first, std::move(p));
+    }
+    return out;
+}
+
 OverlayMemPort::OverlayMemPort(SparseMemory &base,
                                std::size_t reserveWrites)
     : base_(base)

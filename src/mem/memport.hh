@@ -49,6 +49,15 @@ class SparseMemory
      */
     std::uint64_t footprintBytes() const;
 
+    /**
+     * Deep copy of the current logical contents. Pages that are
+     * stale under the reset() epoch (i.e. logically zero) are
+     * dropped, so the clone's footprint is the live state only. The
+     * parallel library builder snapshots the architectural memory at
+     * shard boundaries with this.
+     */
+    SparseMemory clone() const;
+
   private:
     struct Page
     {

@@ -7,6 +7,7 @@
 #ifndef LP_UTIL_TYPES_HH
 #define LP_UTIL_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,24 @@ using PcIndex = std::uint64_t;
 
 /** An owned byte buffer (serialized records, compressed payloads). */
 using Blob = std::vector<std::uint8_t>;
+
+/**
+ * A borrowed view of contiguous bytes (C++17 stand-in for
+ * std::span<const std::uint8_t>). The referenced storage must outlive
+ * the span; the library container hands these out so record access
+ * never copies.
+ */
+struct ByteSpan
+{
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+
+    ByteSpan() = default;
+    ByteSpan(const std::uint8_t *d, std::size_t n) : data(d), size(n) {}
+    explicit ByteSpan(const Blob &b) : data(b.data()), size(b.size()) {}
+
+    bool empty() const { return size == 0; }
+};
 
 } // namespace lp
 

@@ -1,0 +1,180 @@
+/**
+ * Parallel library construction: the pipelined single-shard build is
+ * bit-identical to the sequential reference, sharded builds keep the
+ * architectural content of every point exact and their warm-state
+ * bias inside the Fig-4 tolerance, and builder statistics are sane.
+ */
+
+#include "harness.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "core/builder.hh"
+#include "core/library.hh"
+#include "core/runners.hh"
+#include "uarch/config.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+/** Whole-file byte equality. */
+bool
+sameFileBytes(const std::string &pa, const std::string &pb)
+{
+    auto slurp = [](const std::string &p) {
+        lp::Blob out;
+        if (FILE *f = std::fopen(p.c_str(), "rb")) {
+            std::fseek(f, 0, SEEK_END);
+            out.resize(static_cast<std::size_t>(std::ftell(f)));
+            std::fseek(f, 0, SEEK_SET);
+            if (std::fread(out.data(), 1, out.size(), f) != out.size())
+                out.clear();
+            std::fclose(f);
+        }
+        return out;
+    };
+    const lp::Blob a = slurp(pa);
+    const lp::Blob b = slurp(pb);
+    return !a.empty() && a == b;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+
+    WorkloadProfile profile = tinyProfile(400'000, 5);
+    profile.name = "buildtest";
+    const Program prog = generateProgram(profile);
+    const InstCount length = measureProgramLength(prog);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const SampleDesign design = SampleDesign::systematic(
+        length, 40, 1000, cfg.detailedWarming);
+
+    LivePointBuilderConfig bcSeq;
+    bcSeq.bpredConfigs = {cfg.bpred};
+    bcSeq.buildThreads = 1;
+    bcSeq.pipelineEncode = false; // the sequential reference path
+    LivePointBuilder seqBuilder(bcSeq);
+    const LivePointLibrary seqLib = seqBuilder.build(prog, design);
+    CHECK_EQ(seqLib.size(), design.count);
+    CHECK_EQ(seqBuilder.stats().shards, 1u);
+    CHECK_EQ(seqBuilder.stats().prePassInsts, 0u);
+    CHECK(seqBuilder.stats().instsSimulated > 0);
+
+    // --- Pipelined S=1: encoding off the simulating thread must not
+    // change a single byte of the library. ---
+    {
+        LivePointBuilderConfig bc = bcSeq;
+        bc.pipelineEncode = true;
+        LivePointBuilder builder(bc);
+        const LivePointLibrary lib = builder.build(prog, design);
+        CHECK(identicalRecords(seqLib, lib));
+        CHECK_EQ(lib.totalCompressedBytes(),
+                 seqLib.totalCompressedBytes());
+        CHECK_EQ(lib.totalUncompressedBytes(),
+                 seqLib.totalUncompressedBytes());
+        CHECK_EQ(builder.stats().shards, 1u);
+
+        // ... including on disk.
+        const std::string pa = "buildtest-seq.lpl";
+        const std::string pb = "buildtest-pipe.lpl";
+        seqLib.save(pa);
+        lib.save(pb);
+        CHECK(sameFileBytes(pa, pb));
+        std::remove(pa.c_str());
+        std::remove(pb.c_str());
+    }
+
+    // --- Sharded build (MRRL-derived prefixes): architectural
+    // content exact, warm-state bias within tolerance. ---
+    const LivePointRunOptions ropt;
+    const LivePointRunResult seqRun =
+        runLivePoints(prog, seqLib, cfg, ropt);
+    for (unsigned shards : {3u, 4u}) {
+        LivePointBuilderConfig bc = bcSeq;
+        bc.pipelineEncode = true;
+        bc.buildThreads = shards;
+        LivePointBuilder builder(bc);
+        const LivePointLibrary lib = builder.build(prog, design);
+        CHECK_EQ(lib.size(), design.count);
+        CHECK_EQ(builder.stats().shards, shards);
+        CHECK(builder.stats().prePassInsts > 0);
+
+        Blob scratchA, scratchB;
+        LivePoint pa, pb;
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            seqLib.decodeInto(i, scratchA, pa);
+            lib.decodeInto(i, scratchB, pb);
+            // Registers and the live-state image come from
+            // deterministic architectural execution: exact under any
+            // sharding. Only microarchitectural warm state may vary.
+            CHECK_EQ(pb.index, pa.index);
+            CHECK_EQ(pb.windowStart, pa.windowStart);
+            CHECK(pb.regs.serialize() == pa.regs.serialize());
+            DerWriter wa, wb;
+            pa.memImage.serialize(wa);
+            pb.memImage.serialize(wb);
+            CHECK(wa.finish() == wb.finish());
+        }
+
+        // Fig-4-style bias check: the shard-built estimate must match
+        // the sequential full-warming estimate within a tight relative
+        // tolerance (only each shard's leading windows can differ, by
+        // the MRRL coverage argument).
+        const LivePointRunResult run =
+            runLivePoints(prog, lib, cfg, ropt);
+        CHECK_EQ(run.processed, seqRun.processed);
+        CHECK(seqRun.cpi() > 0);
+        const double bias =
+            std::fabs(run.cpi() - seqRun.cpi()) / seqRun.cpi();
+        if (bias > 0.02)
+            std::fprintf(stderr,
+                         "shards=%u bias %.4f (seq %.4f vs shard %.4f)\n",
+                         shards, bias, seqRun.cpi(), run.cpi());
+        CHECK(bias <= 0.02);
+    }
+
+    // --- Fixed warming prefix: same exactness contract. ---
+    {
+        LivePointBuilderConfig bc = bcSeq;
+        bc.pipelineEncode = true;
+        bc.buildThreads = 3;
+        bc.shardPrefixInsts = 100'000;
+        LivePointBuilder builder(bc);
+        const LivePointLibrary lib = builder.build(prog, design);
+        CHECK_EQ(lib.size(), design.count);
+        Blob scratch;
+        LivePoint p;
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            lib.decodeInto(i, scratch, p);
+            CHECK_EQ(p.windowStart, design.windowStart(i));
+            CHECK_EQ(p.regs.instIndex, p.windowStart);
+        }
+        const LivePointRunResult run =
+            runLivePoints(prog, lib, cfg, ropt);
+        const double bias =
+            std::fabs(run.cpi() - seqRun.cpi()) / seqRun.cpi();
+        CHECK(bias <= 0.02);
+    }
+
+    // --- Sharded builds are themselves deterministic. ---
+    {
+        LivePointBuilderConfig bc = bcSeq;
+        bc.pipelineEncode = true;
+        bc.buildThreads = 3;
+        LivePointBuilder b1(bc);
+        LivePointBuilder b2(bc);
+        const LivePointLibrary l1 = b1.build(prog, design);
+        const LivePointLibrary l2 = b2.build(prog, design);
+        CHECK(identicalRecords(l1, l2));
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -4,7 +4,11 @@
 
 #include "codec/der.hh"
 #include "codec/zip.hh"
+#include "core/builder.hh"
+#include "uarch/config.hh"
 #include "util/rng.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
 
 int
 main()
@@ -59,6 +63,86 @@ main()
             CHECK(out == *data);
             CHECK(zipDecompress(z) == *data);
         }
+    }
+
+    // zip: overlapping (RLE-style) matches at every short period.
+    // Period-p data compresses to matches with offset p (1..4), the
+    // offsets whose decompression copy source overlaps its
+    // destination.
+    {
+        for (unsigned period = 1; period <= 4; ++period) {
+            Blob data(3000 + period * 17);
+            for (std::size_t i = 0; i < data.size(); ++i)
+                data[i] = static_cast<std::uint8_t>(
+                    0x20 + (i % period) * 31);
+            const Blob z = zipCompress(data);
+            CHECK(z.size() < data.size() / 8);
+            CHECK(zipDecompress(z) == data);
+        }
+    }
+    // zip: matches straddling the 64KiB window boundary. A unique
+    // 32-byte block recurs at distances 65535 (the farthest encodable
+    // offset) and 65536+ (outside the window, must not be matched);
+    // both buffers must round-trip exactly.
+    {
+        Rng rng(6, "zip-window");
+        for (const std::size_t gap : {std::size_t{65535} - 32,
+                                      std::size_t{65536} - 32,
+                                      std::size_t{70000}}) {
+            Blob data;
+            Blob block(32);
+            for (auto &b : block)
+                b = static_cast<std::uint8_t>(rng.next());
+            data.insert(data.end(), block.begin(), block.end());
+            // Incompressible filler so the only long match is the
+            // recurring block.
+            for (std::size_t i = 0; i < gap; ++i)
+                data.push_back(static_cast<std::uint8_t>(rng.next()));
+            data.insert(data.end(), block.begin(), block.end());
+            for (std::size_t i = 0; i < 500; ++i)
+                data.push_back(static_cast<std::uint8_t>(rng.next()));
+            CHECK(zipDecompress(zipCompress(data)) == data);
+        }
+    }
+    // zip: structure shifted by less than a match length — the
+    // in-match hash insertions find these; positions inside an
+    // emitted match must still seed future matches.
+    {
+        Blob unit(96);
+        for (std::size_t i = 0; i < unit.size(); ++i)
+            unit[i] = static_cast<std::uint8_t>(i * 7 + 3);
+        Blob data;
+        for (unsigned rep = 0; rep < 40; ++rep) {
+            data.push_back(static_cast<std::uint8_t>(rep)); // misalign
+            data.insert(data.end(), unit.begin(), unit.end());
+        }
+        const Blob z = zipCompress(data);
+        CHECK(z.size() < data.size() / 4);
+        CHECK(zipDecompress(z) == data);
+    }
+    // zip: ratio regression guard on a canned live-point payload —
+    // the workload the codec exists for. The greedy single-entry
+    // table this matcher replaced landed at 0.669 on this exact
+    // point; the hash-chain matcher must stay strictly below that.
+    {
+        WorkloadProfile profile = tinyProfile(120'000, 3);
+        profile.name = "codec-ratio";
+        const Program prog = generateProgram(profile);
+        const CoreConfig cfg = CoreConfig::eightWay();
+        const SampleDesign design = SampleDesign::systematic(
+            measureProgramLength(prog), 8, 1000, cfg.detailedWarming);
+        LivePointBuilderConfig bc;
+        bc.bpredConfigs = {cfg.bpred};
+        LivePointBuilder builder(bc);
+        const LivePointLibrary lib = builder.build(prog, design);
+        const Blob raw = lib.get(lib.size() / 2).serialize();
+        const Blob z = zipCompress(raw);
+        CHECK(zipDecompress(z) == raw);
+        const double ratio = static_cast<double>(z.size()) /
+                             static_cast<double>(raw.size());
+        if (ratio > 0.66)
+            std::fprintf(stderr, "live-point ratio %.4f\n", ratio);
+        CHECK(ratio <= 0.66);
     }
 
     // der: nested sequences with every value type.

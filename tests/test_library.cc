@@ -6,6 +6,8 @@
 #include "harness.hh"
 
 #include <cstdio>
+#include <filesystem>
+#include <stdexcept>
 
 #include "core/builder.hh"
 #include "core/library.hh"
@@ -65,7 +67,7 @@ main()
         CHECK(b.bpred > 0);
     }
 
-    // Save -> load -> identical content.
+    // Save -> load -> identical content (LPLIB3, the default).
     const std::string path = "libtest-roundtrip.lpl";
     lib.save(path);
     const LivePointLibrary loaded = LivePointLibrary::load(path);
@@ -77,9 +79,73 @@ main()
              lib.totalUncompressedBytes());
     for (std::size_t i = 0; i < lib.size(); ++i) {
         CHECK_EQ(loaded.compressedSize(i), lib.compressedSize(i));
+        CHECK_EQ(loaded.windowIndex(i), lib.windowIndex(i));
         CHECK(loaded.get(i).serialize() == lib.get(i).serialize());
     }
     std::remove(path.c_str());
+
+    // Format compatibility: a library written by the legacy LPLIB2
+    // writer loads through the same magic-dispatched load() with
+    // point-for-point equality.
+    {
+        const std::string p2 = "libtest-lpl2.lpl";
+        lib.save(p2, LivePointLibrary::Format::lpl2);
+        const LivePointLibrary old = LivePointLibrary::load(p2);
+        CHECK(old.design() == lib.design());
+        CHECK(old.benchmark() == lib.benchmark());
+        CHECK_EQ(old.size(), lib.size());
+        CHECK_EQ(old.totalCompressedBytes(),
+                 lib.totalCompressedBytes());
+        Blob scratchA, scratchB;
+        LivePoint pa, pb;
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            CHECK_EQ(old.compressedSize(i), lib.compressedSize(i));
+            CHECK_EQ(old.windowIndex(i), lib.windowIndex(i));
+            old.decodeInto(i, scratchA, pa);
+            lib.decodeInto(i, scratchB, pb);
+            CHECK(pa.serialize() == pb.serialize());
+        }
+        std::remove(p2.c_str());
+    }
+
+    // Zero-copy spans: a loaded library's records point into one
+    // backing buffer, in stored order, and survive a library move.
+    {
+        const std::string p3 = "libtest-span.lpl";
+        lib.save(p3);
+        LivePointLibrary span = LivePointLibrary::load(p3);
+        const std::uint8_t *base = span.record(0).data;
+        for (std::size_t i = 1; i < span.size(); ++i) {
+            const ByteSpan prev = span.record(i - 1);
+            CHECK(span.record(i).data == prev.data + prev.size);
+        }
+        const LivePointLibrary moved = std::move(span);
+        CHECK(moved.record(0).data == base);
+        CHECK(moved.get(0).serialize() == lib.get(0).serialize());
+        std::remove(p3.c_str());
+    }
+
+    // Malformed container files raise, never crash or leak.
+    {
+        const std::string pbad = "libtest-bad.lpl";
+        lib.save(pbad);
+        std::filesystem::resize_file(pbad, 80); // truncate mid-table
+        bool threw = false;
+        try {
+            LivePointLibrary::load(pbad);
+        } catch (const std::exception &) {
+            threw = true;
+        }
+        CHECK(threw);
+        std::remove(pbad.c_str());
+        bool threwMissing = false;
+        try {
+            LivePointLibrary::load("libtest-does-not-exist.lpl");
+        } catch (const std::exception &) {
+            threwMissing = true;
+        }
+        CHECK(threwMissing);
+    }
 
     // Shuffling is a seed-deterministic permutation.
     {
