@@ -1,22 +1,27 @@
 /**
  * @file
  * design_space_exploration — the workflow the paper's conclusion
- * motivates: sweep a microarchitectural design space (here: L2 size x
- * memory latency x issue width) against the 8-way baseline using one
- * reusable live-point library, matched-pair comparison, and online
- * early termination. Design points that do not differ measurably from
- * the baseline are discarded after a handful of measurements; only
- * genuinely different points get a full-confidence comparison.
+ * motivates, on the campaign engine: sweep a microarchitectural
+ * design space (here: L2 size x memory latency) against the 8-way
+ * baseline using one reusable live-point library. The whole grid runs
+ * as a single campaign: every design point replays from the same
+ * decode of each live-point (decode-once fan-out), pairing is exact
+ * by construction (common random numbers), cells retire independently
+ * when they reach the confidence target, and the run checkpoints to a
+ * manifest — kill it and rerun, and it picks up where it stopped.
  *
- * Usage: design_space_exploration [library.lpl]
- *   With no argument, builds a small demo library in memory.
+ * Usage: design_space_exploration [library.lpl [manifest]]
+ *   With no argument (or "-"), builds a small demo library in memory;
+ *   the demo build is seeded, so a manifest stays valid across runs.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/builder.hh"
+#include "core/campaign.hh"
 #include "core/runners.hh"
 #include "uarch/config.hh"
 #include "util/log.hh"
@@ -60,7 +65,7 @@ main(int argc, char **argv)
     setQuiet(true);
     Program prog;
     LivePointLibrary lib;
-    if (argc > 1) {
+    if (argc > 1 && std::string(argv[1]) != "-") {
         lib = LivePointLibrary::load(argv[1]);
         const WorkloadProfile p = findProfile(lib.benchmark());
         prog = generateProgram(p);
@@ -72,46 +77,71 @@ main(int argc, char **argv)
     std::printf("library '%s': %zu live-points\n\n",
                 lib.benchmark().c_str(), lib.size());
 
-    const CoreConfig base = CoreConfig::eightWay();
-
-    struct Point
-    {
-        std::string name;
-        CoreConfig cfg;
-    };
-    std::vector<Point> space;
+    // Design space: the baseline first (index 0, the delta reference),
+    // then the L2-size x memory-latency sweep.
+    std::vector<CoreConfig> space;
+    space.push_back(CoreConfig::eightWay());
     for (std::uint64_t l2 : {512ull << 10, 1ull << 20, 2ull << 20}) {
         for (Cycles memLat : {80ull, 100ull, 140ull}) {
-            CoreConfig c = base;
+            CoreConfig c = space.front();
             c.mem.l2.sizeBytes = l2;
             c.mem.memLatency = memLat;
             c.name = strfmt("L2=%lluKB,mem=%llucy",
                             static_cast<unsigned long long>(l2 >> 10),
                             static_cast<unsigned long long>(memLat));
-            space.push_back({c.name, c});
+            // The (1MB, 100cy) point IS the baseline: keeping it in
+            // the sweep shows common random numbers at work — its
+            // delta prints as exactly zero.
+            space.push_back(c);
         }
     }
 
-    LivePointRunOptions opt;
-    opt.stopAtConfidence = true; // online early termination
+    CampaignOptions opt;
+    opt.stopAtConfidence = true; // cells retire independently
+    opt.spec = ConfidenceSpec{0.997, 0.03};
+    if (argc > 2) {
+        opt.manifestPath = argv[2];
+        std::printf("checkpointing to '%s' (kill and rerun to "
+                    "resume)\n\n", argv[2]);
+    }
 
+    CampaignEngine engine({{lib.benchmark(), &prog, &lib}}, space, opt);
+    const CampaignResult r = engine.run();
+
+    const double z = confidenceZ(opt.spec.level);
+    const double baseCpi = r.cells[0].cpi();
     std::printf("%-24s %10s %9s %8s  %s\n", "design point", "dCPI",
                 "rel", "pairs", "verdict");
-    for (const Point &pt : space) {
-        const MatchedPairOutcome r =
-            runMatchedPair(prog, lib, base, pt.cfg, opt);
+    for (std::size_t c = 1; c < space.size(); ++c) {
+        const CampaignPair *p = r.pair(0, 0, c);
+        const double hw = p->delta.halfWidth(z);
+        const bool significant = p->delta.count() >= minCltSample &&
+                                 std::fabs(p->meanDelta()) > hw;
         const char *verdict =
-            !r.result.significant
+            !significant
                 ? "~ no measurable difference"
-                : (r.result.meanDelta < 0 ? "+ faster than baseline"
-                                          : "- slower than baseline");
-        std::printf("%-24s %+10.4f %8.2f%% %8zu  %s\n", pt.name.c_str(),
-                    r.result.meanDelta, 100 * r.result.relDelta,
-                    r.processed, verdict);
+                : (p->meanDelta() < 0 ? "+ faster than baseline"
+                                      : "- slower than baseline");
+        std::printf("%-24s %+10.4f %8.2f%% %8llu  %s\n",
+                    space[c].name.c_str(), p->meanDelta(),
+                    baseCpi != 0.0 ? 100 * p->meanDelta() / baseCpi
+                                   : 0.0,
+                    static_cast<unsigned long long>(p->delta.count()),
+                    verdict);
     }
-    std::printf("\nno-impact points resolve after ~%u pairs (the "
-                "matched-pair minimum); different points run until "
-                "their delta is significant at 99.7%% confidence.\n",
-                static_cast<unsigned>(minCltSample));
+    std::printf("\none campaign, %zu cells: %llu points decoded once "
+                "each, %.2f replays per decode; %zu cells retired at "
+                "their confidence target early, migrating %llu "
+                "replays to the rest.\n",
+                r.cells.size(),
+                static_cast<unsigned long long>(r.pointsDecoded),
+                static_cast<double>(r.replaysExecuted) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        r.pointsDecoded, 1)),
+                r.retirements,
+                static_cast<unsigned long long>(r.migratedReplays));
+    if (!opt.manifestPath.empty())
+        std::printf("manifest retained at '%s'; delete it to start "
+                    "the sweep over.\n", opt.manifestPath.c_str());
     return 0;
 }

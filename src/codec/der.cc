@@ -182,6 +182,11 @@ DerReader::getUint()
     std::uint64_t v = 0;
     unsigned shift = 0;
     for (std::size_t i = 0; i < len; ++i) {
+        // 10 groups of 7 bits fill 64; an 11th would shift past the
+        // word (undefined behaviour on crafted input, caught by the
+        // codec fuzz suite).
+        if (shift > 63)
+            throw std::runtime_error("der: oversized uint");
         v |= static_cast<std::uint64_t>(p[i] & 0x7f) << shift;
         shift += 7;
         if (!(p[i] & 0x80)) {

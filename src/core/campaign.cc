@@ -1,0 +1,523 @@
+#include "core/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/replay.hh"
+#include "util/log.hh"
+#include "util/threadpool.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kManifestMagic = 0x4c50'434d'4631ull; // LPCMF1
+constexpr std::uint64_t kManifestVersion = 1;
+
+double
+seconds(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void
+putStatState(DerWriter &w, const RunningStat &s)
+{
+    const RunningStat::State st = s.state();
+    w.beginSequence();
+    w.putUint(st.n);
+    w.putDouble(st.mean);
+    w.putDouble(st.m2);
+    w.putDouble(st.min);
+    w.putDouble(st.max);
+    w.endSequence();
+}
+
+RunningStat
+getStatState(DerReader &r)
+{
+    DerReader seq = r.getSequence();
+    RunningStat::State st;
+    st.n = seq.getUint();
+    st.mean = seq.getDouble();
+    st.m2 = seq.getDouble();
+    st.min = seq.getDouble();
+    st.max = seq.getDouble();
+    return RunningStat::fromState(st);
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+const CampaignPair *
+CampaignResult::pair(std::size_t workload, std::size_t base,
+                     std::size_t test) const
+{
+    for (const CampaignPair &p : pairs) {
+        if (p.workload != workload)
+            continue;
+        if (p.base == base && p.test == test)
+            return &p;
+    }
+    return nullptr;
+}
+
+/**
+ * The checkpoint image: per workload, the fold frontier and every
+ * cell's and pair's accumulator state. Restoring a stat and folding
+ * onward is arithmetically identical to never having stopped, which
+ * is what makes resume exact.
+ */
+struct CampaignEngine::Manifest
+{
+    struct Cell
+    {
+        std::uint64_t processed = 0;
+        bool converged = false;
+        std::uint64_t unavailable = 0;
+        RunningStat stat;
+    };
+
+    struct Workload
+    {
+        std::uint64_t frontier = 0; //!< points folded so far
+        std::vector<Cell> cells;
+        std::vector<RunningStat> pairs; //!< delta stats, (a<b) order
+    };
+
+    std::vector<Workload> workloads;
+    bool restored = false; //!< loaded from disk (a resume)
+};
+
+CampaignEngine::CampaignEngine(std::vector<CampaignWorkload> workloads,
+                               std::vector<CoreConfig> configs,
+                               const CampaignOptions &opt)
+    : workloads_(std::move(workloads)), configs_(std::move(configs)),
+      opt_(opt),
+      blockSize_(opt.blockSize ? opt.blockSize : defaultFoldBlock)
+{
+    if (workloads_.empty())
+        throw std::invalid_argument("campaign: no workloads");
+    if (configs_.empty())
+        throw std::invalid_argument("campaign: no configurations");
+    if (configs_.size() > maxReplayConfigs)
+        throw std::invalid_argument(
+            "campaign: too many configurations for one decode fan-out");
+    for (const CampaignWorkload &w : workloads_)
+        if (!w.prog || !w.lib)
+            throw std::invalid_argument(
+                strfmt("campaign: workload '%s' has no program or "
+                       "library",
+                       w.name.c_str()));
+    digests_.reserve(configs_.size());
+    for (const CoreConfig &c : configs_)
+        digests_.push_back(configDigest(c));
+    // Hashing a library touches every record byte; the manifest
+    // writes at every block barrier, so pay the scan once up front.
+    libHashes_.reserve(workloads_.size());
+    for (const CampaignWorkload &w : workloads_)
+        libHashes_.push_back(w.lib->contentHash());
+}
+
+void
+CampaignEngine::saveManifest(const Manifest &m) const
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putUint(kManifestMagic);
+    w.putUint(kManifestVersion);
+    w.putUint(opt_.shuffleSeed);
+    w.putUint(blockSize_);
+    w.putUint(doubleBits(opt_.spec.level));
+    w.putUint(doubleBits(opt_.spec.relativeError));
+    w.putUint(opt_.stopAtConfidence ? 1 : 0);
+    w.putUint(opt_.approxWrongPath ? 1 : 0);
+    w.putUint(workloads_.size());
+    w.putUint(configs_.size());
+    w.beginSequence();
+    for (const std::uint64_t d : digests_)
+        w.putUint(d);
+    w.endSequence();
+    for (std::size_t i = 0; i < workloads_.size(); ++i) {
+        const Manifest::Workload &mw = m.workloads[i];
+        w.beginSequence();
+        w.putString(workloads_[i].name);
+        w.putUint(libHashes_[i]);
+        w.putUint(workloads_[i].lib->size());
+        w.putUint(mw.frontier);
+        for (const Manifest::Cell &c : mw.cells) {
+            w.beginSequence();
+            w.putUint(c.processed);
+            w.putUint(c.converged ? 1 : 0);
+            w.putUint(c.unavailable);
+            putStatState(w, c.stat);
+            w.endSequence();
+        }
+        for (const RunningStat &p : mw.pairs)
+            putStatState(w, p);
+        w.endSequence();
+    }
+    w.endSequence();
+    const Blob data = w.finish();
+
+    const std::string tmp = opt_.manifestPath + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("campaign: cannot write manifest '%s'", tmp.c_str()));
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw std::runtime_error(
+            strfmt("campaign: short write to manifest '%s'",
+                   tmp.c_str()));
+    std::filesystem::rename(tmp, opt_.manifestPath);
+}
+
+CampaignEngine::Manifest
+CampaignEngine::loadManifest() const
+{
+    const std::size_t numPairs =
+        configs_.size() * (configs_.size() - 1) / 2;
+    Manifest m;
+    m.workloads.resize(workloads_.size());
+    for (std::size_t i = 0; i < workloads_.size(); ++i) {
+        m.workloads[i].cells.resize(configs_.size());
+        m.workloads[i].pairs.resize(numPairs);
+    }
+    if (opt_.manifestPath.empty())
+        return m;
+    std::error_code ec;
+    const std::uintmax_t size =
+        std::filesystem::file_size(opt_.manifestPath, ec);
+    if (ec)
+        return m; // no manifest yet: a fresh campaign
+
+    FILE *f = std::fopen(opt_.manifestPath.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("campaign: cannot open manifest '%s'",
+                   opt_.manifestPath.c_str()));
+    Blob data(static_cast<std::size_t>(size));
+    const bool ok = data.empty() ||
+                    std::fread(data.data(), 1, data.size(), f) ==
+                        data.size();
+    std::fclose(f);
+    if (!ok)
+        throw std::runtime_error(
+            strfmt("campaign: short read from manifest '%s'",
+                   opt_.manifestPath.c_str()));
+
+    auto mismatch = [this](const char *what) {
+        return std::runtime_error(
+            strfmt("campaign: manifest '%s' belongs to a different "
+                   "campaign (%s changed); delete it to start over",
+                   opt_.manifestPath.c_str(), what));
+    };
+
+    DerReader top(data);
+    DerReader seq = top.getSequence();
+    if (seq.getUint() != kManifestMagic ||
+        seq.getUint() != kManifestVersion)
+        throw mismatch("format");
+    if (seq.getUint() != opt_.shuffleSeed)
+        throw mismatch("shuffle seed");
+    if (seq.getUint() != blockSize_)
+        throw mismatch("block size");
+    if (seq.getUint() != doubleBits(opt_.spec.level) ||
+        seq.getUint() != doubleBits(opt_.spec.relativeError))
+        throw mismatch("confidence spec");
+    if (seq.getUint() != (opt_.stopAtConfidence ? 1u : 0u))
+        throw mismatch("stopping mode");
+    if (seq.getUint() != (opt_.approxWrongPath ? 1u : 0u))
+        throw mismatch("wrong-path mode");
+    if (seq.getUint() != workloads_.size() ||
+        seq.getUint() != configs_.size())
+        throw mismatch("grid shape");
+    {
+        DerReader ds = seq.getSequence();
+        for (const std::uint64_t d : digests_)
+            if (ds.getUint() != d)
+                throw mismatch("configuration");
+    }
+    for (std::size_t i = 0; i < workloads_.size(); ++i) {
+        Manifest::Workload &mw = m.workloads[i];
+        DerReader ws = seq.getSequence();
+        if (ws.getString() != workloads_[i].name)
+            throw mismatch("workload name");
+        if (ws.getUint() != libHashes_[i])
+            throw mismatch("library content");
+        if (ws.getUint() != workloads_[i].lib->size())
+            throw mismatch("library size");
+        mw.frontier = ws.getUint();
+        for (Manifest::Cell &c : mw.cells) {
+            DerReader cs = ws.getSequence();
+            c.processed = cs.getUint();
+            c.converged = cs.getUint() != 0;
+            c.unavailable = cs.getUint();
+            c.stat = getStatState(cs);
+        }
+        for (RunningStat &p : mw.pairs)
+            p = getStatState(ws);
+    }
+    m.restored = true;
+    return m;
+}
+
+CampaignResult
+CampaignEngine::run()
+{
+    const auto t0 = Clock::now();
+    const std::size_t nc = configs_.size();
+    const std::size_t numPairs = nc * (nc - 1) / 2;
+    auto pairIndex = [nc](std::size_t a, std::size_t b) {
+        // (a < b) pairs in lexicographic order.
+        return a * nc - a * (a + 1) / 2 + (b - a - 1);
+    };
+
+    Manifest m = loadManifest();
+
+    CampaignResult res;
+    res.cells.resize(workloads_.size() * nc);
+    res.pairs.reserve(workloads_.size() * numPairs);
+
+    ReplayEngineOptions ropt;
+    ropt.threads = std::max(opt_.threads, 1u);
+    ropt.decodeThreads = opt_.decodeThreads;
+    ropt.approxWrongPath = opt_.approxWrongPath;
+    ropt.decodeThreads = replayDecodeThreads(ropt);
+    ThreadPool pool(ropt.threads + ropt.decodeThreads);
+    ropt.sharedPool = &pool;
+
+    // Replays folded so far, campaign-wide, restored work included —
+    // the deterministic quantity the global budget is charged against.
+    std::uint64_t folded = 0;
+    for (const Manifest::Workload &mw : m.workloads)
+        for (const Manifest::Cell &c : mw.cells) {
+            folded += c.processed;
+            res.restoredReplays += c.processed;
+        }
+    res.foldedReplays = folded;
+    // A resumed campaign may already satisfy the budget; without this
+    // the first barrier only notices after replaying one more block.
+    if (opt_.maxFoldedReplays && folded >= opt_.maxFoldedReplays)
+        res.budgetExhausted = true;
+    const bool stopping =
+        opt_.stopAtConfidence || opt_.maxFoldedReplays != 0;
+
+    for (std::size_t w = 0; w < workloads_.size(); ++w) {
+        const CampaignWorkload &wk = workloads_[w];
+        Manifest::Workload &mw = m.workloads[w];
+        const std::size_t n = wk.lib->size();
+
+        // Rebuild the live fold state from the manifest image. Every
+        // still-active cell sits exactly at the workload's frontier
+        // (cells only leave the frontier by retiring), so one
+        // first-point offset resumes them all.
+        struct CellRun
+        {
+            OnlineEstimator est;
+            RunningStat block;
+            bool active = true;
+        };
+        std::vector<CellRun> cells;
+        cells.reserve(nc);
+        std::vector<std::size_t> restoredAtStart(nc, 0);
+        std::uint64_t initialMask = 0;
+        for (std::size_t c = 0; c < nc; ++c) {
+            restoredAtStart[c] =
+                m.restored
+                    ? static_cast<std::size_t>(mw.cells[c].processed)
+                    : 0;
+            cells.push_back(CellRun{OnlineEstimator(opt_.spec),
+                                    RunningStat{}, true});
+            if (mw.cells[c].stat.count())
+                cells[c].est.fold(mw.cells[c].stat);
+            cells[c].active =
+                !mw.cells[c].converged && mw.frontier < n;
+            if (cells[c].active)
+                initialMask |= 1ull << c;
+        }
+
+        if (initialMask != 0 && !res.budgetExhausted) {
+            const std::vector<std::size_t> order =
+                replayOrder(n, opt_.shuffleSeed);
+            ReplayEngine engine(*wk.prog, configs_, ropt);
+
+            ReplayPlan plan;
+            plan.firstPoint = static_cast<std::size_t>(mw.frontier);
+            plan.initialMask = initialMask;
+
+            engine.run(
+                *wk.lib, order, blockSize_, stopping,
+                [&](std::size_t, const WindowResult *row) {
+                    for (std::size_t c = 0; c < nc; ++c) {
+                        if (!cells[c].active)
+                            continue;
+                        cells[c].block.add(row[c].cpi);
+                        mw.cells[c].unavailable +=
+                            row[c].unavailableLoads;
+                    }
+                    for (std::size_t a = 0; a < nc; ++a) {
+                        if (!cells[a].active)
+                            continue;
+                        for (std::size_t b = a + 1; b < nc; ++b) {
+                            if (!cells[b].active)
+                                continue;
+                            mw.pairs[pairIndex(a, b)].add(row[b].cpi -
+                                                          row[a].cpi);
+                        }
+                    }
+                },
+                [&](std::size_t end) -> std::uint64_t {
+                    std::uint64_t keep = 0;
+                    for (std::size_t c = 0; c < nc; ++c) {
+                        if (!cells[c].active)
+                            continue;
+                        const OnlineSnapshot snap =
+                            cells[c].est.fold(cells[c].block);
+                        cells[c].block = RunningStat();
+                        folded += end - mw.frontier;
+                        mw.cells[c].processed = end;
+                        mw.cells[c].stat = cells[c].est.stat();
+                        if (opt_.stopAtConfidence && snap.satisfied) {
+                            cells[c].active = false;
+                            mw.cells[c].converged = true;
+                        } else {
+                            keep |= 1ull << c;
+                        }
+                    }
+                    mw.frontier = end;
+                    if (opt_.maxFoldedReplays &&
+                        folded >= opt_.maxFoldedReplays) {
+                        res.budgetExhausted = true;
+                        keep = 0;
+                    }
+                    if (!opt_.manifestPath.empty())
+                        saveManifest(m);
+                    return keep;
+                },
+                &plan);
+
+            res.bytesDecoded += engine.bytesDecoded();
+            res.pointsDecoded += engine.pointsDecoded();
+            res.replaysExecuted += engine.replaysExecuted();
+        }
+
+        // Publish the workload's cells and pairs.
+        for (std::size_t c = 0; c < nc; ++c) {
+            CampaignCell &cell = res.cells[w * nc + c];
+            cell.workload = w;
+            cell.config = c;
+            cell.stat = mw.cells[c].stat;
+            cell.estimate = cells[c].est.snapshot();
+            cell.processed =
+                static_cast<std::size_t>(mw.cells[c].processed);
+            cell.restored = restoredAtStart[c];
+            cell.unavailableLoads = mw.cells[c].unavailable;
+            cell.converged = mw.cells[c].converged;
+            if (cell.converged)
+                ++res.retirements;
+            res.migratedReplays += mw.frontier - mw.cells[c].processed;
+        }
+        for (std::size_t a = 0; a < nc; ++a)
+            for (std::size_t b = a + 1; b < nc; ++b) {
+                CampaignPair p;
+                p.workload = w;
+                p.base = a;
+                p.test = b;
+                p.delta = mw.pairs[pairIndex(a, b)];
+                res.pairs.push_back(std::move(p));
+            }
+    }
+
+    res.foldedReplays = folded;
+    res.wallSeconds = seconds(t0);
+    return res;
+}
+
+std::string
+CampaignEngine::jsonReport(const CampaignResult &r) const
+{
+    const std::size_t nc = configs_.size();
+    const double z = confidenceZ(opt_.spec.level);
+    std::string out = "{\n  \"workloads\": [";
+    for (std::size_t w = 0; w < workloads_.size(); ++w)
+        out += strfmt("%s\"%s\"", w ? ", " : "",
+                      workloads_[w].name.c_str());
+    out += "],\n  \"configs\": [";
+    for (std::size_t c = 0; c < nc; ++c)
+        out += strfmt("%s\n    {\"name\": \"%s\", \"digest\": "
+                      "\"%016llx\"}",
+                      c ? "," : "", configs_[c].name.c_str(),
+                      static_cast<unsigned long long>(digests_[c]));
+    out += "\n  ],\n  \"cells\": [";
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+        const CampaignCell &cell = r.cells[i];
+        out += strfmt(
+            "%s\n    {\"workload\": %zu, \"config\": %zu, "
+            "\"points\": %zu, \"cpi\": %.9f, \"rel_half_width\": %.6f, "
+            "\"converged\": %s, \"unavailable_loads\": %llu}",
+            i ? "," : "", cell.workload, cell.config, cell.processed,
+            cell.estimate.mean, cell.estimate.relHalfWidth,
+            cell.converged ? "true" : "false",
+            static_cast<unsigned long long>(cell.unavailableLoads));
+    }
+    out += "\n  ],\n  \"pairs\": [";
+    for (std::size_t i = 0; i < r.pairs.size(); ++i) {
+        const CampaignPair &p = r.pairs[i];
+        const double hw = p.delta.halfWidth(z);
+        const double base =
+            r.cells[p.workload * nc + p.base].estimate.mean;
+        const bool significant =
+            p.delta.count() >= minCltSample &&
+            std::fabs(p.delta.mean()) > hw;
+        out += strfmt(
+            "%s\n    {\"workload\": %zu, \"base\": %zu, \"test\": %zu, "
+            "\"pairs\": %llu, \"mean_delta\": %.9f, \"rel_delta\": "
+            "%.6f, \"half_width\": %.9f, \"significant\": %s}",
+            i ? "," : "", p.workload, p.base, p.test,
+            static_cast<unsigned long long>(p.delta.count()),
+            p.delta.mean(),
+            base != 0.0 ? p.delta.mean() / base : 0.0, hw,
+            significant ? "true" : "false");
+    }
+    out += strfmt(
+        "\n  ],\n  \"totals\": {\"wall_seconds\": %.6f, "
+        "\"bytes_decoded\": %llu, \"points_decoded\": %llu, "
+        "\"replays_executed\": %llu, \"folded_replays\": %llu, "
+        "\"restored_replays\": %llu, \"migrated_replays\": %llu, "
+        "\"retirements\": %zu, \"budget_exhausted\": %s, "
+        "\"decode_fanout\": %.3f}\n}\n",
+        r.wallSeconds, static_cast<unsigned long long>(r.bytesDecoded),
+        static_cast<unsigned long long>(r.pointsDecoded),
+        static_cast<unsigned long long>(r.replaysExecuted),
+        static_cast<unsigned long long>(r.foldedReplays),
+        static_cast<unsigned long long>(r.restoredReplays),
+        static_cast<unsigned long long>(r.migratedReplays),
+        r.retirements, r.budgetExhausted ? "true" : "false",
+        r.pointsDecoded
+            ? static_cast<double>(r.replaysExecuted) /
+                  static_cast<double>(r.pointsDecoded)
+            : 0.0);
+    return out;
+}
+
+} // namespace lp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The campaign engine — design-space exploration as a first-class
+ * workload. A campaign is a (workload x configuration) grid of cells:
+ * every workload's live-point library is replayed against every core
+ * configuration. The engine schedules the grid on one shared
+ * ThreadPool and replays with **decode-once fan-out**: a worker
+ * decodes a live-point into its reusable buffer once and replays it
+ * through all still-active configurations, so the decompress +
+ * deserialize cost that dominates per-point replay (Figure 7) is paid
+ * once per point instead of once per cell.
+ *
+ * Guarantees:
+ *  - **Per-cell bit-identity.** Each cell's estimate, confidence
+ *    trajectory, and stopping point are bit-identical to a standalone
+ *    runLivePoints() of that (workload, config) with the same seed
+ *    and block size, at every thread count.
+ *  - **Common random numbers.** All configurations of a point replay
+ *    from the same decode in the same order, so any pair of cells
+ *    yields the exact per-point deltas runMatchedPair() produces.
+ *  - **Independent stopping, shared workers.** Cells reach their
+ *    confidence target independently (OnlineEstimator fold at block
+ *    barriers) and retire; the workers they free migrate to the
+ *    still-unconverged cells automatically, because the fan-out per
+ *    decode shrinks.
+ *  - **Resumability.** With a manifest path set, per-cell fold state
+ *    is checkpointed (DER-encoded, keyed by library hash and config
+ *    digest) at every block barrier; a killed campaign resumes
+ *    without re-replaying finished work and finishes with results
+ *    bit-identical to the uninterrupted run.
+ */
+
+#ifndef LP_CORE_CAMPAIGN_HH
+#define LP_CORE_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "core/library.hh"
+#include "core/sample.hh"
+#include "stats/running_stat.hh"
+#include "uarch/config.hh"
+#include "workload/generator.hh"
+
+namespace lp
+{
+
+/** One row of the campaign grid. */
+struct CampaignWorkload
+{
+    std::string name;
+    const Program *prog = nullptr;
+    const LivePointLibrary *lib = nullptr;
+};
+
+struct CampaignOptions
+{
+    ConfidenceSpec spec{};
+
+    /** Retire each cell as soon as it satisfies the spec. */
+    bool stopAtConfidence = false;
+
+    bool approxWrongPath = false;
+
+    /** Per-workload processing order; 0 = stored order. */
+    std::uint64_t shuffleSeed = 0;
+
+    unsigned threads = 1;       //!< simulation workers
+    unsigned decodeThreads = 0; //!< decode producers; 0 = auto
+    std::size_t blockSize = 0;  //!< fold/stopping block; 0 = default
+
+    /**
+     * Global replay budget: the campaign stops (gracefully, at a
+     * block barrier) once this many (point, config) replays have been
+     * folded, counting work restored from a manifest. 0 = unlimited.
+     * The check uses folded — not executed — replays, so the stopping
+     * point is identical at every thread count.
+     */
+    std::uint64_t maxFoldedReplays = 0;
+
+    /**
+     * Checkpoint file. When set, per-cell fold state is written at
+     * every block barrier, and an existing file is loaded and
+     * validated before the run (mismatched campaigns throw). Empty =
+     * no checkpointing.
+     */
+    std::string manifestPath;
+};
+
+/** One (workload, configuration) cell's outcome. */
+struct CampaignCell
+{
+    std::size_t workload = 0;
+    std::size_t config = 0;
+    OnlineSnapshot estimate;
+    RunningStat stat;          //!< per-window CPI observations
+    std::size_t processed = 0; //!< points folded, restored included
+    std::size_t restored = 0;  //!< of which restored from the manifest
+    std::uint64_t unavailableLoads = 0;
+    bool converged = false;    //!< retired by its confidence target
+
+    double cpi() const { return estimate.mean; }
+};
+
+/**
+ * A matched pair of cells on one workload: per-point CPI deltas
+ * (configs[test] - configs[base]) over the prefix both cells were
+ * active for — exactly what runMatchedPair() folds, because both
+ * cells replay from the same decodes in the same order.
+ */
+struct CampaignPair
+{
+    std::size_t workload = 0;
+    std::size_t base = 0;
+    std::size_t test = 0;
+    RunningStat delta;
+
+    double meanDelta() const { return delta.mean(); }
+};
+
+struct CampaignResult
+{
+    std::vector<CampaignCell> cells; //!< workload-major grid
+    std::vector<CampaignPair> pairs; //!< all config pairs per workload
+    double wallSeconds = 0.0;
+    std::uint64_t bytesDecoded = 0;
+    std::uint64_t pointsDecoded = 0;   //!< decode calls this run
+    std::uint64_t replaysExecuted = 0; //!< incl. speculative overshoot
+    std::uint64_t foldedReplays = 0;   //!< deterministic, incl. restored
+    std::uint64_t restoredReplays = 0; //!< replays skipped via manifest
+    std::uint64_t migratedReplays = 0; //!< replays freed by retirement
+    std::size_t retirements = 0;       //!< cells stopped early
+    bool budgetExhausted = false;
+
+    const CampaignCell &cell(std::size_t workload, std::size_t config,
+                             std::size_t numConfigs) const
+    {
+        return cells[workload * numConfigs + config];
+    }
+
+    /** Delta stat for (base, test) on a workload; null if not found. */
+    const CampaignPair *pair(std::size_t workload, std::size_t base,
+                             std::size_t test) const;
+};
+
+class CampaignEngine
+{
+  public:
+    CampaignEngine(std::vector<CampaignWorkload> workloads,
+                   std::vector<CoreConfig> configs,
+                   const CampaignOptions &opt);
+
+    std::size_t workloadCount() const { return workloads_.size(); }
+    std::size_t configCount() const { return configs_.size(); }
+    const CoreConfig &config(std::size_t i) const { return configs_[i]; }
+
+    /**
+     * Run (or resume) the campaign. Throws if an existing manifest
+     * belongs to a different campaign (other libraries, configs,
+     * seed, block size, or spec).
+     */
+    CampaignResult run();
+
+    /**
+     * The machine-readable campaign report: one JSON object with the
+     * grid, per-cell estimates, matched-pair deltas at the campaign's
+     * confidence level, and decode-amortization totals.
+     */
+    std::string jsonReport(const CampaignResult &r) const;
+
+  private:
+    struct Manifest;
+
+    Manifest loadManifest() const;
+    void saveManifest(const Manifest &m) const;
+
+    std::vector<CampaignWorkload> workloads_;
+    std::vector<CoreConfig> configs_;
+    std::vector<std::uint64_t> digests_;
+    std::vector<std::uint64_t> libHashes_; //!< computed once; libraries
+                                           //!< are immutable during a run
+    CampaignOptions opt_;
+    std::size_t blockSize_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_CAMPAIGN_HH

@@ -237,9 +237,21 @@ void
 LivePointLibrary::decodeInto(std::size_t i, Blob &scratch,
                              LivePoint &out) const
 {
+    const RecordRef &ref = refs_[i];
     const ByteSpan rec = record(i);
     zipDecompressInto(rec.data, rec.size, scratch);
+    // Cross-check the decoded point against the index table's
+    // accounting: rawSize and windowIndex are the two table fields
+    // the layout checks in load() cannot validate, so a corrupted
+    // container fails here on first decode instead of yielding a
+    // silently wrong point.
+    if (scratch.size() != ref.rawSize)
+        throw std::runtime_error(
+            strfmt("live-point %zu: record size mismatch", i));
     LivePoint::deserializeInto(scratch, out);
+    if (out.index != ref.index)
+        throw std::runtime_error(
+            strfmt("live-point %zu: window index mismatch", i));
 }
 
 void
@@ -287,6 +299,30 @@ LivePointLibrary::totalUncompressedBytes() const
     for (const RecordRef &r : refs_)
         total += r.rawSize;
     return total;
+}
+
+std::uint64_t
+LivePointLibrary::contentHash() const
+{
+    std::uint64_t h = hashMix(0x6c70'6c69'62ull); // "lplib"
+    for (const char ch : benchmark_)
+        h = hashCombine(h, static_cast<std::uint64_t>(ch));
+    h = hashCombine(h, design_.benchLength);
+    h = hashCombine(h, design_.count);
+    h = hashCombine(h, design_.measureLen);
+    h = hashCombine(h, design_.warmLen);
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        h = hashCombine(h, refs_[i].index);
+        const ByteSpan rec = record(i);
+        // FNV-1a over the record, folded in; cheap relative to one
+        // decompression and touching every byte keeps corruption and
+        // reorders distinguishable.
+        std::uint64_t f = 0xcbf29ce484222325ull;
+        for (std::size_t j = 0; j < rec.size; ++j)
+            f = (f ^ rec.data[j]) * 0x100000001b3ull;
+        h = hashCombine(h, f);
+    }
+    return h;
 }
 
 void
@@ -453,6 +489,7 @@ LivePointLibrary::loadLpl3(Blob data, const std::string &path)
     }
     lib.refs_.reserve(count);
     const std::uint64_t dataBytes = fileSize - dataOffset;
+    std::uint64_t running = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
         const std::uint8_t *row =
             h + tableOffset + i * kLpl3TableEntryBytes;
@@ -461,12 +498,19 @@ LivePointLibrary::loadLpl3(Blob data, const std::string &path)
         r.size = getU64le(row + 8);
         r.rawSize = getU64le(row + 16);
         r.index = getU64le(row + 24);
-        if (rel > dataBytes || r.size > dataBytes - rel)
+        // The writer lays records down back-to-back in table order;
+        // holding the loader to that makes any corruption of an
+        // offset or size — not just one escaping the data section —
+        // a detectable error.
+        if (rel != running || r.size > dataBytes - rel)
             throw malformed();
+        running = rel + r.size;
         r.offset = dataOffset + rel;
         r.inArena = false;
         lib.refs_.push_back(r);
     }
+    if (running != dataBytes)
+        throw malformed();
     // The whole file becomes the backing buffer; records are spans
     // into it — the load allocates nothing beyond the file bytes.
     lib.backing_ = std::move(data);

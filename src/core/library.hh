@@ -156,6 +156,15 @@ class LivePointLibrary
     std::uint64_t totalUncompressedBytes() const;
 
     /**
+     * 64-bit digest of the library's content in stored order:
+     * benchmark, design, and every record's window index and bytes.
+     * Two libraries with equal hashes replay identically, so the
+     * campaign manifest keys resumable fold state by this value
+     * (shuffles change the stored order and therefore the hash).
+     */
+    std::uint64_t contentHash() const;
+
+    /**
      * Permute the stored order (Fisher-Yates with @p rng). Only the
      * record references move; the compressed bytes stay put.
      */

@@ -36,40 +36,112 @@ autoProducers(unsigned workers)
 
 } // namespace
 
-ReplayContext::ReplayContext(const Program &prog, const CoreConfig &cfg)
-    : prog_(prog), cfg_(cfg), bpredKey_(cfg_.bpred.key()), port_(mem_),
-      hier_(cfg_.mem), bp_(cfg_.bpred),
-      core_(cfg_, contextBindings(prog_, port_, hier_, bp_))
+std::vector<std::size_t>
+replayOrder(std::size_t n, std::uint64_t shuffleSeed)
 {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    if (shuffleSeed) {
+        Rng rng(shuffleSeed, "lp-run-order");
+        for (std::size_t i = n; i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBounded(i)]);
+    }
+    return order;
+}
+
+unsigned
+replayDecodeThreads(const ReplayEngineOptions &opt)
+{
+    return opt.decodeThreads ? opt.decodeThreads
+                             : autoProducers(std::max(opt.threads, 1u));
+}
+
+ReplayContext::Unit::Unit(const Program &prog, const CoreConfig &config,
+                          MemPort &port)
+    : cfg(config), bpredKey(cfg.bpred.key()), hier(cfg.mem),
+      bp(cfg.bpred), core(cfg, contextBindings(prog, port, hier, bp))
+{
+}
+
+ReplayContext::ReplayContext(const Program &prog, const CoreConfig &cfg)
+    : ReplayContext(prog, std::vector<CoreConfig>{cfg})
+{
+}
+
+ReplayContext::ReplayContext(const Program &prog,
+                             const std::vector<CoreConfig> &cfgs)
+    : prog_(prog), direct_(mem_), overlay_(mem_)
+{
+    if (cfgs.empty())
+        throw std::invalid_argument("ReplayContext: no configurations");
+    units_.reserve(cfgs.size());
+    for (const CoreConfig &c : cfgs)
+        units_.push_back(std::make_unique<Unit>(prog_, c, direct_));
+}
+
+const CoreConfig &
+ReplayContext::config(std::size_t i) const
+{
+    return units_[i]->cfg;
+}
+
+WindowResult
+ReplayContext::runUnit(Unit &u, const LivePoint &point, MemPort &port,
+                       bool approxWrongPath)
+{
+    point.l1i.reconstruct(u.hier.l1i());
+    point.l1d.reconstruct(u.hier.l1d());
+    point.l2.reconstruct(u.hier.l2());
+    point.itlb.reconstruct(u.hier.itlb());
+    point.dtlb.reconstruct(u.hier.dtlb());
+    const Blob *image = point.findBpredImage(u.bpredKey);
+    if (!image)
+        throw std::runtime_error(
+            strfmt("library does not cover predictor '%s'",
+                   u.bpredKey.c_str()));
+    u.bp.deserialize(*image);
+
+    CoreBindings b;
+    b.prog = &prog_;
+    b.initialRegs = point.regs;
+    b.mem = &port;
+    b.hier = &u.hier;
+    b.bp = &u.bp;
+    b.availability = &point.memImage;
+    u.core.rebind(b);
+    u.core.setApproxWrongPath(approxWrongPath);
+    return u.core.measure(point.warmLen, point.measureLen);
 }
 
 WindowResult
 ReplayContext::simulate(const LivePoint &point, bool approxWrongPath)
 {
+    loadPoint(point);
+    // The single-configuration path stores straight into the pooled
+    // memory (no overlay indirection on the hot path); the next
+    // loadPoint() resets it anyway.
+    return runUnit(*units_[0], point, direct_, approxWrongPath);
+}
+
+void
+ReplayContext::loadPoint(const LivePoint &point)
+{
     mem_.reset();
     point.memImage.applyTo(mem_);
-    point.l1i.reconstruct(hier_.l1i());
-    point.l1d.reconstruct(hier_.l1d());
-    point.l2.reconstruct(hier_.l2());
-    point.itlb.reconstruct(hier_.itlb());
-    point.dtlb.reconstruct(hier_.dtlb());
-    const Blob *image = point.findBpredImage(bpredKey_);
-    if (!image)
-        throw std::runtime_error(
-            strfmt("library does not cover predictor '%s'",
-                   bpredKey_.c_str()));
-    bp_.deserialize(*image);
+    loaded_ = &point;
+}
 
-    CoreBindings b;
-    b.prog = &prog_;
-    b.initialRegs = point.regs;
-    b.mem = &port_;
-    b.hier = &hier_;
-    b.bp = &bp_;
-    b.availability = &point.memImage;
-    core_.rebind(b);
-    core_.setApproxWrongPath(approxWrongPath);
-    return core_.measure(point.warmLen, point.measureLen);
+WindowResult
+ReplayContext::replay(std::size_t cfgIdx, bool approxWrongPath)
+{
+    if (!loaded_)
+        throw std::logic_error("ReplayContext: replay before loadPoint");
+    // Each configuration replays over a write-private overlay of the
+    // point's memory image, so the image is applied once per point
+    // while every configuration still sees pristine live state.
+    overlay_.clear();
+    return runUnit(*units_[cfgIdx], *loaded_, overlay_, approxWrongPath);
 }
 
 ReplayEngine::ReplayEngine(const Program &prog,
@@ -83,15 +155,26 @@ ReplayEngine::ReplayEngine(const Program &prog,
       ringSlots_(opt.ringSlots
                      ? opt.ringSlots
                      : std::clamp<std::size_t>(
-                           2 * (threads_ + producers_), 8, 64)),
-      pool_(threads_ + producers_)
+                           2 * (threads_ + producers_), 8, 64))
 {
     if (cfgs_.empty())
         throw std::invalid_argument("ReplayEngine: no configurations");
-    ctx_.reserve(static_cast<std::size_t>(threads_) * cfgs_.size());
+    if (cfgs_.size() > maxReplayConfigs)
+        throw std::invalid_argument(
+            "ReplayEngine: too many configurations");
+    if (opt.sharedPool) {
+        if (opt.sharedPool->size() < threads_ + producers_)
+            throw std::invalid_argument(
+                "ReplayEngine: shared pool is smaller than threads + "
+                "decode producers");
+        pool_ = opt.sharedPool;
+    } else {
+        ownedPool_ = std::make_unique<ThreadPool>(threads_ + producers_);
+        pool_ = ownedPool_.get();
+    }
+    ctx_.reserve(threads_);
     for (unsigned w = 0; w < threads_; ++w)
-        for (const CoreConfig &c : cfgs_)
-            ctx_.push_back(std::make_unique<ReplayContext>(prog_, c));
+        ctx_.push_back(std::make_unique<ReplayContext>(prog_, cfgs_));
     // Caller contexts are built lazily: only simulateOne() needs them.
     callerCtx_.resize(cfgs_.size());
 }
@@ -106,6 +189,8 @@ ReplayEngine::simulateOne(const LivePointLibrary &lib, std::size_t pos,
     lib.decodeInto(pos, callerScratch_, callerPoint_);
     bytesDecoded_.fetch_add(callerScratch_.size(),
                             std::memory_order_relaxed);
+    pointsDecoded_.fetch_add(1, std::memory_order_relaxed);
+    replaysExecuted_.fetch_add(1, std::memory_order_relaxed);
     return callerCtx_[cfgIdx]->simulate(callerPoint_, approxWrongPath_);
 }
 
@@ -115,18 +200,25 @@ ReplayEngine::run(
     std::size_t blockSize, bool stopEarly,
     const std::function<void(std::size_t, const WindowResult *)>
         &foldPoint,
-    const std::function<bool(std::size_t)> &foldBarrier)
+    const std::function<std::uint64_t(std::size_t)> &foldBarrier,
+    const ReplayPlan *plan)
 {
     const std::size_t n = order.size();
-    if (n == 0)
-        return;
     blockSize = std::max<std::size_t>(blockSize, 1);
+    const std::size_t first = plan ? plan->firstPoint : 0;
+    if (first % blockSize != 0)
+        throw std::invalid_argument(
+            "ReplayEngine: plan start is not block-aligned");
+    if (first >= n)
+        return;
     const std::size_t numBlocks = (n + blockSize - 1) / blockSize;
+    const std::size_t firstBlock = first / blockSize;
     const std::size_t nc = cfgs_.size();
     const std::size_t S = ringSlots_;
+    const std::uint64_t allMask = replayMaskAll(nc);
 
-    // The bounded decode ring. Slot j cycles through points j, j+S,
-    // j+2S, ...; nextFill sequences the producers, holds tells a
+    // The bounded decode ring. Slot j cycles through points first+j,
+    // first+j+S, ...; nextFill sequences the producers, holds tells a
     // waiting worker its point has arrived.
     struct Slot
     {
@@ -138,7 +230,7 @@ ReplayEngine::run(
     };
     std::vector<Slot> slots(S);
     for (std::size_t j = 0; j < S; ++j)
-        slots[j].nextFill = j;
+        slots[(first + j) % S].nextFill = first + j;
 
     std::mutex ringM;
     std::condition_variable cvFill;  //!< producers wait for a free slot
@@ -147,17 +239,29 @@ ReplayEngine::run(
     std::mutex foldM;
     std::condition_variable cvBlockDone;    //!< folder waits on blocks
     std::condition_variable cvFoldProgress; //!< workers wait when gated
-    std::size_t foldedPoints = 0; //!< guarded by foldM
+    std::size_t foldedPoints = first; //!< guarded by foldM
 
-    std::atomic<std::size_t> decodeNext{0};
-    std::atomic<std::size_t> simNext{0};
+    std::atomic<std::size_t> decodeNext{first};
+    std::atomic<std::size_t> simNext{first};
     std::atomic<bool> stop{false};
+    // Configurations workers still replay. The fold barrier retires
+    // converged ones; the fold side never reads results for a point
+    // simulated after the retiring barrier, so the relaxed window
+    // between the store and a worker's load costs only spare replays.
+    std::atomic<std::uint64_t> activeMask{
+        plan ? plan->initialMask & allMask : allMask};
     std::vector<std::atomic<std::size_t>> blockRemaining(numBlocks);
-    for (std::size_t b = 0; b < numBlocks; ++b)
+    for (std::size_t b = firstBlock; b < numBlocks; ++b)
         blockRemaining[b].store(
-            std::min(n, (b + 1) * blockSize) - b * blockSize);
+            std::min(n, (b + 1) * blockSize) -
+            std::max(first, b * blockSize));
 
-    std::vector<WindowResult> results(n * nc);
+    // Row k lives at (k - first) * nc; nothing before `first` is
+    // simulated or folded, so no storage is kept for it.
+    std::vector<WindowResult> results((n - first) * nc);
+    auto resultRow = [&results, first, nc](std::size_t k) {
+        return results.data() + (k - first) * nc;
+    };
 
     auto halt = [&]() {
         stop.store(true);
@@ -191,6 +295,7 @@ ReplayEngine::run(
             lib.decodeInto(order[k], s.raw, s.point);
             bytesDecoded_.fetch_add(s.raw.size(),
                                     std::memory_order_relaxed);
+            pointsDecoded_.fetch_add(1, std::memory_order_relaxed);
             {
                 std::lock_guard<std::mutex> lk(ringM);
                 s.full = true;
@@ -201,6 +306,7 @@ ReplayEngine::run(
     };
 
     auto worker = [&](unsigned w) {
+        ReplayContext &ctx = *ctx_[w];
         while (!stop.load(std::memory_order_relaxed)) {
             const std::size_t k = simNext.fetch_add(1);
             if (k >= n)
@@ -225,9 +331,28 @@ ReplayEngine::run(
                 if (stop.load())
                     return;
             }
-            for (std::size_t c = 0; c < nc; ++c)
-                results[k * nc + c] = ctx_[w * nc + c]->simulate(
-                    s.point, approxWrongPath_);
+            WindowResult *out = resultRow(k);
+            if (nc == 1) {
+                out[0] = ctx.simulate(s.point, approxWrongPath_);
+                replaysExecuted_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            } else {
+                // Decode-once fan-out: the point's live state is
+                // loaded once, every still-active configuration
+                // replays from it.
+                const std::uint64_t m =
+                    activeMask.load(std::memory_order_acquire);
+                ctx.loadPoint(s.point);
+                std::uint64_t ran = 0;
+                for (std::size_t c = 0; c < nc; ++c) {
+                    if (!((m >> c) & 1))
+                        continue;
+                    out[c] = ctx.replay(c, approxWrongPath_);
+                    ++ran;
+                }
+                replaysExecuted_.fetch_add(ran,
+                                           std::memory_order_relaxed);
+            }
             {
                 std::lock_guard<std::mutex> lk(ringM);
                 s.full = false;
@@ -246,19 +371,21 @@ ReplayEngine::run(
         try {
             if (id < producers_)
                 producer();
-            else
+            else if (id < producers_ + threads_)
                 worker(id - producers_);
+            // A shared pool may be wider than this run needs; the
+            // excess workers return immediately.
         } catch (...) {
             halt();
             throw;
         }
     };
 
-    pool_.start(job);
+    pool_->start(job);
 
     try {
-        std::size_t k = 0;
-        for (std::size_t b = 0; b < numBlocks; ++b) {
+        std::size_t k = first;
+        for (std::size_t b = firstBlock; b < numBlocks; ++b) {
             {
                 std::unique_lock<std::mutex> lk(foldM);
                 cvBlockDone.wait(lk, [&]() {
@@ -267,17 +394,18 @@ ReplayEngine::run(
                 });
             }
             if (stop.load())
-                break; // a worker failed; pool_.wait() rethrows below
+                break; // a worker failed; pool wait rethrows below
             const std::size_t end = std::min(n, (b + 1) * blockSize);
             for (; k < end; ++k)
-                foldPoint(k, &results[k * nc]);
-            const bool keepGoing = foldBarrier(end);
+                foldPoint(k, resultRow(k));
+            const std::uint64_t keep = foldBarrier(end) & allMask;
+            activeMask.store(keep, std::memory_order_release);
             {
                 std::lock_guard<std::mutex> lk(foldM);
                 foldedPoints = end;
             }
             cvFoldProgress.notify_all();
-            if (!keepGoing)
+            if (keep == 0)
                 break;
         }
     } catch (...) {
@@ -287,14 +415,14 @@ ReplayEngine::run(
         // one.
         halt();
         try {
-            pool_.wait();
+            pool_->wait();
         } catch (...) {
         }
         throw;
     }
 
     halt();
-    pool_.wait();
+    pool_->wait();
 }
 
 } // namespace lp

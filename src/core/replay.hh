@@ -4,10 +4,16 @@
  * path of everything downstream of a library, so the engine removes
  * every per-point cost the naive loop pays:
  *
- *  - **Pooled contexts.** Each worker owns one ReplayContext per core
- *    configuration whose SparseMemory, MemHierarchy, BranchPredictor,
- *    and OoOCore are reset and reused across points (zero-realloc
- *    reconstruction) instead of heap-constructed per point.
+ *  - **Pooled contexts.** Each worker owns one ReplayContext whose
+ *    SparseMemory, MemHierarchy, BranchPredictor, and OoOCore are
+ *    reset and reused across points (zero-realloc reconstruction)
+ *    instead of heap-constructed per point.
+ *  - **Decode-once fan-out.** A context binds every configuration of
+ *    the run at once: the worker decodes a live-point and applies its
+ *    memory image a single time, then replays it through each active
+ *    configuration over a write-private overlay — the decode and
+ *    live-state cost Figure 7 shows dominating per-point replay is
+ *    paid once per point, not once per configuration.
  *  - **Decode pipeline.** Dedicated producer threads decompress and
  *    deserialize points into a bounded ring of reusable slot buffers,
  *    so simulation workers never block on the library codec.
@@ -16,8 +22,11 @@
  *    striding does.
  *  - **Block-synchronous folding.** Results are folded on the calling
  *    thread in deterministic block order; confidence checks (early
- *    stopping) happen at block barriers. Estimates are therefore
- *    bit-identical at every thread count, early stopping included.
+ *    stopping) happen at block barriers, and the barrier can retire
+ *    individual configurations (a campaign cell that reached its
+ *    confidence target) so freed workers migrate to the rest.
+ *    Estimates are therefore bit-identical at every thread count,
+ *    early stopping included.
  */
 
 #ifndef LP_CORE_REPLAY_HH
@@ -38,42 +47,138 @@ namespace lp
 /** Fold granularity used when an options struct leaves it 0. */
 inline constexpr std::size_t defaultFoldBlock = 32;
 
+/** Configurations an engine can fan one decode out to (mask width). */
+inline constexpr std::size_t maxReplayConfigs = 64;
+
+/** Active-configuration mask with the low @p nc bits set. */
+inline constexpr std::uint64_t
+replayMaskAll(std::size_t nc)
+{
+    return nc >= maxReplayConfigs ? ~0ull : (1ull << nc) - 1;
+}
+
+/**
+ * The canonical processing order every replay runner uses: identity,
+ * or a seed-deterministic Fisher-Yates permutation when @p shuffleSeed
+ * is nonzero. Shared so a campaign cell and a standalone
+ * runLivePoints() with the same seed visit points identically — the
+ * precondition for their results being bit-identical.
+ */
+std::vector<std::size_t> replayOrder(std::size_t n,
+                                     std::uint64_t shuffleSeed);
+
 struct ReplayEngineOptions
 {
     unsigned threads = 1;       //!< simulation workers
     unsigned decodeThreads = 0; //!< decode producers; 0 = auto
     bool approxWrongPath = false;
     std::size_t ringSlots = 0;  //!< decode ring depth; 0 = auto
+
+    /**
+     * Run on this pool instead of constructing one per engine (the
+     * campaign engine shares one pool across every workload's run).
+     * Must hold at least threads + decode producers workers; the
+     * caller keeps ownership and must not run anything else on it
+     * while this engine runs.
+     */
+    ThreadPool *sharedPool = nullptr;
 };
 
 /**
- * One worker's reusable replay state for one core configuration. All
- * owned structures are reset in place per point; nothing is
- * reallocated between points.
+ * Decode producers an engine built with @p opt will use — what a
+ * caller supplying a shared pool must size for (threads + this).
+ */
+unsigned replayDecodeThreads(const ReplayEngineOptions &opt);
+
+/**
+ * Cross-run schedule for ReplayEngine::run — where the run begins and
+ * which configurations start active. The default plan replays every
+ * configuration from point 0, which is what every non-resumed run
+ * wants; a resumed campaign offsets the run to its fold frontier
+ * (every unconverged cell sits exactly there) and masks out the
+ * already-converged configurations, so finished work is never
+ * replayed.
+ */
+struct ReplayPlan
+{
+    /**
+     * First point position (into `order`) the run decodes, simulates,
+     * and folds. Must be a multiple of the fold block size.
+     */
+    std::size_t firstPoint = 0;
+
+    /** Configurations active at firstPoint. */
+    std::uint64_t initialMask = ~0ull;
+};
+
+/**
+ * One worker's reusable replay state for a fixed set of core
+ * configurations. All owned structures are reset in place per point;
+ * nothing is reallocated between points. The single-configuration
+ * form replays directly against the pooled memory; the
+ * multi-configuration form loads a point's live state once and
+ * replays each configuration over a write-private overlay, so the
+ * per-point state cost is paid once, not once per configuration —
+ * with results bit-identical to single-configuration replay (the
+ * overlay is exact for the core's 8-aligned 8-byte accesses).
  */
 class ReplayContext
 {
   public:
     ReplayContext(const Program &prog, const CoreConfig &cfg);
+    ReplayContext(const Program &prog,
+                  const std::vector<CoreConfig> &cfgs);
 
     ReplayContext(const ReplayContext &) = delete;
     ReplayContext &operator=(const ReplayContext &) = delete;
 
-    const CoreConfig &config() const { return cfg_; }
+    std::size_t configCount() const { return units_.size(); }
+    const CoreConfig &config(std::size_t i = 0) const;
 
-    /** Reconstruct @p point into the pooled state and replay it. */
+    /**
+     * Reconstruct @p point into the pooled state and replay it under
+     * configuration 0 — the single-configuration hot path.
+     */
     WindowResult simulate(const LivePoint &point,
                           bool approxWrongPath = false);
 
+    /**
+     * Load @p point's live state (memory image) into the pooled
+     * memory once, for any number of replay() calls. @p point must
+     * stay alive until the last of them.
+     */
+    void loadPoint(const LivePoint &point);
+
+    /**
+     * Replay the loaded point under configuration @p cfgIdx on the
+     * write-private overlay. Callable in any order and for any subset
+     * of configurations after one loadPoint().
+     */
+    WindowResult replay(std::size_t cfgIdx, bool approxWrongPath = false);
+
   private:
+    /** Per-configuration rebindable microarchitectural state. */
+    struct Unit
+    {
+        Unit(const Program &prog, const CoreConfig &config,
+             MemPort &port);
+
+        CoreConfig cfg;
+        std::string bpredKey;
+        MemHierarchy hier;
+        BranchPredictor bp;
+        OoOCore core;
+    };
+
+    WindowResult runUnit(Unit &u, const LivePoint &point, MemPort &port,
+                         bool approxWrongPath);
+
     const Program &prog_;
-    CoreConfig cfg_;
-    std::string bpredKey_;
     SparseMemory mem_;
-    DirectMemPort port_;
-    MemHierarchy hier_;
-    BranchPredictor bp_;
-    OoOCore core_;
+    DirectMemPort direct_;
+    OverlayMemPort overlay_;
+    const LivePoint *loaded_ = nullptr;
+    std::vector<std::unique_ptr<Unit>> units_;
 };
 
 class ReplayEngine
@@ -81,9 +186,10 @@ class ReplayEngine
   public:
     /**
      * Build an engine simulating every point under each of @p cfgs
-     * (one config for absolute estimation, two for matched pairs —
-     * all configs of a point run back-to-back on the same worker, so
-     * pairing stays exact).
+     * (one config for absolute estimation, two for matched pairs, a
+     * whole campaign's design space for decode-once fan-out — all
+     * configs of a point run back-to-back on the same worker from one
+     * decode, so common-random-numbers pairing stays exact).
      */
     ReplayEngine(const Program &prog, std::vector<CoreConfig> cfgs,
                  const ReplayEngineOptions &opt);
@@ -98,21 +204,38 @@ class ReplayEngine
         return bytesDecoded_.load(std::memory_order_relaxed);
     }
 
+    /** Points decoded so far (each may fan out to many replays). */
+    std::uint64_t pointsDecoded() const
+    {
+        return pointsDecoded_.load(std::memory_order_relaxed);
+    }
+
+    /** (point, config) replays executed so far, across all calls. */
+    std::uint64_t replaysExecuted() const
+    {
+        return replaysExecuted_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Replay lib[order[k]] for every k. foldPoint(k, results) runs on
-     * the calling thread for k = 0, 1, ... strictly in order
-     * (results[c] is the k-th point's outcome under cfgs[c]);
-     * foldBarrier(end) runs after each block of @p blockSize folds
-     * and returns false to stop early. With @p stopEarly, workers are
-     * throttled to stay near the fold frontier so stopping actually
-     * saves work; without it they free-run to the end.
+     * the calling thread for k = firstPoint, firstPoint + 1, ...
+     * strictly in order (results[c] is the k-th point's outcome under
+     * cfgs[c], valid only for configs scheduled at k); foldBarrier(end)
+     * runs after each block of @p blockSize folds and returns the mask
+     * of configurations to keep replaying — 0 stops the run, dropped
+     * bits retire converged configurations so workers spend the freed
+     * time on the rest. With @p stopEarly, workers are throttled to
+     * stay near the fold frontier so stopping actually saves work;
+     * without it they free-run to the end. @p plan (optional) offsets
+     * the run for a campaign resume.
      */
     void run(const LivePointLibrary &lib,
              const std::vector<std::size_t> &order,
              std::size_t blockSize, bool stopEarly,
              const std::function<void(std::size_t, const WindowResult *)>
                  &foldPoint,
-             const std::function<bool(std::size_t)> &foldBarrier);
+             const std::function<std::uint64_t(std::size_t)> &foldBarrier,
+             const ReplayPlan *plan = nullptr);
 
     /**
      * Decode and replay a single point on the calling thread using a
@@ -130,12 +253,15 @@ class ReplayEngine
     unsigned threads_;
     unsigned producers_;
     std::size_t ringSlots_;
-    std::vector<std::unique_ptr<ReplayContext>> ctx_; //!< worker-major
+    std::vector<std::unique_ptr<ReplayContext>> ctx_; //!< one per worker
     std::vector<std::unique_ptr<ReplayContext>> callerCtx_;
     Blob callerScratch_;
     LivePoint callerPoint_;
     std::atomic<std::uint64_t> bytesDecoded_{0};
-    ThreadPool pool_;
+    std::atomic<std::uint64_t> pointsDecoded_{0};
+    std::atomic<std::uint64_t> replaysExecuted_{0};
+    std::unique_ptr<ThreadPool> ownedPool_;
+    ThreadPool *pool_;
 };
 
 } // namespace lp

@@ -32,20 +32,6 @@ clampWarming(InstCount requested, const SampleDesign &design,
     return std::min({requested, gap, start});
 }
 
-std::vector<std::size_t>
-processingOrder(std::size_t n, std::uint64_t shuffleSeed)
-{
-    std::vector<std::size_t> order(n);
-    for (std::size_t i = 0; i < n; ++i)
-        order[i] = i;
-    if (shuffleSeed) {
-        Rng rng(shuffleSeed, "lp-run-order");
-        for (std::size_t i = n; i > 1; --i)
-            std::swap(order[i - 1], order[rng.nextBounded(i)]);
-    }
-    return order;
-}
-
 } // namespace
 
 CompleteSimResult
@@ -197,7 +183,7 @@ runLivePoints(const Program &prog, const LivePointLibrary &lib,
 {
     const auto t0 = Clock::now();
     const std::vector<std::size_t> order =
-        processingOrder(lib.size(), opt.shuffleSeed);
+        replayOrder(lib.size(), opt.shuffleSeed);
 
     LivePointRunResult res;
     OnlineEstimator estimator(opt.spec);
@@ -221,10 +207,12 @@ runLivePoints(const Program &prog, const LivePointLibrary &lib,
                 if (opt.recordTrajectory)
                     res.trajectory.push_back(estimator.preview(block));
             },
-            [&](std::size_t) {
+            [&](std::size_t) -> std::uint64_t {
                 const OnlineSnapshot snap = estimator.fold(block);
                 block = RunningStat();
-                return !(opt.stopAtConfidence && snap.satisfied);
+                return opt.stopAtConfidence && snap.satisfied
+                           ? 0
+                           : replayMaskAll(1);
             });
         res.bytesDecoded = engine.bytesDecoded();
     }
@@ -240,7 +228,7 @@ runMatchedPair(const Program &prog, const LivePointLibrary &lib,
 {
     const auto t0 = Clock::now();
     const std::vector<std::size_t> order =
-        processingOrder(lib.size(), opt.shuffleSeed);
+        replayOrder(lib.size(), opt.shuffleSeed);
     const double z = confidenceZ(opt.spec.level);
 
     RunningStat baseStat;
@@ -267,18 +255,20 @@ runMatchedPair(const Program &prog, const LivePointLibrary &lib,
                 delta.add(w[1].cpi - w[0].cpi);
                 ++out.processed;
             },
-            [&](std::size_t) {
+            [&](std::size_t) -> std::uint64_t {
+                const std::uint64_t both = replayMaskAll(2);
                 if (!opt.stopAtConfidence ||
                     delta.count() < minCltSample)
-                    return true;
+                    return both;
                 const double hw = delta.halfWidth(z);
                 const double noiseFloor = opt.spec.relativeError *
                                           std::fabs(baseStat.mean());
                 // Stop once the delta's CI excludes zero (a
                 // significant difference) or is below the noise floor
                 // (provably nil).
-                return !(std::fabs(delta.mean()) > hw ||
-                         hw <= noiseFloor);
+                return std::fabs(delta.mean()) > hw || hw <= noiseFloor
+                           ? 0
+                           : both;
             });
     }
 
@@ -292,16 +282,8 @@ runMatchedPair(const Program &prog, const LivePointLibrary &lib,
 
     // Sample sizes to reach the spec: paired (estimate the delta to
     // within the noise floor) vs absolute (estimate the test CPI).
-    const double errAbs =
-        opt.spec.relativeError * std::fabs(baseStat.mean());
-    if (errAbs > 0.0 && delta.count() >= 2) {
-        const double n = std::ceil((z * delta.stddev() / errAbs) *
-                                   (z * delta.stddev() / errAbs));
-        out.pairedSampleSize = std::max<std::uint64_t>(
-            static_cast<std::uint64_t>(n), minCltSample);
-    } else {
-        out.pairedSampleSize = minCltSample;
-    }
+    out.pairedSampleSize =
+        pairedSampleSize(delta, baseStat.mean(), opt.spec);
     out.absoluteSampleSize = requiredSampleSize(testStat.cov(), opt.spec);
     out.wallSeconds = seconds(t0);
     return out;

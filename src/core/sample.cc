@@ -19,6 +19,20 @@ requiredSampleSize(double cov, const ConfidenceSpec &spec)
         static_cast<std::uint64_t>(n), minCltSample);
 }
 
+std::uint64_t
+pairedSampleSize(const RunningStat &delta, double baseMean,
+                 const ConfidenceSpec &spec)
+{
+    const double errAbs = spec.relativeError * std::fabs(baseMean);
+    if (errAbs <= 0.0 || delta.count() < 2)
+        return minCltSample;
+    const double z = confidenceZ(spec.level);
+    const double n = std::ceil((z * delta.stddev() / errAbs) *
+                               (z * delta.stddev() / errAbs));
+    return std::max<std::uint64_t>(static_cast<std::uint64_t>(n),
+                                   minCltSample);
+}
+
 SampleDesign
 SampleDesign::systematic(InstCount benchLength, std::uint64_t count,
                          InstCount measureLen, InstCount warmLen)

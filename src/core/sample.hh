@@ -34,6 +34,17 @@ struct ConfidenceSpec
 std::uint64_t requiredSampleSize(double cov, const ConfidenceSpec &spec);
 
 /**
+ * Matched-pair sample size: pairs needed to estimate a per-point
+ * delta (accumulated in @p delta) to within the spec's noise floor,
+ * spec.relativeError * |baseMean| (never below minCltSample). The
+ * figure runMatchedPair reports and the sec-6.2 bench tabulates
+ * against requiredSampleSize.
+ */
+std::uint64_t pairedSampleSize(const RunningStat &delta,
+                               double baseMean,
+                               const ConfidenceSpec &spec);
+
+/**
  * A systematic sample over a benchmark: @p count windows of
  * (warmLen detailed-warming + measureLen measured) instructions, one
  * per period. Each window sits at a deterministic pseudo-random

@@ -99,7 +99,7 @@ runStratified(const Program &prog, const LivePointLibrary &lib,
                 strat[pilotStratum[i]].add(w->cpi);
                 ++res.processed;
             },
-            [](std::size_t) { return true; });
+            [](std::size_t) { return replayMaskAll(1); });
     }
 
     // Greedy Neyman allocation: always sample the stratum whose next

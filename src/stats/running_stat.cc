@@ -5,6 +5,30 @@
 namespace lp
 {
 
+RunningStat
+RunningStat::fromState(const State &s)
+{
+    RunningStat r;
+    r.n_ = s.n;
+    r.mean_ = s.mean;
+    r.m2_ = s.m2;
+    r.min_ = s.min;
+    r.max_ = s.max;
+    return r;
+}
+
+RunningStat::State
+RunningStat::state() const
+{
+    State s;
+    s.n = n_;
+    s.mean = mean_;
+    s.m2 = m2_;
+    s.min = min_;
+    s.max = max_;
+    return s;
+}
+
 void
 RunningStat::add(double x)
 {

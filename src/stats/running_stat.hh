@@ -20,6 +20,29 @@ namespace lp
 class RunningStat
 {
   public:
+    /**
+     * The complete accumulator state, exposed so persistent fold
+     * state (the campaign manifest) can round-trip an estimator
+     * bit-exactly: restoring a State and folding further observations
+     * is arithmetically identical to never having stopped.
+     */
+    struct State
+    {
+        std::uint64_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    RunningStat() = default;
+
+    /** Reconstruct an accumulator from a saved state. */
+    static RunningStat fromState(const State &s);
+
+    /** Snapshot the accumulator state. */
+    State state() const;
+
     /** Add one observation. */
     void add(double x);
 

@@ -1,7 +1,56 @@
 #include "uarch/config.hh"
 
+#include "util/rng.hh"
+
 namespace lp
 {
+
+namespace
+{
+
+std::uint64_t
+foldGeometry(std::uint64_t h, const CacheGeometry &g)
+{
+    h = hashCombine(h, g.sizeBytes);
+    h = hashCombine(h, g.assoc);
+    return hashCombine(h, g.lineBytes);
+}
+
+} // namespace
+
+std::uint64_t
+configDigest(const CoreConfig &cfg)
+{
+    std::uint64_t h = hashMix(0x6c70'6366'6764ull); // "lpcfgd"
+    h = hashCombine(h, cfg.width);
+    h = hashCombine(h, cfg.ruuSize);
+    h = hashCombine(h, cfg.lsqSize);
+    h = foldGeometry(h, cfg.mem.l1i);
+    h = foldGeometry(h, cfg.mem.l1d);
+    h = foldGeometry(h, cfg.mem.l2);
+    h = foldGeometry(h, cfg.mem.itlb);
+    h = foldGeometry(h, cfg.mem.dtlb);
+    h = hashCombine(h, cfg.mem.l1dPorts);
+    h = hashCombine(h, cfg.mem.mshrs);
+    h = hashCombine(h, cfg.mem.storeBufferEntries);
+    h = hashCombine(h, cfg.mem.l1Latency);
+    h = hashCombine(h, cfg.mem.l2Latency);
+    h = hashCombine(h, cfg.mem.memLatency);
+    h = hashCombine(h, cfg.mem.tlbMissLatency);
+    h = hashCombine(h, cfg.fus.intAlu);
+    h = hashCombine(h, cfg.fus.intMulDiv);
+    h = hashCombine(h, cfg.fus.fpAlu);
+    h = hashCombine(h, cfg.fus.fpMulDiv);
+    h = hashCombine(h, cfg.lat.intAlu);
+    h = hashCombine(h, cfg.lat.intMulDiv);
+    h = hashCombine(h, cfg.lat.fpAlu);
+    h = hashCombine(h, cfg.lat.fpMulDiv);
+    h = hashCombine(h, cfg.bpred.tableEntries);
+    h = hashCombine(h, cfg.bpred.mispredictPenalty);
+    h = hashCombine(h, cfg.bpred.predictionsPerCycle);
+    h = hashCombine(h, cfg.detailedWarming);
+    return h;
+}
 
 CoreConfig
 CoreConfig::eightWay()

@@ -55,6 +55,16 @@ struct CoreConfig
     static CoreConfig sixteenWay();
 };
 
+/**
+ * Stable 64-bit digest of every timing-relevant field of a
+ * configuration (the name is excluded — it is a label, not a
+ * parameter). Two configs with equal digests produce identical replay
+ * results on any live-point; the campaign manifest keys per-cell fold
+ * state by this digest so a resumed campaign refuses state from a
+ * different design point.
+ */
+std::uint64_t configDigest(const CoreConfig &cfg);
+
 } // namespace lp
 
 #endif // LP_UARCH_CONFIG_HH

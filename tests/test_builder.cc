@@ -5,17 +5,12 @@
  * bias inside the Fig-4 tolerance, and builder statistics are sane.
  */
 
-#include "harness.hh"
+#include "test_util.hh"
 
 #include <cstdio>
 #include <string>
 
-#include "core/builder.hh"
-#include "core/library.hh"
 #include "core/runners.hh"
-#include "uarch/config.hh"
-#include "workload/generator.hh"
-#include "workload/profile.hh"
 
 namespace
 {
@@ -47,15 +42,12 @@ int
 main()
 {
     using namespace lp;
+    using namespace lptest;
 
-    WorkloadProfile profile = tinyProfile(400'000, 5);
-    profile.name = "buildtest";
-    const Program prog = generateProgram(profile);
-    const InstCount length = measureProgramLength(prog);
-    const CoreConfig cfg = CoreConfig::eightWay();
-
-    const SampleDesign design = SampleDesign::systematic(
-        length, 40, 1000, cfg.detailedWarming);
+    const CoreConfig cfg = baseConfig();
+    const TinyBench t = makeTinyBench("buildtest", 400'000, 5, 40);
+    const Program &prog = t.prog;
+    const SampleDesign &design = t.design;
 
     LivePointBuilderConfig bcSeq;
     bcSeq.bpredConfigs = {cfg.bpred};
@@ -159,9 +151,7 @@ main()
         }
         const LivePointRunResult run =
             runLivePoints(prog, lib, cfg, ropt);
-        const double bias =
-            std::fabs(run.cpi() - seqRun.cpi()) / seqRun.cpi();
-        CHECK(bias <= 0.02);
+        CHECK_REL(run.cpi(), seqRun.cpi(), 0.02);
     }
 
     // --- Sharded builds are themselves deterministic. ---

@@ -1,19 +1,15 @@
 /** Round-trips of the zip block compressor and DER serialization. */
 
-#include "harness.hh"
+#include "test_util.hh"
 
 #include "codec/der.hh"
 #include "codec/zip.hh"
-#include "core/builder.hh"
-#include "uarch/config.hh"
-#include "util/rng.hh"
-#include "workload/generator.hh"
-#include "workload/profile.hh"
 
 int
 main()
 {
     using namespace lp;
+    using namespace lptest;
 
     // zip: compressible data round-trips and actually shrinks.
     {
@@ -125,17 +121,8 @@ main()
     // table this matcher replaced landed at 0.669 on this exact
     // point; the hash-chain matcher must stay strictly below that.
     {
-        WorkloadProfile profile = tinyProfile(120'000, 3);
-        profile.name = "codec-ratio";
-        const Program prog = generateProgram(profile);
-        const CoreConfig cfg = CoreConfig::eightWay();
-        const SampleDesign design = SampleDesign::systematic(
-            measureProgramLength(prog), 8, 1000, cfg.detailedWarming);
-        LivePointBuilderConfig bc;
-        bc.bpredConfigs = {cfg.bpred};
-        LivePointBuilder builder(bc);
-        const LivePointLibrary lib = builder.build(prog, design);
-        const Blob raw = lib.get(lib.size() / 2).serialize();
+        const TinyLib t = buildTinyLibrary("codec-ratio", 120'000, 3, 8);
+        const Blob raw = t.lib.get(t.lib.size() / 2).serialize();
         const Blob z = zipCompress(raw);
         CHECK(zipDecompress(z) == raw);
         const double ratio = static_cast<double>(z.size()) /

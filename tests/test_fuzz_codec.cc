@@ -1,0 +1,261 @@
+/**
+ * Seeded fuzz coverage of the codec layer. Round-trips
+ * zipCompress/zipDecompressInto and DER encode/decode over
+ * Rng-generated buffers spanning the shapes live-points produce
+ * (mixed runs, pure random, structured records, near-64KiB-window
+ * sizes), then attacks the decoders: truncation at every byte must
+ * raise a clean error, byte corruption must never crash or over-read
+ * (the sanitizer CI job watches the memory side), and crafted
+ * oversized varints must be rejected.
+ */
+
+#include "test_util.hh"
+
+#include <cstring>
+
+#include "codec/der.hh"
+#include "codec/zip.hh"
+
+namespace
+{
+
+using namespace lp;
+
+/** Generate one fuzz buffer; the shape cycles with the index. */
+Blob
+fuzzBuffer(std::uint64_t i)
+{
+    Rng rng(i, "fuzz-codec");
+    // Sizes sweep tiny buffers, mid sizes, and the 64KiB window edge.
+    static const std::size_t sizes[] = {0,     1,     2,     7,
+                                        64,    1000,  4096,  65534,
+                                        65535, 65536, 65600, 70000};
+    const std::size_t size = sizes[i % (sizeof(sizes) / sizeof(*sizes))];
+    Blob out;
+    out.reserve(size);
+    switch (i % 3) {
+      case 0: // mixed runs: random-length runs of random bytes
+        while (out.size() < size) {
+            const std::uint8_t v = static_cast<std::uint8_t>(rng.next());
+            std::size_t len = 1 + rng.nextBounded(300);
+            for (; len && out.size() < size; --len)
+                out.push_back(v);
+        }
+        break;
+      case 1: // pure random (incompressible)
+        for (std::size_t j = 0; j < size; ++j)
+            out.push_back(static_cast<std::uint8_t>(rng.next()));
+        break;
+      default: // structured: tag/counter records like DER payloads
+        while (out.size() < size) {
+            out.push_back(0x30);
+            out.push_back(static_cast<std::uint8_t>(rng.nextBounded(4)));
+            const std::uint64_t ctr = rng.nextBounded(1 << 16);
+            out.push_back(static_cast<std::uint8_t>(ctr));
+            out.push_back(static_cast<std::uint8_t>(ctr >> 8));
+        }
+        out.resize(size);
+        break;
+    }
+    return out;
+}
+
+/** Decoding must throw or complete; crashes/over-reads are the bug. */
+bool
+decodeSurvives(const Blob &z, Blob &scratch)
+{
+    try {
+        zipDecompressInto(z, scratch);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+
+    // zip: round-trip every fuzz shape through both decompress paths.
+    Blob scratch;
+    for (std::uint64_t i = 0; i < 60; ++i) {
+        const Blob data = fuzzBuffer(i);
+        const Blob z = zipCompress(data);
+        CHECK(zipDecompress(z) == data);
+        zipDecompressInto(z, scratch); // recycled buffer across shapes
+        CHECK(scratch == data);
+    }
+
+    // zip: truncation at every byte of a representative compressed
+    // record must error, never crash, over-read, or "succeed".
+    {
+        const Blob data = fuzzBuffer(6); // mixed runs, 4096 bytes
+        const Blob z = zipCompress(data);
+        CHECK(z.size() > 16);
+        for (std::size_t cut = 0; cut < z.size(); ++cut) {
+            const Blob truncated(z.begin(),
+                                 z.begin() +
+                                     static_cast<std::ptrdiff_t>(cut));
+            CHECK_THROWS(zipDecompressInto(truncated, scratch));
+        }
+    }
+
+    // zip: single-byte corruption must never crash or over-read (a
+    // flipped literal may legally decode to different content; a
+    // mangled token must throw — either way, cleanly).
+    {
+        const Blob data = fuzzBuffer(3); // runs, 7 -> small stream
+        const Blob big = fuzzBuffer(9);  // runs, 65534
+        for (const Blob *src : {&data, &big}) {
+            const Blob z = zipCompress(*src);
+            Rng rng(77, "fuzz-corrupt");
+            const std::size_t flips = std::min<std::size_t>(z.size(),
+                                                            400);
+            for (std::size_t f = 0; f < flips; ++f) {
+                Blob bad = z;
+                const std::size_t at = rng.nextBounded(bad.size());
+                bad[at] ^= static_cast<std::uint8_t>(
+                    1 + rng.nextBounded(255));
+                // Either outcome is fine; crashing is not.
+                decodeSurvives(bad, scratch);
+            }
+        }
+    }
+
+    // zip: a crafted header declaring an enormous raw size must be
+    // rejected (or fail cleanly) rather than over-allocate and crash.
+    {
+        Blob bomb;
+        for (int j = 0; j < 9; ++j)
+            bomb.push_back(0xff); // LEB128 continuation bytes
+        bomb.push_back(0x7f);
+        bomb.push_back(0x00); // one flag byte, no payload
+        CHECK_THROWS(zipDecompressInto(bomb, scratch));
+    }
+
+    // der: random value trees round-trip exactly.
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        Rng rng(i, "fuzz-der");
+        const std::size_t count = 1 + rng.nextBounded(40);
+        std::vector<unsigned> types;
+        std::vector<std::uint64_t> uints;
+        std::vector<std::string> strings;
+        std::vector<Blob> blobs;
+        DerWriter w;
+        w.beginSequence();
+        for (std::size_t j = 0; j < count; ++j) {
+            types.push_back(
+                static_cast<unsigned>(rng.nextBounded(3)));
+            switch (types.back()) {
+              case 0:
+                uints.push_back(rng.next() >> rng.nextBounded(64));
+                w.putUint(uints.back());
+                break;
+              case 1: {
+                std::string s;
+                for (std::size_t k = rng.nextBounded(300); k; --k)
+                    s.push_back(static_cast<char>(
+                        'a' + rng.nextBounded(26)));
+                strings.push_back(s);
+                w.putString(s);
+                break;
+              }
+              default: {
+                Blob b;
+                for (std::size_t k = rng.nextBounded(300); k; --k)
+                    b.push_back(
+                        static_cast<std::uint8_t>(rng.next()));
+                blobs.push_back(b);
+                w.putBytes(blobs.back());
+                break;
+              }
+            }
+        }
+        w.endSequence();
+        const Blob data = w.finish();
+
+        DerReader top(data);
+        DerReader seq = top.getSequence();
+        std::size_t iu = 0;
+        std::size_t is = 0;
+        std::size_t ib = 0;
+        for (const unsigned type : types) {
+            switch (type) {
+              case 0:
+                CHECK_EQ(seq.getUint(), uints[iu++]);
+                break;
+              case 1:
+                CHECK(seq.getString() == strings[is++]);
+                break;
+              default:
+                CHECK(seq.getBytes() == blobs[ib++]);
+                break;
+            }
+        }
+        CHECK(seq.atEnd());
+
+        // Truncating the encoding anywhere must raise, never crash:
+        // the typed read-back can no longer complete.
+        for (std::size_t cut = 0; cut < data.size();
+             cut += 1 + cut / 64) {
+            const Blob t(data.begin(),
+                         data.begin() +
+                             static_cast<std::ptrdiff_t>(cut));
+            bool threw = false;
+            try {
+                DerReader r(t);
+                DerReader s2 = r.getSequence();
+                for (const unsigned type : types) {
+                    if (type == 0)
+                        s2.getUint();
+                    else if (type == 1)
+                        s2.getString();
+                    else
+                        s2.getBytes();
+                }
+            } catch (const std::exception &) {
+                threw = true;
+            }
+            CHECK(threw);
+        }
+    }
+
+    // der: random garbage must throw or end cleanly under every
+    // reader entry point (the sanitizer job catches memory misuse).
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        Rng rng(i, "fuzz-der-garbage");
+        Blob junk(1 + rng.nextBounded(200));
+        for (auto &b : junk)
+            b = static_cast<std::uint8_t>(rng.next());
+        try {
+            DerReader r(junk);
+            while (!r.atEnd()) {
+                switch (rng.nextBounded(4)) {
+                  case 0: r.getUint(); break;
+                  case 1: r.getBytes(); break;
+                  case 2: r.getString(); break;
+                  default: r.getSequence(); break;
+                }
+            }
+        } catch (const std::exception &) {
+        }
+    }
+
+    // der: a varint longer than 64 bits is malformed, not undefined
+    // behaviour (regression for the unbounded-shift decode bug).
+    {
+        Blob crafted;
+        crafted.push_back(0x02); // uint tag
+        crafted.push_back(12);   // 12 content bytes
+        for (int j = 0; j < 11; ++j)
+            crafted.push_back(0x80 | 1);
+        crafted.push_back(0x01);
+        DerReader r(crafted);
+        CHECK_THROWS(r.getUint());
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -6,33 +6,23 @@
  * everywhere.
  */
 
-#include "harness.hh"
+#include "test_util.hh"
 
 #include "core/replay.hh"
 #include "core/runners.hh"
 #include "core/stratified.hh"
-#include "workload/generator.hh"
-#include "workload/profile.hh"
 
 int
 main()
 {
     using namespace lp;
+    using namespace lptest;
 
-    WorkloadProfile profile = tinyProfile(500'000, 17);
-    profile.name = "replaytest";
-    const Program prog = generateProgram(profile);
-    const InstCount length = measureProgramLength(prog);
-    const CoreConfig cfg = CoreConfig::eightWay();
-
-    const SampleDesign design = SampleDesign::systematic(
-        length, 64, 1000, cfg.detailedWarming);
-    LivePointBuilderConfig bc;
-    bc.bpredConfigs = {cfg.bpred};
-    LivePointBuilder builder(bc);
-    LivePointLibrary lib = builder.build(prog, design);
-    Rng shuffleRng(11, "replay-test");
-    lib.shuffle(shuffleRng);
+    const CoreConfig cfg = baseConfig();
+    TinyLib t = buildTinyLibrary("replaytest", 500'000, 17, 64, {cfg},
+                                 11);
+    const Program &prog = t.prog;
+    LivePointLibrary &lib = t.lib;
 
     // (a) One pooled context reused across every point reproduces the
     // fresh-context result exactly, in any visit order.
@@ -124,8 +114,7 @@ main()
     // Matched pairs: identical across thread counts, including the
     // block-synchronous stopping point.
     {
-        CoreConfig slow = cfg;
-        slow.mem.memLatency = 400;
+        const CoreConfig slow = slowMemConfig();
         LivePointRunOptions ref;
         ref.stopAtConfidence = true;
         ref.blockSize = 8;

@@ -4,35 +4,26 @@
  * estimate — checkpointed warm state adds no bias.
  */
 
-#include "harness.hh"
+#include "test_util.hh"
 
 #include "core/runners.hh"
 #include "core/stratified.hh"
-#include "workload/generator.hh"
-#include "workload/profile.hh"
 
 int
 main()
 {
     using namespace lp;
+    using namespace lptest;
 
-    WorkloadProfile profile = tinyProfile(600'000, 31);
-    profile.name = "runtest";
-    const Program prog = generateProgram(profile);
-    const InstCount length = measureProgramLength(prog);
-    const CoreConfig cfg = CoreConfig::eightWay();
-
-    const SampleDesign design = SampleDesign::systematic(
-        length, 60, 1000, cfg.detailedWarming);
+    const CoreConfig cfg = baseConfig();
+    const TinyLib t = buildTinyLibrary("runtest", 600'000, 31, 60);
+    const Program &prog = t.prog;
+    const SampleDesign &design = t.design;
+    const LivePointLibrary &lib = t.lib;
 
     const SampledEstimate smarts = runSmarts(prog, cfg, design);
     CHECK(smarts.cpi() > 0.1 && smarts.cpi() < 20.0);
     CHECK_EQ(smarts.stat.count(), design.count);
-
-    LivePointBuilderConfig bc;
-    bc.bpredConfigs = {cfg.bpred};
-    LivePointBuilder builder(bc);
-    const LivePointLibrary lib = builder.build(prog, design);
 
     // Zero additional bias: replaying every live-point in stored
     // order gives the same per-window CPIs as full warming.
@@ -65,9 +56,7 @@ main()
         approx.approxWrongPath = true;
         const LivePointRunResult r =
             runLivePoints(prog, lib, cfg, approx);
-        const double bias =
-            std::fabs(r.cpi() - replay.cpi()) / replay.cpi();
-        CHECK(bias < 0.10);
+        CHECK_REL(r.cpi(), replay.cpi(), 0.10);
     }
 
     // Matched pair of a config against itself: exactly zero delta.
@@ -79,9 +68,7 @@ main()
         CHECK(!same.result.significant);
 
         // A plainly slower memory must read as significantly slower.
-        CoreConfig slow = cfg;
-        slow.mem.memLatency = 400;
-        slow.mem.l2Latency = 40;
+        const CoreConfig slow = slowMemConfig();
         const MatchedPairOutcome diff =
             runMatchedPair(prog, lib, cfg, slow, mp);
         CHECK(diff.result.meanDelta > 0.0);
@@ -97,9 +84,7 @@ main()
         CHECK_EQ(mrrl.warmingLengths.size(), design.count);
         const SampledEstimate aw =
             runAdaptiveWarming(prog, cfg, design, mrrl, true);
-        const double bias =
-            std::fabs(aw.cpi() - smarts.cpi()) / smarts.cpi();
-        CHECK(bias < 0.25);
+        CHECK_REL(aw.cpi(), smarts.cpi(), 0.25);
         CHECK(aw.warmedInsts < smarts.warmedInsts);
     }
 

@@ -1,0 +1,103 @@
+/**
+ * Statistical coverage of ConfidenceSpec / OnlineEstimator: over 200
+ * seeded resamples of a synthetic per-window CPI population, the
+ * nominal 95% interval must cover the full-run truth at the binomial
+ * rate. A wrong variance formula, z-value, or a biased
+ * RunningStat::merge shifts coverage far outside the tolerance band,
+ * so this catches the regressions a round-trip test cannot.
+ */
+
+#include "test_util.hh"
+
+#include <cmath>
+
+#include "core/sample.hh"
+
+int
+main()
+{
+    using namespace lp;
+
+    // A synthetic workload's per-window CPIs: two phases (a fast
+    // compute phase and a slower memory-bound phase) plus heavy-ish
+    // window noise — bimodal and skewed, like real sampled CPIs, so
+    // coverage is tested away from the normal-population easy case.
+    std::vector<double> pop;
+    {
+        Rng rng(101, "coverage-population");
+        pop.reserve(20000);
+        for (std::size_t i = 0; i < 20000; ++i) {
+            const bool memPhase = rng.nextBool(0.3);
+            double x = memPhase ? 3.1 : 1.4;
+            for (int k = 0; k < 3; ++k)
+                x += (rng.nextDouble() - 0.5) * (memPhase ? 0.8 : 0.3);
+            if (rng.nextBool(0.02))
+                x += 2.0 * rng.nextDouble(); // rare outlier windows
+            pop.push_back(x);
+        }
+    }
+    double truth = 0.0;
+    for (const double x : pop)
+        truth += x;
+    truth /= static_cast<double>(pop.size());
+
+    const ConfidenceSpec spec{0.95, 0.03};
+    const std::size_t resamples = 200;
+    const std::size_t windows = 150;
+    std::size_t covered = 0;
+    for (std::size_t t = 0; t < resamples; ++t) {
+        Rng rng(1000 + t, "coverage-resample");
+
+        // Sequential adds and block folds must agree: the resample is
+        // folded both ways and the block path (what the parallel
+        // replay engine runs) is the one scored for coverage.
+        OnlineEstimator seq(spec);
+        OnlineEstimator folded(spec);
+        RunningStat block;
+        OnlineSnapshot snapSeq;
+        for (std::size_t i = 0; i < windows; ++i) {
+            const double x =
+                pop[static_cast<std::size_t>(
+                    rng.nextBounded(pop.size()))];
+            snapSeq = seq.add(x);
+            block.add(x);
+            if (block.count() == 8 || i + 1 == windows) {
+                folded.fold(block);
+                block = RunningStat();
+            }
+        }
+        const OnlineSnapshot snap = folded.snapshot();
+        CHECK_EQ(snap.n, snapSeq.n);
+        CHECK_REL(snap.mean, snapSeq.mean, 1e-12);
+        CHECK_REL(snap.relHalfWidth, snapSeq.relHalfWidth, 1e-9);
+        CHECK(snap.valid);
+
+        const double halfWidth = snap.relHalfWidth * snap.mean;
+        if (std::fabs(snap.mean - truth) <= halfWidth)
+            ++covered;
+    }
+
+    // Binomial(200, 0.95): mean 190, sd ~3.1. The run is seeded and
+    // deterministic; the band below is ~3 sd, so only a genuine
+    // estimator regression (wrong variance, wrong z, biased merge)
+    // can leave it.
+    std::printf("coverage: %zu / %zu nominal-95%% intervals cover the "
+                "truth\n",
+                covered, resamples);
+    CHECK(covered >= 180);
+    CHECK(covered <= 200);
+
+    // The spec's satisfied flag must agree with the reported width at
+    // exactly the spec boundary.
+    {
+        OnlineEstimator est(ConfidenceSpec{0.95, 0.5});
+        Rng rng(7, "coverage-satisfied");
+        OnlineSnapshot s{};
+        for (std::size_t i = 0; i < minCltSample; ++i)
+            s = est.add(1.0 + rng.nextDouble());
+        CHECK(s.valid);
+        CHECK_EQ(s.satisfied, s.relHalfWidth <= 0.5);
+    }
+
+    return TEST_MAIN_RESULT();
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared fixtures for the ctest suites: the tiny-library builder
+ * boilerplate every replay-facing test repeats, common configuration
+ * presets, and tolerance/throw assertions on top of harness.hh. Test
+ * binaries stay single-file; this header is the one place fixture
+ * conventions live.
+ */
+
+#ifndef LP_TESTS_TEST_UTIL_HH
+#define LP_TESTS_TEST_UTIL_HH
+
+#include "harness.hh"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/builder.hh"
+#include "core/library.hh"
+#include "uarch/config.hh"
+#include "util/rng.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+/** |a - b| <= rel * |b| (relative tolerance against the reference). */
+#define CHECK_REL(a, b, rel)                                              \
+    do {                                                                  \
+        const double ra_ = (a);                                           \
+        const double rb_ = (b);                                           \
+        if (!(std::fabs(ra_ - rb_) <= (rel)*std::fabs(rb_))) {            \
+            std::fprintf(stderr,                                          \
+                         "FAIL %s:%d: |%s - %s| = |%g - %g| > %g rel\n", \
+                         __FILE__, __LINE__, #a, #b, ra_, rb_,            \
+                         static_cast<double>(rel));                       \
+            ++lpTestFailures;                                             \
+        }                                                                 \
+    } while (0)
+
+/** The expression must throw a std::exception (any derived type). */
+#define CHECK_THROWS(expr)                                                \
+    do {                                                                  \
+        bool threw_ = false;                                              \
+        try {                                                             \
+            (void)(expr);                                                 \
+        } catch (const std::exception &) {                                \
+            threw_ = true;                                                \
+        }                                                                 \
+        if (!threw_) {                                                    \
+            std::fprintf(stderr, "FAIL %s:%d: %s did not throw\n",       \
+                         __FILE__, __LINE__, #expr);                      \
+            ++lpTestFailures;                                             \
+        }                                                                 \
+    } while (0)
+
+namespace lptest
+{
+
+/** A generated benchmark with a systematic design laid over it. */
+struct TinyBench
+{
+    lp::WorkloadProfile profile;
+    lp::Program prog;
+    lp::InstCount length = 0;
+    lp::SampleDesign design;
+};
+
+/**
+ * Generate a tiny deterministic benchmark and its design: @p windows
+ * measured windows of 1000 instructions, warmed per @p warmLen
+ * (default: the 8-way baseline's detailed warming).
+ */
+inline TinyBench
+makeTinyBench(const std::string &name, lp::InstCount insts,
+              std::uint64_t seed, std::uint64_t windows,
+              lp::InstCount warmLen = 0)
+{
+    TinyBench t;
+    t.profile = lp::tinyProfile(insts, seed);
+    t.profile.name = name;
+    t.prog = lp::generateProgram(t.profile);
+    t.length = lp::measureProgramLength(t.prog);
+    t.design = lp::SampleDesign::systematic(
+        t.length, windows, 1000,
+        warmLen ? warmLen : lp::CoreConfig::eightWay().detailedWarming);
+    return t;
+}
+
+/** A generated benchmark with a built live-point library. */
+struct TinyLib
+{
+    lp::WorkloadProfile profile;
+    lp::Program prog;
+    lp::InstCount length = 0;
+    lp::SampleDesign design;
+    lp::LivePointLibrary lib;
+};
+
+/**
+ * The standard test fixture: generate a tiny deterministic benchmark,
+ * lay a systematic design over it, and build its live-point library
+ * covering every predictor in @p cfgs (all of @p cfgs must share the
+ * detailed-warming length of cfgs[0], which sizes the windows).
+ * @p shuffleSeed != 0 also shuffles the library.
+ */
+inline TinyLib
+buildTinyLibrary(const std::string &name, lp::InstCount insts,
+                 std::uint64_t seed, std::uint64_t windows,
+                 const std::vector<lp::CoreConfig> &cfgs =
+                     {lp::CoreConfig::eightWay()},
+                 std::uint64_t shuffleSeed = 0)
+{
+    TinyLib t;
+    TinyBench b = makeTinyBench(name, insts, seed, windows,
+                                cfgs.front().detailedWarming);
+    t.profile = std::move(b.profile);
+    t.prog = std::move(b.prog);
+    t.length = b.length;
+    t.design = b.design;
+    lp::LivePointBuilderConfig bc;
+    bc.bpredConfigs.clear();
+    for (const lp::CoreConfig &c : cfgs) {
+        bool seen = false;
+        for (const lp::BpredConfig &have : bc.bpredConfigs)
+            seen = seen || have.key() == c.bpred.key();
+        if (!seen)
+            bc.bpredConfigs.push_back(c.bpred);
+    }
+    lp::LivePointBuilder builder(bc);
+    t.lib = builder.build(t.prog, t.design);
+    if (shuffleSeed) {
+        lp::Rng rng(shuffleSeed, "test-shuffle");
+        t.lib.shuffle(rng);
+    }
+    return t;
+}
+
+/** The paper's 8-way baseline (Table 1). */
+inline lp::CoreConfig
+baseConfig()
+{
+    return lp::CoreConfig::eightWay();
+}
+
+/** The baseline with plainly slower memory — a surely-visible delta. */
+inline lp::CoreConfig
+slowMemConfig()
+{
+    lp::CoreConfig c = lp::CoreConfig::eightWay();
+    c.name = "slow-mem";
+    c.mem.memLatency = 400;
+    c.mem.l2Latency = 40;
+    return c;
+}
+
+} // namespace lptest
+
+#endif // LP_TESTS_TEST_UTIL_HH
