@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Ablation — pluggable library storage. Measures, for each storage
+ * backend (owned-buffer slurp vs zero-copy mmap), container load time
+ * and replay throughput, plus process RSS; then gates the
+ * resident-budget streaming mode: a replay of a library whose
+ * in-flight window is >= 4x the configured budget must finish with
+ * the engine's peak resident window under the budget — and every
+ * backend and budget setting must produce bit-identical estimates
+ * (the storage layer may never change results, only where bytes
+ * live). Also exercises the sharded fleet store: lazy open, shard
+ * replay identity, and resident accounting.
+ *
+ * With LP_BENCH_JSON set, emits BENCH_5-style machine-readable
+ * numbers (load ms, replays/s, peak RSS, budget gate) so CI tracks
+ * the storage trajectory. LP_BENCH_RESIDENT_BUDGET overrides the
+ * default budget (library window / 4); the 4x gate is enforced only
+ * for the default.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/library_set.hh"
+#include "core/runners.hh"
+#include "util/log.hh"
+
+using namespace lp;
+using namespace lpbench;
+
+namespace
+{
+
+double
+msSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Estimates must match to the bit, not to a tolerance. */
+bool
+sameResult(const LivePointRunResult &a, const LivePointRunResult &b)
+{
+    return a.processed == b.processed && a.cpi() == b.cpi() &&
+           a.finalSnapshot.relHalfWidth ==
+               b.finalSnapshot.relHalfWidth &&
+           a.unavailableLoads == b.unavailableLoads;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const BenchSettings s = settings();
+    printHeader("Ablation: pluggable library storage (gcc-2)");
+    const PreparedBench b = prepareOne("gcc-2", s);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const std::uint64_t n = sampleSize(b, cfg, s);
+    const SampleDesign design = SampleDesign::systematic(
+        b.length, n, 1000, cfg.detailedWarming);
+    const LivePointLibrary built =
+        cachedLibrary(b, design, defaultBuilderConfig(), s);
+
+    const std::string path = s.cacheDir + "/ablation-storage.lpl";
+    built.save(path);
+    const std::uint64_t fileBytes = std::filesystem::file_size(path);
+
+    // All runs share one fixed block size so their fold trees — and
+    // therefore their bits — are comparable.
+    LivePointRunOptions ropt;
+    ropt.blockSize = 8;
+    ropt.shuffleSeed = 7;
+
+    // The reference: the owned-buffer backend (the PR-3 behaviour).
+    const LivePointLibrary refLib =
+        LivePointLibrary::load(path, StorageBackend::buffer);
+    const LivePointRunResult ref =
+        runLivePoints(b.prog, refLib, cfg, ropt);
+
+    struct Backend
+    {
+        const char *name;
+        StorageBackend backend;
+    };
+    std::vector<Backend> backends{{"owned-buffer",
+                                   StorageBackend::buffer}};
+    if (mmapSupported() && !mmapDisabledByEnv())
+        backends.push_back({"mmap", StorageBackend::mapped});
+
+    std::printf("library: %llu points, %s on disk\n\n",
+                static_cast<unsigned long long>(n),
+                fmtBytes(fileBytes).c_str());
+    std::printf("%14s | %9s | %10s | %10s | %10s\n", "backend",
+                "load ms", "replays/s", "pinned", "peak RSS");
+
+    std::string backendRows;
+    for (const Backend &bk : backends) {
+        const auto tLoad = std::chrono::steady_clock::now();
+        const LivePointLibrary lib =
+            LivePointLibrary::load(path, bk.backend);
+        const double loadMs = msSince(tLoad);
+        const LivePointRunResult r =
+            runLivePoints(b.prog, lib, cfg, ropt);
+        if (!sameResult(r, ref))
+            panic("ablation_storage: backend '%s' changed the "
+                  "estimate",
+                  bk.name);
+        const double rps =
+            static_cast<double>(r.processed) / r.wallSeconds;
+        std::printf("%14s | %9.3f | %10.1f | %10s | %10s\n", bk.name,
+                    loadMs, rps, fmtBytes(lib.pinnedBytes()).c_str(),
+                    fmtBytes(peakRssBytes()).c_str());
+        backendRows += strfmt(
+            "%s    {\"backend\": \"%s\", \"load_ms\": %.3f, "
+            "\"replays_per_sec\": %.2f, \"pinned_bytes\": %llu, "
+            "\"current_rss_bytes\": %llu, \"peak_rss_bytes\": %llu, "
+            "\"identical\": true}",
+            backendRows.empty() ? "" : ",\n", bk.name, loadMs, rps,
+            static_cast<unsigned long long>(lib.pinnedBytes()),
+            static_cast<unsigned long long>(currentRssBytes()),
+            static_cast<unsigned long long>(peakRssBytes()));
+    }
+
+    // Resident-budget streaming: the replay window (compressed +
+    // decoded bytes in flight) must stay under the budget while the
+    // whole library streams through — with the default budget sized
+    // so the library is >= 4x it.
+    std::uint64_t windowBytes = 0;
+    for (std::size_t i = 0; i < refLib.size(); ++i)
+        windowBytes += refLib.compressedSize(i) + refLib.rawSize(i);
+    const bool budgetFromEnv = s.residentBudget != 0;
+    const std::uint64_t budget =
+        budgetFromEnv ? s.residentBudget : windowBytes / 4;
+
+    const LivePointLibrary streamLib = LivePointLibrary::load(path);
+    LivePointRunOptions bopt = ropt;
+    bopt.residentBudgetBytes = budget;
+    const LivePointRunResult br =
+        runLivePoints(b.prog, streamLib, cfg, bopt);
+    if (!sameResult(br, ref))
+        panic("ablation_storage: resident-budget replay changed the "
+              "estimate");
+    bopt.threads = 2;
+    if (!sameResult(runLivePoints(b.prog, streamLib, cfg, bopt), ref))
+        panic("ablation_storage: resident-budget replay is not "
+              "thread-count invariant");
+    const bool underBudget = br.peakResidentBytes <= budget;
+    // The acceptance gate: with the default (window/4) budget the
+    // peak in-flight bytes must stay under it.
+    if (!budgetFromEnv && !underBudget)
+        panic("ablation_storage: peak resident %llu exceeds budget "
+              "%llu",
+              static_cast<unsigned long long>(br.peakResidentBytes),
+              static_cast<unsigned long long>(budget));
+    std::printf("\nresident budget: %s window streamed through %s "
+                "budget, peak %s (%.1f%% of budget)%s\n",
+                fmtBytes(windowBytes).c_str(),
+                fmtBytes(budget).c_str(),
+                fmtBytes(br.peakResidentBytes).c_str(),
+                100.0 * static_cast<double>(br.peakResidentBytes) /
+                    static_cast<double>(budget ? budget : 1),
+                underBudget ? "" : "  ** OVER BUDGET **");
+
+    // The sharded fleet store: open lazily, replay one shard, leave
+    // the other untouched.
+    const std::string setDir = s.cacheDir + "/ablation-storage-set";
+    std::filesystem::remove_all(setDir);
+    {
+        LibrarySetWriter writer(setDir);
+        writer.addShard("gcc-2", built);
+        writer.addShard("gcc-2-alt", built);
+    }
+    const LibrarySet set = LibrarySet::open(setDir);
+    const bool lazyOk = set.loadedCount() == 0;
+    const LivePointRunResult sr =
+        runLivePoints(b.prog, set.shard(0), cfg, ropt);
+    if (!sameResult(sr, ref))
+        panic("ablation_storage: fleet-store shard replay changed "
+              "the estimate");
+    const bool oneShard = set.loadedCount() == 1;
+    if (!lazyOk || !oneShard)
+        panic("ablation_storage: fleet store opened shards eagerly");
+    std::printf("fleet store: %zu shards, %zu opened for a one-shard "
+                "replay (%s mapped, %s pinned)\n",
+                set.size(), set.loadedCount(),
+                fmtBytes(set.mappedBytes()).c_str(),
+                fmtBytes(set.pinnedBytes()).c_str());
+
+    const std::string json = strfmt(
+        "{\n  \"bench\": \"ablation_storage\",\n"
+        "  \"benchmark\": \"%s\",\n  \"points\": %llu,\n"
+        "  \"library_file_bytes\": %llu,\n"
+        "  \"window_bytes\": %llu,\n"
+        "  \"backends\": [\n%s\n  ],\n"
+        "  \"budget\": {\"budget_bytes\": %llu, \"from_env\": %s, "
+        "\"peak_resident_bytes\": %llu, \"window_to_budget\": %.2f, "
+        "\"replays_per_sec\": %.2f, \"under_budget\": %s, "
+        "\"identical\": true},\n"
+        "  \"fleet\": {\"shards\": %zu, \"opened\": %zu, "
+        "\"mapped_bytes\": %llu, \"pinned_bytes\": %llu, "
+        "\"identical\": true}\n}\n",
+        b.profile.name.c_str(), static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(fileBytes),
+        static_cast<unsigned long long>(windowBytes),
+        backendRows.c_str(), static_cast<unsigned long long>(budget),
+        budgetFromEnv ? "true" : "false",
+        static_cast<unsigned long long>(br.peakResidentBytes),
+        budget ? static_cast<double>(windowBytes) /
+                     static_cast<double>(budget)
+               : 0.0,
+        static_cast<double>(br.processed) / br.wallSeconds,
+        underBudget ? "true" : "false", set.size(), set.loadedCount(),
+        static_cast<unsigned long long>(set.mappedBytes()),
+        static_cast<unsigned long long>(set.pinnedBytes()));
+    if (writeBenchJson(s, json))
+        std::printf("timings written to %s\n", s.jsonPath.c_str());
+
+    std::filesystem::remove_all(setDir);
+    std::filesystem::remove(path);
+    std::printf("\nevery backend and budget setting reproduced the "
+                "owned-buffer estimate to the bit; only where the "
+                "bytes live differs.\n");
+    return 0;
+}

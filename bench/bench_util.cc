@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "util/log.hh"
 
@@ -35,6 +40,8 @@ settings()
             std::strtoul(v, nullptr, 10));
     if (const char *v = std::getenv("LP_BENCH_BUILD_PREFIX"))
         s.buildPrefix = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("LP_BENCH_RESIDENT_BUDGET"))
+        s.residentBudget = std::strtoull(v, nullptr, 10);
     if (s.buildThreads == 0)
         s.buildThreads = 1;
     std::filesystem::create_directories(s.cacheDir);
@@ -208,6 +215,56 @@ defaultBuilderConfig()
     bc.maxDtlb = s16.mem.dtlb;
     bc.bpredConfigs = {e8.bpred, s16.bpred};
     return bc;
+}
+
+namespace
+{
+
+/** Read "<key>:  <n> kB" from /proc/self/status; 0 if absent. */
+std::uint64_t
+procStatusKb(const char *key)
+{
+    FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    const std::size_t keyLen = std::strlen(key);
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, key, keyLen) == 0 &&
+            line[keyLen] == ':') {
+            kb = std::strtoull(line + keyLen + 1, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+}
+
+} // namespace
+
+std::uint64_t
+currentRssBytes()
+{
+    return procStatusKb("VmRSS") * 1024;
+}
+
+std::uint64_t
+peakRssBytes()
+{
+    if (const std::uint64_t kb = procStatusKb("VmHWM"))
+        return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+        return static_cast<std::uint64_t>(ru.ru_maxrss); // bytes
+#else
+        return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+#endif
+    return 0;
 }
 
 std::string

@@ -19,6 +19,11 @@
  *                      pipelined; n>1 shards the sample)
  *   LP_BENCH_BUILD_PREFIX=n   fixed per-shard warming prefix in
  *                      instructions (default 0: MRRL-derived)
+ *   LP_BENCH_RESIDENT_BUDGET=n  resident-budget streaming replay:
+ *                      bound the in-flight decode window to n bytes
+ *                      (benches that replay honor it; 0 = off)
+ *   LP_NO_MMAP=1       force the owned-buffer storage backend (read
+ *                      by the io layer itself; affects every binary)
  */
 
 #ifndef LP_BENCH_BENCH_UTIL_HH
@@ -48,6 +53,7 @@ struct BenchSettings
     std::string jsonPath;         //!< empty: no JSON output
     unsigned buildThreads = 1;    //!< warming shards for creation
     std::uint64_t buildPrefix = 0; //!< fixed shard prefix; 0 = MRRL
+    std::uint64_t residentBudget = 0; //!< streaming replay budget; 0 = off
 };
 
 /** Read settings from the environment. */
@@ -110,6 +116,20 @@ lp::LivePointBuilderConfig defaultBuilderConfig();
  * warning on stderr, never a throw) otherwise.
  */
 bool writeBenchJson(const BenchSettings &s, const std::string &json);
+
+/**
+ * Current resident-set size of this process in bytes (Linux:
+ * /proc/self/status VmRSS), or 0 where unavailable.
+ */
+std::uint64_t currentRssBytes();
+
+/**
+ * Lifetime peak resident-set size of this process in bytes (Linux:
+ * VmHWM, else getrusage ru_maxrss), or 0 where unavailable. Note the
+ * peak is monotonic over the process lifetime — phase-over-phase
+ * deltas need currentRssBytes().
+ */
+std::uint64_t peakRssBytes();
 
 /** Format seconds as the paper does (s / m / h / d). */
 std::string fmtTime(double seconds);

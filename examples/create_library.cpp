@@ -5,7 +5,13 @@
  * it to disk (the paper's Figure 6, steps 1-3: size the sample, run
  * the one-time full-warming creation pass, shuffle).
  *
+ * With --set <dir>, the shuffled library is appended to a sharded
+ * fleet store (LibrarySet) instead of written as a standalone file —
+ * run it once per benchmark to grow a multi-workload set a campaign
+ * can open lazily, shard by shard.
+ *
  * Usage: create_library <benchmark> [output.lpl] [--n <windows>]
+ *                       [--set <dir>]
  *        create_library --list
  */
 
@@ -14,6 +20,7 @@
 #include <string>
 
 #include "core/builder.hh"
+#include "core/library_set.hh"
 #include "core/runners.hh"
 #include "uarch/config.hh"
 #include "util/log.hh"
@@ -47,10 +54,13 @@ main(int argc, char **argv)
 
     const std::string name = argv[1];
     std::string output = name + ".lpl";
+    std::string setDir;
     std::uint64_t forcedN = 0;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc)
             forcedN = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc)
+            setDir = argv[++i];
         else
             output = argv[i];
     }
@@ -109,10 +119,20 @@ main(int argc, char **argv)
            static_cast<double>(lib.totalUncompressedBytes()) /
                1048576.0);
 
-    // Step 3: shuffle on disk.
+    // Step 3: shuffle on disk — standalone container, or appended as
+    // one shard of a fleet store.
     Rng rng(profile.seed, "library-shuffle");
     lib.shuffle(rng);
-    lib.save(output);
-    inform("step 3: shuffled library written to %s", output.c_str());
+    if (!setDir.empty()) {
+        LibrarySetWriter writer(setDir);
+        writer.addShard(name, lib);
+        inform("step 3: shuffled library appended to set %s "
+               "(%zu shard(s) total)",
+               setDir.c_str(), writer.shards());
+    } else {
+        lib.save(output);
+        inform("step 3: shuffled library written to %s",
+               output.c_str());
+    }
     return 0;
 }

@@ -1,16 +1,26 @@
 /**
  * @file
  * inspect_library — dump the contents of a live-point library file:
- * header metadata, aggregate sizes, and per-section byte breakdowns
- * (the Figure 7 view of your own library). Useful when deciding the
- * maximum cache/predictor configuration a library should bake in.
+ * header metadata, the active storage backend with its resident and
+ * mapped byte accounting, aggregate sizes, and per-section byte
+ * breakdowns (the Figure 7 view of your own library). With --verify,
+ * walks every record and cross-checks its decode against the index
+ * table (rawSize, windowIndex) and the canonical re-encoding —
+ * exiting nonzero if any record is damaged. Useful when deciding the
+ * maximum cache/predictor configuration a library should bake in,
+ * and as an integrity pass over archived libraries.
  *
- * Usage: inspect_library <library.lpl> [--points N]
+ * The backend follows the io layer's selection: mmap where the
+ * platform allows, the owned-buffer path under LP_NO_MMAP=1.
+ *
+ * Usage: inspect_library <library.lpl> [--points N] [--verify]
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <stdexcept>
 
 #include "core/library.hh"
 #include "stats/running_stat.hh"
@@ -22,19 +32,31 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <library.lpl> [--points N]\n",
+        std::fprintf(stderr,
+                     "usage: %s <library.lpl> [--points N] "
+                     "[--verify]\n",
                      argv[0]);
         return 1;
     }
     std::size_t showPoints = 5;
-    for (int i = 2; i < argc; ++i)
+    bool verify = false;
+    for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc)
             showPoints = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--verify") == 0)
+            verify = true;
+    }
 
     const LivePointLibrary lib = LivePointLibrary::load(argv[1]);
     const SampleDesign &d = lib.design();
 
     std::printf("library            %s\n", argv[1]);
+    std::printf("storage backend    %s (%.2f MB backing, %.2f MB "
+                "pinned heap%s)\n",
+                lib.storageKind().c_str(),
+                static_cast<double>(lib.backingBytes()) / 1048576.0,
+                static_cast<double>(lib.pinnedBytes()) / 1048576.0,
+                lib.mappedBacking() ? ", paged on demand" : "");
     std::printf("benchmark          %s\n", lib.benchmark().c_str());
     std::printf("live-points        %zu\n", lib.size());
     std::printf("benchmark length   %.1fM instructions\n",
@@ -57,12 +79,43 @@ main(int argc, char **argv)
     if (lib.size() == 0)
         return 0;
 
+    // --verify: decode every record, letting the library's
+    // index-table cross-checks (rawSize, windowIndex) fire, and
+    // additionally require the decoded point to re-encode to exactly
+    // the stored raw bytes (the encoding is canonical, so any
+    // payload damage that still parses shows up here).
+    if (verify) {
+        Blob scratch;
+        LivePoint pt;
+        std::size_t bad = 0;
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            try {
+                lib.decodeInto(i, scratch, pt);
+                if (pt.serialize() != scratch)
+                    throw std::runtime_error(
+                        "re-encode differs from stored bytes");
+            } catch (const std::exception &e) {
+                ++bad;
+                std::fprintf(stderr, "record %zu: BAD (%s)\n", i,
+                             e.what());
+            }
+        }
+        std::printf("\nverify             %zu/%zu records ok "
+                    "(decode + rawSize/windowIndex/re-encode "
+                    "cross-checks)\n",
+                    lib.size() - bad, lib.size());
+        if (bad)
+            return 1;
+    }
+
     // Aggregate per-section statistics over the whole library.
     RunningStat total;
     RunningStat memData;
     RunningStat l2Tags;
     RunningStat bpred;
-    const LivePoint first = lib.get(0);
+    Blob firstScratch;
+    LivePoint first;
+    lib.decodeInto(0, firstScratch, first);
     std::printf("\nmaximum geometry   L2 %lluKB %u-way (line %llu); "
                 "%zu predictor image(s):\n",
                 static_cast<unsigned long long>(

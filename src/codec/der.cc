@@ -141,6 +141,10 @@ DerReader::DerReader(const Blob &data)
 {
 }
 
+DerReader::DerReader(ByteSpan data) : data_(data.data), size_(data.size)
+{
+}
+
 DerReader::DerReader(const std::uint8_t *data, std::size_t size)
     : data_(data), size_(size)
 {

@@ -62,6 +62,13 @@ class DerReader
     /** View an entire encoded blob. @p data must outlive the reader. */
     explicit DerReader(const Blob &data);
 
+    /**
+     * View encoded bytes borrowed from any backing storage (an
+     * owned buffer, a file mapping). The storage must outlive the
+     * reader and everything it hands out.
+     */
+    explicit DerReader(ByteSpan data);
+
     /** True when no values remain at this nesting level. */
     bool atEnd() const { return pos_ >= size_; }
 

@@ -113,6 +113,18 @@ LivePointBuilder::build(const Program &prog, const SampleDesign &design)
     return lib;
 }
 
+BuilderStats
+LivePointBuilder::buildInto(LibrarySetWriter &set,
+                            const std::string &name, const Program &prog,
+                            const SampleDesign &design)
+{
+    // The shard streams to disk and its in-memory arena dies here —
+    // the fleet build's resident footprint is one shard, not the set.
+    const LivePointLibrary lib = build(prog, design);
+    set.addShard(name, lib);
+    return stats_;
+}
+
 LivePointLibrary
 LivePointBuilder::buildSequential(const Program &prog,
                                   const SampleDesign &design)

@@ -25,6 +25,7 @@
 #define LP_CORE_BUILDER_HH
 
 #include "core/library.hh"
+#include "core/library_set.hh"
 #include "uarch/config.hh"
 
 namespace lp
@@ -100,6 +101,17 @@ class LivePointBuilder
 
     /** Create the library for @p design over @p prog. */
     LivePointLibrary build(const Program &prog,
+                           const SampleDesign &design);
+
+    /**
+     * Build @p prog's library and stream it straight into @p set as
+     * the shard for workload @p name, releasing the in-memory
+     * library before returning — a fleet build over many workloads
+     * keeps at most one shard resident at a time. Returns the
+     * build's statistics.
+     */
+    BuilderStats buildInto(LibrarySetWriter &set,
+                           const std::string &name, const Program &prog,
                            const SampleDesign &design);
 
     /** Statistics of the most recent build() call. */

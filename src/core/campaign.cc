@@ -120,20 +120,33 @@ CampaignEngine::CampaignEngine(std::vector<CampaignWorkload> workloads,
     if (configs_.size() > maxReplayConfigs)
         throw std::invalid_argument(
             "campaign: too many configurations for one decode fan-out");
-    for (const CampaignWorkload &w : workloads_)
-        if (!w.prog || !w.lib)
+    for (const CampaignWorkload &w : workloads_) {
+        if (!w.prog || (!w.lib && !w.set))
             throw std::invalid_argument(
                 strfmt("campaign: workload '%s' has no program or "
                        "library",
                        w.name.c_str()));
+        if (!w.lib && w.shard >= w.set->size())
+            throw std::invalid_argument(
+                strfmt("campaign: workload '%s' references shard %zu "
+                       "of a %zu-shard set",
+                       w.name.c_str(), w.shard, w.set->size()));
+    }
     digests_.reserve(configs_.size());
     for (const CoreConfig &c : configs_)
         digests_.push_back(configDigest(c));
-    // Hashing a library touches every record byte; the manifest
-    // writes at every block barrier, so pay the scan once up front.
+    // Hashing a resident library touches every record byte; the
+    // manifest writes at every block barrier, so pay the scan once up
+    // front. Set-backed workloads read the hash (and point count)
+    // from the set index instead — no shard is opened here.
     libHashes_.reserve(workloads_.size());
-    for (const CampaignWorkload &w : workloads_)
-        libHashes_.push_back(w.lib->contentHash());
+    libSizes_.reserve(workloads_.size());
+    for (const CampaignWorkload &w : workloads_) {
+        libHashes_.push_back(w.lib ? w.lib->contentHash()
+                                   : w.set->contentHash(w.shard));
+        libSizes_.push_back(w.lib ? w.lib->size()
+                                  : w.set->points(w.shard));
+    }
 }
 
 void
@@ -160,7 +173,7 @@ CampaignEngine::saveManifest(const Manifest &m) const
         w.beginSequence();
         w.putString(workloads_[i].name);
         w.putUint(libHashes_[i]);
-        w.putUint(workloads_[i].lib->size());
+        w.putUint(libSizes_[i]);
         w.putUint(mw.frontier);
         for (const Manifest::Cell &c : mw.cells) {
             w.beginSequence();
@@ -264,7 +277,7 @@ CampaignEngine::loadManifest() const
             throw mismatch("workload name");
         if (ws.getUint() != libHashes_[i])
             throw mismatch("library content");
-        if (ws.getUint() != workloads_[i].lib->size())
+        if (ws.getUint() != libSizes_[i])
             throw mismatch("library size");
         mw.frontier = ws.getUint();
         for (Manifest::Cell &c : mw.cells) {
@@ -302,6 +315,7 @@ CampaignEngine::run()
     ropt.threads = std::max(opt_.threads, 1u);
     ropt.decodeThreads = opt_.decodeThreads;
     ropt.approxWrongPath = opt_.approxWrongPath;
+    ropt.residentBudgetBytes = opt_.residentBudgetBytes;
     ropt.decodeThreads = replayDecodeThreads(ropt);
     ThreadPool pool(ropt.threads + ropt.decodeThreads);
     ropt.sharedPool = &pool;
@@ -325,7 +339,8 @@ CampaignEngine::run()
     for (std::size_t w = 0; w < workloads_.size(); ++w) {
         const CampaignWorkload &wk = workloads_[w];
         Manifest::Workload &mw = m.workloads[w];
-        const std::size_t n = wk.lib->size();
+        const std::size_t n =
+            static_cast<std::size_t>(libSizes_[w]);
 
         // Rebuild the live fold state from the manifest image. Every
         // still-active cell sits exactly at the workload's frontier
@@ -357,6 +372,14 @@ CampaignEngine::run()
         }
 
         if (initialMask != 0 && !res.budgetExhausted) {
+            // A set-backed workload's shard opens here — only now,
+            // only because this workload actually has work left — and
+            // closes again below. Workloads the manifest already
+            // finished (or the budget never reaches) stay on disk.
+            const bool lazyShard =
+                !wk.lib && !wk.set->isLoaded(wk.shard);
+            const LivePointLibrary &lib =
+                wk.lib ? *wk.lib : wk.set->shard(wk.shard);
             const std::vector<std::size_t> order =
                 replayOrder(n, opt_.shuffleSeed);
             ReplayEngine engine(*wk.prog, configs_, ropt);
@@ -366,7 +389,7 @@ CampaignEngine::run()
             plan.initialMask = initialMask;
 
             engine.run(
-                *wk.lib, order, blockSize_, stopping,
+                lib, order, blockSize_, stopping,
                 [&](std::size_t, const WindowResult *row) {
                     for (std::size_t c = 0; c < nc; ++c) {
                         if (!cells[c].active)
@@ -419,6 +442,10 @@ CampaignEngine::run()
             res.bytesDecoded += engine.bytesDecoded();
             res.pointsDecoded += engine.pointsDecoded();
             res.replaysExecuted += engine.replaysExecuted();
+            res.peakResidentBytes = std::max(
+                res.peakResidentBytes, engine.peakResidentBytes());
+            if (lazyShard && opt_.unloadFinishedShards)
+                wk.set->unload(wk.shard);
         }
 
         // Publish the workload's cells and pairs.
@@ -504,6 +531,7 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         "\"bytes_decoded\": %llu, \"points_decoded\": %llu, "
         "\"replays_executed\": %llu, \"folded_replays\": %llu, "
         "\"restored_replays\": %llu, \"migrated_replays\": %llu, "
+        "\"peak_resident_bytes\": %llu, "
         "\"retirements\": %zu, \"budget_exhausted\": %s, "
         "\"decode_fanout\": %.3f}\n}\n",
         r.wallSeconds, static_cast<unsigned long long>(r.bytesDecoded),
@@ -512,6 +540,7 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         static_cast<unsigned long long>(r.foldedReplays),
         static_cast<unsigned long long>(r.restoredReplays),
         static_cast<unsigned long long>(r.migratedReplays),
+        static_cast<unsigned long long>(r.peakResidentBytes),
         r.retirements, r.budgetExhausted ? "true" : "false",
         r.pointsDecoded
             ? static_cast<double>(r.replaysExecuted) /

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/library.hh"
+#include "core/library_set.hh"
 #include "core/sample.hh"
 #include "stats/running_stat.hh"
 #include "uarch/config.hh"
@@ -45,12 +46,24 @@
 namespace lp
 {
 
-/** One row of the campaign grid. */
+/**
+ * One row of the campaign grid. The library comes from exactly one of
+ * two places: a resident LivePointLibrary (@p lib), or a shard of a
+ * sharded fleet store (@p set + @p shard). A set-backed workload is
+ * opened lazily when its run begins — its metadata (point count,
+ * content hash, used for scheduling and manifest keying) comes from
+ * the set index — and is unloaded again once the workload finishes,
+ * so a fleet larger than RAM streams through the campaign one shard
+ * at a time and never loads workloads the resume manifest already
+ * finished.
+ */
 struct CampaignWorkload
 {
     std::string name;
     const Program *prog = nullptr;
     const LivePointLibrary *lib = nullptr;
+    const LibrarySet *set = nullptr; //!< used when lib == nullptr
+    std::size_t shard = 0;           //!< shard index within *set
 };
 
 struct CampaignOptions
@@ -85,6 +98,20 @@ struct CampaignOptions
      * no checkpointing.
      */
     std::string manifestPath;
+
+    /**
+     * Per-workload resident-budget streaming replay (0 = off); see
+     * LivePointRunOptions::residentBudgetBytes. Bit-identical to the
+     * unbudgeted campaign.
+     */
+    std::uint64_t residentBudgetBytes = 0;
+
+    /**
+     * Unload a set-backed workload's shard when its run finishes
+     * (only shards this campaign opened), keeping the fleet's
+     * resident set to roughly one shard.
+     */
+    bool unloadFinishedShards = true;
 };
 
 /** One (workload, configuration) cell's outcome. */
@@ -129,6 +156,8 @@ struct CampaignResult
     std::uint64_t foldedReplays = 0;   //!< deterministic, incl. restored
     std::uint64_t restoredReplays = 0; //!< replays skipped via manifest
     std::uint64_t migratedReplays = 0; //!< replays freed by retirement
+    /** Peak budget-window bytes over all workload runs (0 = off). */
+    std::uint64_t peakResidentBytes = 0;
     std::size_t retirements = 0;       //!< cells stopped early
     bool budgetExhausted = false;
 
@@ -179,6 +208,7 @@ class CampaignEngine
     std::vector<std::uint64_t> digests_;
     std::vector<std::uint64_t> libHashes_; //!< computed once; libraries
                                            //!< are immutable during a run
+    std::vector<std::uint64_t> libSizes_;  //!< per-workload point count
     CampaignOptions opt_;
     std::size_t blockSize_;
 };

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <stdexcept>
 
 #include "codec/zip.hh"
@@ -219,9 +218,40 @@ ByteSpan
 LivePointLibrary::record(std::size_t i) const
 {
     const RecordRef &r = refs_[i];
-    const Blob &src = r.inArena ? arena_ : backing_;
-    return ByteSpan(src.data() + r.offset,
+    const std::uint8_t *base =
+        r.inArena ? arena_.data() : source_->data();
+    return ByteSpan(base + r.offset,
                     static_cast<std::size_t>(r.size));
+}
+
+std::string
+LivePointLibrary::storageKind() const
+{
+    if (!source_)
+        return "arena";
+    bool anyArena = false;
+    for (const RecordRef &r : refs_)
+        anyArena = anyArena || r.inArena;
+    const std::string backend = source_->kind();
+    return anyArena ? "arena+" + backend : backend;
+}
+
+void
+LivePointLibrary::prefetchRecord(std::size_t i) const
+{
+    const RecordRef &r = refs_[i];
+    if (!r.inArena && source_)
+        source_->prefetch(static_cast<std::size_t>(r.offset),
+                          static_cast<std::size_t>(r.size));
+}
+
+void
+LivePointLibrary::releaseRecord(std::size_t i) const
+{
+    const RecordRef &r = refs_[i];
+    if (!r.inArena && source_)
+        source_->release(static_cast<std::size_t>(r.offset),
+                         static_cast<std::size_t>(r.size));
 }
 
 LivePoint
@@ -428,41 +458,27 @@ LivePointLibrary::saveLpl2(const std::string &path) const
 }
 
 LivePointLibrary
-LivePointLibrary::load(const std::string &path)
+LivePointLibrary::load(const std::string &path, StorageBackend backend)
 {
-    std::error_code ec;
-    const std::uintmax_t fsSize =
-        std::filesystem::file_size(path, ec);
-    if (ec)
-        throw std::runtime_error(
-            strfmt("cannot open library '%s'", path.c_str()));
-
-    FileHandle f(path, "rb");
-    if (!f)
-        throw std::runtime_error(
-            strfmt("cannot open library '%s'", path.c_str()));
-    Blob data(static_cast<std::size_t>(fsSize));
-    if (!data.empty() &&
-        std::fread(data.data(), 1, data.size(), f.get()) != data.size())
-        throw std::runtime_error(
-            strfmt("short read from library '%s'", path.c_str()));
-
-    if (data.size() >= sizeof(kMagic3) &&
-        std::memcmp(data.data(), kMagic3, sizeof(kMagic3)) == 0)
-        return loadLpl3(std::move(data), path);
-    return loadLpl2(std::move(data), path);
+    std::shared_ptr<const LibrarySource> source =
+        openLibrarySource(path, backend);
+    if (source->size() >= sizeof(kMagic3) &&
+        std::memcmp(source->data(), kMagic3, sizeof(kMagic3)) == 0)
+        return loadLpl3(std::move(source), path);
+    return loadLpl2(std::move(source), path);
 }
 
 LivePointLibrary
-LivePointLibrary::loadLpl3(Blob data, const std::string &path)
+LivePointLibrary::loadLpl3(std::shared_ptr<const LibrarySource> source,
+                           const std::string &path)
 {
     auto malformed = [&path]() {
         return std::runtime_error(
             strfmt("'%s' is not a valid LPLIB3 library", path.c_str()));
     };
-    if (data.size() < kLpl3HeaderBytes)
+    if (source->size() < kLpl3HeaderBytes)
         throw malformed();
-    const std::uint8_t *h = data.data();
+    const std::uint8_t *h = source->data();
     const std::uint64_t version = getU64le(h + 8);
     const std::uint64_t count = getU64le(h + 16);
     const std::uint64_t metaOffset = getU64le(h + 24);
@@ -472,7 +488,7 @@ LivePointLibrary::loadLpl3(Blob data, const std::string &path)
     const std::uint64_t fileSize = getU64le(h + 56);
     // Overflow-safe layout checks: every field is validated against
     // the real file size before it is used as an offset.
-    if (version != kLpl3Version || fileSize != data.size() ||
+    if (version != kLpl3Version || fileSize != source->size() ||
         metaOffset != kLpl3HeaderBytes ||
         metaSize > fileSize - metaOffset ||
         tableOffset != metaOffset + metaSize ||
@@ -482,8 +498,8 @@ LivePointLibrary::loadLpl3(Blob data, const std::string &path)
 
     LivePointLibrary lib;
     {
-        const Blob meta(h + metaOffset, h + metaOffset + metaSize);
-        DerReader mr(meta);
+        DerReader mr(ByteSpan(h + metaOffset,
+                              static_cast<std::size_t>(metaSize)));
         lib.benchmark_ = mr.getString();
         lib.design_ = deserializeDesign(mr);
     }
@@ -511,9 +527,10 @@ LivePointLibrary::loadLpl3(Blob data, const std::string &path)
     }
     if (running != dataBytes)
         throw malformed();
-    // The whole file becomes the backing buffer; records are spans
-    // into it — the load allocates nothing beyond the file bytes.
-    lib.backing_ = std::move(data);
+    // The source backend keeps holding the file; records are spans
+    // into it — the load allocates nothing beyond the index, and a
+    // mapped backend does not even pin the file bytes.
+    lib.source_ = std::move(source);
     return lib;
 }
 
@@ -535,9 +552,10 @@ identicalRecords(const LivePointLibrary &a, const LivePointLibrary &b)
 }
 
 LivePointLibrary
-LivePointLibrary::loadLpl2(Blob data, const std::string &path)
+LivePointLibrary::loadLpl2(std::shared_ptr<const LibrarySource> source,
+                           const std::string &path)
 {
-    DerReader top(data);
+    DerReader top(ByteSpan(source->data(), source->size()));
     DerReader seq = top.getSequence();
     if (seq.getUint() != kFileMagic2)
         throw std::runtime_error(
@@ -552,14 +570,16 @@ LivePointLibrary::loadLpl2(Blob data, const std::string &path)
         r.rawSize = seq.getUint();
         r.index = seq.getUint();
         // The record's content bytes sit inside the DER stream; keep
-        // the file as the backing buffer and reference them in place.
+        // the source as the backing storage and reference them in
+        // place.
         const ByteSpan rec = seq.getBytesSpan();
-        r.offset = static_cast<std::uint64_t>(rec.data - data.data());
+        r.offset =
+            static_cast<std::uint64_t>(rec.data - source->data());
         r.size = rec.size;
         r.inArena = false;
         lib.refs_.push_back(r);
     }
-    lib.backing_ = std::move(data);
+    lib.source_ = std::move(source);
     return lib;
 }
 

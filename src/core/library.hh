@@ -13,20 +13,23 @@
  * (benchmark + design), a per-point index table (offset / compressed
  * size / raw size / window index), then the raw compressed records
  * back-to-back. Written streaming — no whole-library staging buffer —
- * and loaded as one backing buffer whose records are exposed as
- * zero-copy spans. Older DER-blob libraries (LPLIB2) are detected by
- * magic and still load.
+ * and loaded through a pluggable LibrarySource backend (io/source.hh):
+ * an owned heap buffer or a read-only mmap, with records exposed as
+ * zero-copy spans into either. Older DER-blob libraries (LPLIB2) are
+ * detected by magic and load through the same backends.
  */
 
 #ifndef LP_CORE_LIBRARY_HH
 #define LP_CORE_LIBRARY_HH
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "cache/warmstate.hh"
 #include "codec/der.hh"
 #include "core/sample.hh"
+#include "io/source.hh"
 #include "mem/memport.hh"
 #include "util/rng.hh"
 #include "workload/generator.hh"
@@ -143,6 +146,12 @@ class LivePointLibrary
         return refs_[i].size;
     }
 
+    /** Uncompressed bytes of the @p i-th point (index metadata). */
+    std::uint64_t rawSize(std::size_t i) const
+    {
+        return refs_[i].rawSize;
+    }
+
     /**
      * Window index of the @p i-th stored point, without decompressing
      * it (kept as library metadata for stratum assignment).
@@ -151,6 +160,43 @@ class LivePointLibrary
     {
         return refs_[i].index;
     }
+
+    /**
+     * Name of the storage backend holding the records: "mmap" or
+     * "owned-buffer" for a loaded container, "arena" for a library
+     * built (or appended to) in memory, "arena+<backend>" when both
+     * hold records.
+     */
+    std::string storageKind() const;
+
+    /** True when the records live in a file mapping. */
+    bool mappedBacking() const
+    {
+        return source_ && source_->mapped();
+    }
+
+    /** Bytes of the loaded container file (0 for in-memory builds). */
+    std::uint64_t backingBytes() const
+    {
+        return source_ ? source_->size() : 0;
+    }
+
+    /**
+     * Heap bytes the library pins regardless of access pattern: the
+     * append arena plus the backing buffer when it is heap-held. A
+     * mapped library pins only its arena — the kernel pages the file
+     * in and out on demand.
+     */
+    std::uint64_t pinnedBytes() const
+    {
+        return arena_.size() + (source_ ? source_->pinnedBytes() : 0);
+    }
+
+    /** Hint the backend that record @p i is needed soon. */
+    void prefetchRecord(std::size_t i) const;
+
+    /** Hint the backend that record @p i will not be re-read soon. */
+    void releaseRecord(std::size_t i) const;
 
     std::uint64_t totalCompressedBytes() const;
     std::uint64_t totalUncompressedBytes() const;
@@ -179,31 +225,43 @@ class LivePointLibrary
     void save(const std::string &path,
               Format format = Format::lpl3) const;
 
-    /** Load either container format (dispatched on the file magic). */
-    static LivePointLibrary load(const std::string &path);
+    /**
+     * Load either container format (dispatched on the file magic)
+     * through the chosen storage backend. The default (autoSelect)
+     * maps the file when the platform allows and LP_NO_MMAP is
+     * unset, and falls back to one owned heap buffer otherwise —
+     * record parsing, decoding, content hashing, and the corruption
+     * cross-checks are identical through either backend.
+     */
+    static LivePointLibrary
+    load(const std::string &path,
+         StorageBackend backend = StorageBackend::autoSelect);
 
   private:
     /** Where one compressed record lives. */
     struct RecordRef
     {
-        std::uint64_t offset = 0; //!< into backing_ or arena_
+        std::uint64_t offset = 0; //!< into source_ or arena_
         std::uint64_t size = 0;
         std::uint64_t rawSize = 0; //!< uncompressed size
         std::uint64_t index = 0;   //!< window index
         bool inArena = false;      //!< offset is into arena_
     };
 
-    static LivePointLibrary loadLpl3(Blob data,
-                                     const std::string &path);
-    static LivePointLibrary loadLpl2(Blob data,
-                                     const std::string &path);
+    static LivePointLibrary
+    loadLpl3(std::shared_ptr<const LibrarySource> source,
+             const std::string &path);
+    static LivePointLibrary
+    loadLpl2(std::shared_ptr<const LibrarySource> source,
+             const std::string &path);
     void saveLpl3(const std::string &path) const;
     void saveLpl2(const std::string &path) const;
 
     std::string benchmark_;
     SampleDesign design_;
-    Blob backing_; //!< loaded container file, referenced by refs_
-    Blob arena_;   //!< appended compressed records, back-to-back
+    /** Backend holding the loaded container file (shared on copy). */
+    std::shared_ptr<const LibrarySource> source_;
+    Blob arena_; //!< appended compressed records, back-to-back
     std::vector<RecordRef> refs_;
 };
 

@@ -1,0 +1,274 @@
+#include "core/library_set.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+constexpr std::uint64_t kSetMagic = 0x4c50'5345'5431ull; // "LPSET1"
+constexpr std::uint64_t kSetVersion = 1;
+constexpr const char *kIndexFile = "lpset.idx";
+
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    return (std::filesystem::path(dir) / file).string();
+}
+
+/**
+ * A shard's container file name: the workload name with anything
+ * outside [A-Za-z0-9._-] replaced, made unique by the shard ordinal.
+ */
+std::string
+shardFileName(std::size_t ordinal, const std::string &name)
+{
+    std::string safe;
+    safe.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        safe.push_back(ok ? c : '_');
+    }
+    return strfmt("shard-%03zu-%s.lpl", ordinal, safe.c_str());
+}
+
+} // namespace
+
+const char *
+LibrarySet::indexFileName()
+{
+    return kIndexFile;
+}
+
+LibrarySet::LibrarySet(LibrarySet &&other) noexcept
+    : dir_(std::move(other.dir_)), backend_(other.backend_),
+      entries_(std::move(other.entries_)),
+      loaded_(std::move(other.loaded_))
+{
+}
+
+LibrarySet &
+LibrarySet::operator=(LibrarySet &&other) noexcept
+{
+    if (this != &other) {
+        dir_ = std::move(other.dir_);
+        backend_ = other.backend_;
+        entries_ = std::move(other.entries_);
+        loaded_ = std::move(other.loaded_);
+    }
+    return *this;
+}
+
+LibrarySet
+LibrarySet::open(const std::string &dir, StorageBackend backend)
+{
+    const std::string indexPath = joinPath(dir, kIndexFile);
+    const Blob data = readWholeFile(indexPath, "library-set index");
+
+    auto malformed = [&indexPath]() {
+        return std::runtime_error(
+            strfmt("'%s' is not a valid library-set index",
+                   indexPath.c_str()));
+    };
+
+    LibrarySet set;
+    set.dir_ = dir;
+    set.backend_ = backend;
+    try {
+        DerReader top(data);
+        DerReader seq = top.getSequence();
+        if (seq.getUint() != kSetMagic ||
+            seq.getUint() != kSetVersion)
+            throw malformed();
+        const std::uint64_t count = seq.getUint();
+        // Bound the reserve by what could possibly fit (every entry
+        // encodes to at least one byte) so a corrupt count cannot
+        // trigger a huge allocation before parsing fails.
+        if (count > data.size())
+            throw malformed();
+        set.entries_.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            DerReader es = seq.getSequence();
+            Entry e;
+            e.name = es.getString();
+            e.file = es.getString();
+            e.points = es.getUint();
+            e.hash = es.getUint();
+            e.bytes = es.getUint();
+            for (const Entry &have : set.entries_)
+                if (have.name == e.name)
+                    throw malformed();
+            set.entries_.push_back(std::move(e));
+        }
+        if (!seq.atEnd())
+            throw malformed();
+    } catch (const std::runtime_error &) {
+        throw;
+    } catch (const std::exception &) {
+        throw malformed();
+    }
+    set.loaded_.resize(set.entries_.size());
+    return set;
+}
+
+std::size_t
+LibrarySet::find(const std::string &name) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].name == name)
+            return i;
+    return npos;
+}
+
+std::string
+LibrarySet::shardPath(std::size_t i) const
+{
+    return joinPath(dir_, entries_[i].file);
+}
+
+const LivePointLibrary &
+LibrarySet::shard(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (!loaded_[i]) {
+        const Entry &e = entries_[i];
+        auto lib = std::make_unique<LivePointLibrary>(
+            LivePointLibrary::load(shardPath(i), backend_));
+        // The index metadata is load-bearing (campaign manifests key
+        // resume state by it), so a swapped or stale shard file must
+        // fail loudly, not replay different points.
+        if (lib->size() != e.points ||
+            lib->contentHash() != e.hash)
+            throw std::runtime_error(
+                strfmt("library-set shard '%s' does not match its "
+                       "index entry (set '%s')",
+                       e.name.c_str(), dir_.c_str()));
+        loaded_[i] = std::move(lib);
+    }
+    return *loaded_[i];
+}
+
+bool
+LibrarySet::isLoaded(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return loaded_[i] != nullptr;
+}
+
+std::size_t
+LibrarySet::loadedCount() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::size_t n = 0;
+    for (const auto &p : loaded_)
+        n += p != nullptr;
+    return n;
+}
+
+void
+LibrarySet::unload(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    loaded_[i].reset();
+}
+
+std::uint64_t
+LibrarySet::pinnedBytes() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::uint64_t total = 0;
+    for (const auto &p : loaded_)
+        if (p)
+            total += p->pinnedBytes();
+    return total;
+}
+
+std::uint64_t
+LibrarySet::mappedBytes() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::uint64_t total = 0;
+    for (const auto &p : loaded_)
+        if (p && p->mappedBacking())
+            total += p->backingBytes();
+    return total;
+}
+
+LibrarySetWriter::LibrarySetWriter(const std::string &dir) : dir_(dir)
+{
+    std::filesystem::create_directories(dir_);
+    const std::string indexPath = joinPath(dir_, kIndexFile);
+    if (std::filesystem::exists(indexPath))
+        entries_ = LibrarySet::open(dir_).entries_;
+}
+
+void
+LibrarySetWriter::addShard(const std::string &name,
+                           const LivePointLibrary &lib)
+{
+    for (const LibrarySet::Entry &e : entries_)
+        if (e.name == name)
+            throw std::invalid_argument(
+                strfmt("library set '%s' already has a shard '%s'",
+                       dir_.c_str(), name.c_str()));
+    LibrarySet::Entry e;
+    e.name = name;
+    e.file = shardFileName(entries_.size(), name);
+    e.points = lib.size();
+    e.hash = lib.contentHash();
+    const std::string path = joinPath(dir_, e.file);
+    lib.save(path);
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+    e.bytes = ec ? 0 : static_cast<std::uint64_t>(bytes);
+    entries_.push_back(std::move(e));
+    writeIndex();
+}
+
+void
+LibrarySetWriter::writeIndex() const
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putUint(kSetMagic);
+    w.putUint(kSetVersion);
+    w.putUint(entries_.size());
+    for (const LibrarySet::Entry &e : entries_) {
+        w.beginSequence();
+        w.putString(e.name);
+        w.putString(e.file);
+        w.putUint(e.points);
+        w.putUint(e.hash);
+        w.putUint(e.bytes);
+        w.endSequence();
+    }
+    w.endSequence();
+    const Blob data = w.finish();
+
+    // tmp + rename: the index on disk is always one of the valid
+    // states, never a torn write.
+    const std::string path = joinPath(dir_, kIndexFile);
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("cannot write library-set index '%s'", tmp.c_str()));
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    if (std::fclose(f) != 0 || !ok)
+        throw std::runtime_error(
+            strfmt("short write to library-set index '%s'",
+                   tmp.c_str()));
+    std::filesystem::rename(tmp, path);
+}
+
+} // namespace lp

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The sharded fleet store: a directory of per-workload LPLIB3 shards
+ * under one small DER index. A campaign grid over many workloads maps
+ * each row to a shard and opens it lazily — inactive workloads cost
+ * nothing (not even a map), and a finished workload's shard can be
+ * unloaded so a fleet larger than RAM streams through a run one
+ * shard at a time.
+ *
+ * On-disk layout:
+ *
+ *   <dir>/lpset.idx         DER index: magic, version, per shard
+ *                           {name, file, points, contentHash, bytes}
+ *   <dir>/<shard>.lpl       one LPLIB3 container per workload
+ *
+ * The index carries each shard's point count and content hash, so
+ * metadata consumers (campaign manifests, schedulers) never touch the
+ * shard files themselves. The writer appends shards streaming — each
+ * shard is written and released before the next is built — and
+ * rewrites the index atomically (tmp + rename) after every append,
+ * so a killed fleet build leaves a valid set of the shards completed
+ * so far.
+ */
+
+#ifndef LP_CORE_LIBRARY_SET_HH
+#define LP_CORE_LIBRARY_SET_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/library.hh"
+
+namespace lp
+{
+
+class LibrarySet
+{
+  public:
+    /** The index file's name inside the set directory. */
+    static const char *indexFileName();
+
+    LibrarySet() = default;
+
+    // Movable (the mutex guards only the lazy shard cache and is
+    // recreated fresh); not copyable — shards cache into one owner.
+    LibrarySet(LibrarySet &&other) noexcept;
+    LibrarySet &operator=(LibrarySet &&other) noexcept;
+    LibrarySet(const LibrarySet &) = delete;
+    LibrarySet &operator=(const LibrarySet &) = delete;
+
+    /**
+     * Open the set at @p dir by reading only its index; no shard is
+     * touched. @p backend selects how shards open when first
+     * accessed. Throws when the index is missing or malformed.
+     */
+    static LibrarySet
+    open(const std::string &dir,
+         StorageBackend backend = StorageBackend::autoSelect);
+
+    std::size_t size() const { return entries_.size(); }
+    const std::string &dir() const { return dir_; }
+
+    const std::string &name(std::size_t i) const
+    {
+        return entries_[i].name;
+    }
+
+    /** Index of the shard named @p name, or npos. */
+    std::size_t find(const std::string &name) const;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Live-point count of shard @p i, from the index alone. */
+    std::uint64_t points(std::size_t i) const
+    {
+        return entries_[i].points;
+    }
+
+    /**
+     * Content hash of shard @p i as recorded at write time — equal to
+     * LivePointLibrary::contentHash() of the shard, without opening
+     * it. Campaign manifests key resumable fold state by this value.
+     */
+    std::uint64_t contentHash(std::size_t i) const
+    {
+        return entries_[i].hash;
+    }
+
+    /** Container file bytes of shard @p i, from the index. */
+    std::uint64_t fileBytes(std::size_t i) const
+    {
+        return entries_[i].bytes;
+    }
+
+    /** Full path of shard @p i's container file. */
+    std::string shardPath(std::size_t i) const;
+
+    /**
+     * The shard's library, opened through the set's backend on first
+     * access and cached. Validates the container against the index
+     * (point count and content hash are load-bearing for manifest
+     * resume). Thread-safe; the reference stays valid until unload().
+     */
+    const LivePointLibrary &shard(std::size_t i) const;
+
+    /** True when shard @p i is currently open. */
+    bool isLoaded(std::size_t i) const;
+
+    /** Shards currently open. */
+    std::size_t loadedCount() const;
+
+    /**
+     * Drop shard @p i's library (mapping or buffer). References from
+     * a previous shard() call become invalid; a later shard() call
+     * reopens it.
+     */
+    void unload(std::size_t i) const;
+
+    /** Heap bytes pinned by the open shards (see pinnedBytes()). */
+    std::uint64_t pinnedBytes() const;
+
+    /** Backing bytes of open shards held in file mappings. */
+    std::uint64_t mappedBytes() const;
+
+  private:
+    struct Entry
+    {
+        std::string name; //!< workload name (unique in the set)
+        std::string file; //!< container file name inside dir_
+        std::uint64_t points = 0;
+        std::uint64_t hash = 0;
+        std::uint64_t bytes = 0; //!< container file size
+    };
+
+    friend class LibrarySetWriter;
+
+    std::string dir_;
+    StorageBackend backend_ = StorageBackend::autoSelect;
+    std::vector<Entry> entries_;
+    mutable std::mutex m_; //!< guards loaded_
+    mutable std::vector<std::unique_ptr<LivePointLibrary>> loaded_;
+};
+
+/**
+ * Streaming writer for a LibrarySet: each addShard() writes one
+ * container and atomically rewrites the index, so the set on disk is
+ * valid after every append and the caller can release the library
+ * immediately — a fleet build never holds more than the shard under
+ * construction resident. Opening an existing set directory appends
+ * to it.
+ */
+class LibrarySetWriter
+{
+  public:
+    /**
+     * Create (or append to) the set at @p dir. The directory is
+     * created if missing; an existing index is loaded so new shards
+     * extend the set.
+     */
+    explicit LibrarySetWriter(const std::string &dir);
+
+    /**
+     * Write @p lib as the shard for workload @p name (unique per
+     * set; reusing a name throws). Streams the container to disk via
+     * LivePointLibrary::save and records {points, contentHash,
+     * bytes} in the index.
+     */
+    void addShard(const std::string &name, const LivePointLibrary &lib);
+
+    std::size_t shards() const { return entries_.size(); }
+
+  private:
+    void writeIndex() const;
+
+    std::string dir_;
+    std::vector<LibrarySet::Entry> entries_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_LIBRARY_SET_HH

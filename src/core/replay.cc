@@ -155,7 +155,8 @@ ReplayEngine::ReplayEngine(const Program &prog,
       ringSlots_(opt.ringSlots
                      ? opt.ringSlots
                      : std::clamp<std::size_t>(
-                           2 * (threads_ + producers_), 8, 64))
+                           2 * (threads_ + producers_), 8, 64)),
+      residentBudget_(opt.residentBudgetBytes)
 {
     if (cfgs_.empty())
         throw std::invalid_argument("ReplayEngine: no configurations");
@@ -241,6 +242,22 @@ ReplayEngine::run(
     std::condition_variable cvFoldProgress; //!< workers wait when gated
     std::size_t foldedPoints = first; //!< guarded by foldM
 
+    // Resident-budget window (budget != 0): bytes a point pins from
+    // producer admission (compressed record + decoded image) until
+    // the fold barrier passes it. Admission is ticketed in point
+    // order, so which points wait depends only on the deterministic
+    // byte sizes, never on thread timing.
+    const std::uint64_t budget = residentBudget_;
+    std::mutex gateM;
+    std::condition_variable cvAdmit;
+    std::size_t admitNext = first;   //!< guarded by gateM
+    std::uint64_t residentNow = 0;   //!< guarded by gateM
+    std::atomic<std::size_t> foldFloor{first}; //!< fold frontier
+    auto pointBytes = [&lib, &order](std::size_t k) -> std::uint64_t {
+        const std::size_t i = order[k];
+        return lib.compressedSize(i) + lib.rawSize(i);
+    };
+
     std::atomic<std::size_t> decodeNext{first};
     std::atomic<std::size_t> simNext{first};
     std::atomic<bool> stop{false};
@@ -275,6 +292,10 @@ ReplayEngine::run(
         }
         cvBlockDone.notify_all();
         cvFoldProgress.notify_all();
+        {
+            std::lock_guard<std::mutex> lk(gateM);
+        }
+        cvAdmit.notify_all();
     };
 
     auto producer = [&]() {
@@ -282,6 +303,39 @@ ReplayEngine::run(
             const std::size_t k = decodeNext.fetch_add(1);
             if (k >= n)
                 return;
+            if (budget) {
+                const std::uint64_t b = pointBytes(k);
+                {
+                    std::unique_lock<std::mutex> lk(gateM);
+                    cvAdmit.wait(lk, [&]() {
+                        if (stop.load())
+                            return true;
+                        if (admitNext != k)
+                            return false;
+                        if (residentNow == 0 ||
+                            residentNow + b <= budget)
+                            return true;
+                        // The fold-frontier block must always admit:
+                        // the barrier cannot release bytes until its
+                        // whole block is simulated and folded.
+                        const std::size_t frontier = foldFloor.load();
+                        return k <
+                               (frontier / blockSize + 1) * blockSize;
+                    });
+                    if (stop.load())
+                        return;
+                    residentNow += b;
+                    admitNext = k + 1;
+                    if (residentNow >
+                        peakResidentBytes_.load(
+                            std::memory_order_relaxed))
+                        peakResidentBytes_.store(
+                            residentNow, std::memory_order_relaxed);
+                }
+                cvAdmit.notify_all();
+                // Page-in hint ahead of the simulation claim counter.
+                lib.prefetchRecord(order[k]);
+            }
             Slot &s = slots[k % S];
             {
                 std::unique_lock<std::mutex> lk(ringM);
@@ -405,6 +459,23 @@ ReplayEngine::run(
                 foldedPoints = end;
             }
             cvFoldProgress.notify_all();
+            if (budget) {
+                // The barrier has passed this block: credit its
+                // bytes back and hint the backend that the records
+                // will not be re-read (a mapped library drops the
+                // pages behind the run).
+                const std::size_t blockStart =
+                    std::max(first, b * blockSize);
+                {
+                    std::lock_guard<std::mutex> lk(gateM);
+                    for (std::size_t kk = blockStart; kk < end; ++kk)
+                        residentNow -= pointBytes(kk);
+                }
+                foldFloor.store(end);
+                cvAdmit.notify_all();
+                for (std::size_t kk = blockStart; kk < end; ++kk)
+                    lib.releaseRecord(order[kk]);
+            }
             if (keep == 0)
                 break;
         }

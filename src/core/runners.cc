@@ -193,6 +193,7 @@ runLivePoints(const Program &prog, const LivePointLibrary &lib,
         ropt.threads = opt.threads;
         ropt.decodeThreads = opt.decodeThreads;
         ropt.approxWrongPath = opt.approxWrongPath;
+        ropt.residentBudgetBytes = opt.residentBudgetBytes;
         ReplayEngine engine(prog, {cfg}, ropt);
 
         const std::size_t blockSize =
@@ -215,6 +216,7 @@ runLivePoints(const Program &prog, const LivePointLibrary &lib,
                            : replayMaskAll(1);
             });
         res.bytesDecoded = engine.bytesDecoded();
+        res.peakResidentBytes = engine.peakResidentBytes();
     }
     res.finalSnapshot = estimator.snapshot();
     res.wallSeconds = seconds(t0);
@@ -241,6 +243,7 @@ runMatchedPair(const Program &prog, const LivePointLibrary &lib,
         ropt.threads = opt.threads;
         ropt.decodeThreads = opt.decodeThreads;
         ropt.approxWrongPath = opt.approxWrongPath;
+        ropt.residentBudgetBytes = opt.residentBudgetBytes;
         // Both configurations of a point run on the same worker from
         // the same decoded point, so pairing stays exact.
         ReplayEngine engine(prog, {base, test}, ropt);

@@ -1,0 +1,201 @@
+#include "io/mapped_file.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/log.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define LP_HAVE_MMAP 0
+#endif
+
+namespace lp
+{
+
+bool
+mmapSupported()
+{
+    return LP_HAVE_MMAP != 0;
+}
+
+bool
+mmapDisabledByEnv()
+{
+    const char *v = std::getenv("LP_NO_MMAP");
+    return v && v[0] != '\0' && v[0] != '0';
+}
+
+#if LP_HAVE_MMAP
+
+namespace
+{
+
+std::size_t
+pageSize()
+{
+    static const std::size_t ps = []() {
+        const long v = ::sysconf(_SC_PAGESIZE);
+        return v > 0 ? static_cast<std::size_t>(v)
+                     : std::size_t{4096};
+    }();
+    return ps;
+}
+
+/** RAII fd so no throw path leaks the descriptor. */
+struct FdGuard
+{
+    int fd;
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+} // namespace
+
+MappedFile
+MappedFile::map(const std::string &path)
+{
+    FdGuard g{::open(path.c_str(), O_RDONLY)};
+    if (g.fd < 0)
+        throw std::runtime_error(
+            strfmt("cannot open '%s' for mapping", path.c_str()));
+    struct stat st;
+    if (::fstat(g.fd, &st) != 0 || st.st_size < 0)
+        throw std::runtime_error(
+            strfmt("cannot stat '%s'", path.c_str()));
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0)
+        return MappedFile(nullptr, 0);
+    void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, g.fd, 0);
+    if (p == MAP_FAILED)
+        throw std::runtime_error(
+            strfmt("cannot map '%s' (%zu bytes)", path.c_str(), size));
+    return MappedFile(static_cast<std::uint8_t *>(p), size);
+}
+
+void
+MappedFile::unmap() noexcept
+{
+    if (data_)
+        ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+}
+
+void
+MappedFile::adviseSequential() const
+{
+#if defined(POSIX_MADV_SEQUENTIAL)
+    if (data_)
+        ::posix_madvise(data_, size_, POSIX_MADV_SEQUENTIAL);
+#endif
+}
+
+void
+MappedFile::willNeed(std::size_t offset, std::size_t len) const
+{
+#if defined(POSIX_MADV_WILLNEED)
+    if (!data_ || offset >= size_)
+        return;
+    len = std::min(len, size_ - offset);
+    // Round outward to page boundaries: prefetching a byte means
+    // prefetching its page.
+    const std::size_t ps = pageSize();
+    const std::size_t lo = offset - offset % ps;
+    const std::size_t hi = offset + len;
+    ::posix_madvise(data_ + lo, hi - lo, POSIX_MADV_WILLNEED);
+#else
+    (void)offset;
+    (void)len;
+#endif
+}
+
+void
+MappedFile::dontNeed(std::size_t offset, std::size_t len) const
+{
+#if defined(POSIX_MADV_DONTNEED)
+    if (!data_ || offset >= size_)
+        return;
+    len = std::min(len, size_ - offset);
+    // Round inward: a page straddling the range boundary may still
+    // back a live neighbouring record.
+    const std::size_t ps = pageSize();
+    const std::size_t lo =
+        offset % ps ? offset + (ps - offset % ps) : offset;
+    const std::size_t hi = (offset + len) - (offset + len) % ps;
+    if (hi > lo)
+        ::posix_madvise(data_ + lo, hi - lo, POSIX_MADV_DONTNEED);
+#else
+    (void)offset;
+    (void)len;
+#endif
+}
+
+#else // !LP_HAVE_MMAP
+
+MappedFile
+MappedFile::map(const std::string &path)
+{
+    throw std::runtime_error(
+        strfmt("cannot map '%s': platform has no mmap", path.c_str()));
+}
+
+void
+MappedFile::unmap() noexcept
+{
+    data_ = nullptr;
+    size_ = 0;
+}
+
+void
+MappedFile::adviseSequential() const
+{
+}
+
+void
+MappedFile::willNeed(std::size_t, std::size_t) const
+{
+}
+
+void
+MappedFile::dontNeed(std::size_t, std::size_t) const
+{
+}
+
+#endif // LP_HAVE_MMAP
+
+MappedFile::~MappedFile()
+{
+    unmap();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        unmap();
+        data_ = other.data_;
+        size_ = other.size_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+} // namespace lp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * RAII read-only memory mapping. A MappedFile exposes a whole file as
+ * one contiguous byte range without copying it into the heap — the
+ * kernel pages bytes in on first touch and can drop clean pages under
+ * memory pressure, which is what lets a library (or a fleet of them)
+ * larger than RAM back the replay engine.
+ *
+ * The mapping carries paging hints: sequential readahead for the
+ * full-scan paths (contentHash, save), and willNeed()/dontNeed()
+ * windows the resident-budget replay mode uses to prefetch ahead of
+ * the claim counter and release behind the fold barrier.
+ *
+ * Platforms without mmap (or runs with LP_NO_MMAP=1 in the
+ * environment) report mmapSupported() == false; callers fall back to
+ * the owned-buffer path (see io/source.hh). map() on such a platform
+ * throws rather than silently copying, so the fallback decision stays
+ * with the caller.
+ */
+
+#ifndef LP_IO_MAPPED_FILE_HH
+#define LP_IO_MAPPED_FILE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hh"
+
+namespace lp
+{
+
+/**
+ * True when this build can mmap files at all (compile-time platform
+ * support). Independent of the LP_NO_MMAP override.
+ */
+bool mmapSupported();
+
+/** True when the environment (LP_NO_MMAP=1) disables mapping. */
+bool mmapDisabledByEnv();
+
+class MappedFile
+{
+  public:
+    /** An empty, unmapped handle. */
+    MappedFile() = default;
+
+    /**
+     * Map @p path read-only in its entirety. Throws on a missing
+     * file, a map failure, or an mmap-less platform (check
+     * mmapSupported() first to fall back instead). An empty file maps
+     * to a valid zero-length handle.
+     */
+    static MappedFile map(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool mapped() const { return data_ != nullptr; }
+
+    /** Hint: the whole file will be read front to back. */
+    void adviseSequential() const;
+
+    /** Hint: [offset, offset+len) is needed soon — start paging in. */
+    void willNeed(std::size_t offset, std::size_t len) const;
+
+    /**
+     * Hint: [offset, offset+len) is done with — the kernel may drop
+     * the pages. Rounded *inward* to page boundaries so a partial
+     * page shared with a still-live neighbour is never dropped.
+     * Purely advisory: a released range reads back correctly (it just
+     * faults in again).
+     */
+    void dontNeed(std::size_t offset, std::size_t len) const;
+
+  private:
+    MappedFile(std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    void unmap() noexcept;
+
+    std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace lp
+
+#endif // LP_IO_MAPPED_FILE_HH

@@ -1,0 +1,72 @@
+#include "io/source.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/log.hh"
+
+namespace lp
+{
+
+Blob
+readWholeFile(const std::string &path, const char *what)
+{
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(path, ec);
+    if (ec)
+        throw std::runtime_error(
+            strfmt("cannot open %s '%s'", what, path.c_str()));
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error(
+            strfmt("cannot open %s '%s'", what, path.c_str()));
+    Blob data(static_cast<std::size_t>(size));
+    const bool ok = data.empty() ||
+                    std::fread(data.data(), 1, data.size(), f) ==
+                        data.size();
+    std::fclose(f);
+    if (!ok)
+        throw std::runtime_error(
+            strfmt("short read from %s '%s'", what, path.c_str()));
+    return data;
+}
+
+const char *
+storageBackendName(StorageBackend b)
+{
+    switch (b) {
+    case StorageBackend::buffer:
+        return "owned-buffer";
+    case StorageBackend::mapped:
+        return "mmap";
+    case StorageBackend::autoSelect:
+    default:
+        return "auto";
+    }
+}
+
+std::shared_ptr<const LibrarySource>
+openLibrarySource(const std::string &path, StorageBackend backend)
+{
+    const bool wantMap =
+        backend == StorageBackend::mapped ||
+        (backend == StorageBackend::autoSelect && mmapSupported() &&
+         !mmapDisabledByEnv());
+    if (wantMap) {
+        try {
+            return std::make_shared<MappedFileSource>(
+                MappedFile::map(path));
+        } catch (const std::exception &) {
+            // A runtime map failure (exotic filesystem, exhausted
+            // address space) degrades gracefully under autoSelect;
+            // an explicit mmap request surfaces it.
+            if (backend == StorageBackend::mapped)
+                throw;
+        }
+    }
+    return std::make_shared<OwnedBufferSource>(
+        readWholeFile(path, "library"));
+}
+
+} // namespace lp

@@ -11,8 +11,10 @@
 #include "test_util.hh"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "core/campaign.hh"
+#include "core/library_set.hh"
 #include "core/runners.hh"
 
 int
@@ -231,6 +233,100 @@ main()
             CHECK_THROWS(CampaignEngine(grid, fewer, ropt).run());
         }
         std::remove(manifest.c_str());
+    }
+
+    // (f) The sharded fleet store as a campaign source: a set-backed
+    // grid must reproduce the resident-library campaign bit for bit
+    // (cells and pairs, at several thread counts, with and without a
+    // resident budget), open shards lazily, release them as
+    // workloads finish, and interoperate with manifests written by
+    // the resident-library campaign (the index hash equals the
+    // library hash).
+    {
+        const std::string setDir = "campaign-test-set";
+        std::filesystem::remove_all(setDir);
+        {
+            LibrarySetWriter writer(setDir);
+            writer.addShard("camp-a", w0.lib);
+            writer.addShard("camp-b", w1.lib);
+        }
+        const LibrarySet set = LibrarySet::open(setDir);
+        CHECK_EQ(set.contentHash(0), w0.lib.contentHash());
+        CHECK_EQ(set.contentHash(1), w1.lib.contentHash());
+
+        std::vector<CampaignWorkload> setGrid(2);
+        setGrid[0].name = "camp-a";
+        setGrid[0].prog = &w0.prog;
+        setGrid[0].set = &set;
+        setGrid[0].shard = 0;
+        setGrid[1].name = "camp-b";
+        setGrid[1].prog = &w1.prog;
+        setGrid[1].set = &set;
+        setGrid[1].shard = 1;
+
+        // Constructing the engine reads only index metadata.
+        CampaignEngine setEngine(setGrid, cfgs, copt);
+        CHECK_EQ(set.loadedCount(), 0u);
+
+        for (const unsigned threads : {1u, 2u}) {
+            for (const std::uint64_t budget :
+                 {std::uint64_t{0}, std::uint64_t{256 * 1024}}) {
+                CampaignOptions opt = copt;
+                opt.threads = threads;
+                opt.residentBudgetBytes = budget;
+                const CampaignResult r =
+                    CampaignEngine(setGrid, cfgs, opt).run();
+                // Finished shards were unloaded behind the run.
+                CHECK_EQ(set.loadedCount(), 0u);
+                for (std::size_t i = 0; i < base.cells.size(); ++i) {
+                    CHECK_EQ(r.cells[i].processed,
+                             base.cells[i].processed);
+                    CHECK_NEAR(r.cells[i].cpi(), base.cells[i].cpi(),
+                               0.0);
+                    CHECK_NEAR(r.cells[i].estimate.relHalfWidth,
+                               base.cells[i].estimate.relHalfWidth,
+                               0.0);
+                }
+                for (std::size_t i = 0; i < base.pairs.size(); ++i) {
+                    CHECK_EQ(r.pairs[i].delta.count(),
+                             base.pairs[i].delta.count());
+                    CHECK_NEAR(r.pairs[i].meanDelta(),
+                               base.pairs[i].meanDelta(), 0.0);
+                }
+                if (budget)
+                    CHECK(r.peakResidentBytes > 0);
+            }
+        }
+
+        // Manifest interop + resume: kill a resident-library
+        // campaign at its budget barrier, resume it set-backed. The
+        // resumed half must only open the unfinished shards' files
+        // and finish bit-identical to the uninterrupted run.
+        {
+            const std::string manifest = "campaign-test-set.manifest";
+            std::remove(manifest.c_str());
+            CampaignOptions opt = copt;
+            opt.manifestPath = manifest;
+            opt.maxFoldedReplays = 24 * cfgs.size();
+            const CampaignResult killed =
+                CampaignEngine(grid, cfgs, opt).run();
+            CHECK(killed.budgetExhausted);
+
+            CampaignOptions ropt2 = copt;
+            ropt2.manifestPath = manifest;
+            const CampaignResult resumed =
+                CampaignEngine(setGrid, cfgs, ropt2).run();
+            CHECK_EQ(resumed.restoredReplays, killed.foldedReplays);
+            for (std::size_t i = 0; i < base.cells.size(); ++i) {
+                CHECK_EQ(resumed.cells[i].processed,
+                         base.cells[i].processed);
+                CHECK_NEAR(resumed.cells[i].cpi(),
+                           base.cells[i].cpi(), 0.0);
+            }
+            std::remove(manifest.c_str());
+        }
+
+        std::filesystem::remove_all(setDir);
     }
 
     // (e) The JSON report is written and structurally sane.

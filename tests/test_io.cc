@@ -1,0 +1,148 @@
+/**
+ * The io layer's contract: MappedFile maps a file's exact bytes with
+ * working paging hints and clean failure on missing files; the
+ * LibrarySource backends expose identical bytes through mmap and
+ * owned-buffer storage; and the backend selector honours explicit
+ * requests and the LP_NO_MMAP environment override.
+ */
+
+#include "test_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "io/mapped_file.hh"
+#include "io/source.hh"
+
+namespace
+{
+
+void
+writeFile(const std::string &path, const lp::Blob &data)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    CHECK(f != nullptr);
+    if (!data.empty())
+        CHECK(std::fwrite(data.data(), 1, data.size(), f) ==
+              data.size());
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+
+    const std::string path = "iotest-data.bin";
+    Blob payload(256 * 1024);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+    writeFile(path, payload);
+
+    // MappedFile: exact bytes, working hints, clean move semantics.
+    if (mmapSupported()) {
+        MappedFile m = MappedFile::map(path);
+        CHECK(m.mapped());
+        CHECK_EQ(m.size(), payload.size());
+        CHECK(std::memcmp(m.data(), payload.data(), payload.size()) ==
+              0);
+
+        // Hints are advisory: any range (aligned or not, even past
+        // the end) must leave the bytes readable.
+        m.adviseSequential();
+        m.willNeed(0, m.size());
+        m.willNeed(1000, 9000);
+        m.willNeed(m.size() - 1, 100);
+        m.dontNeed(5000, 100000);
+        m.dontNeed(0, m.size());
+        m.willNeed(m.size() + 10, 5);
+        m.dontNeed(m.size() + 10, 5);
+        CHECK(std::memcmp(m.data(), payload.data(), payload.size()) ==
+              0);
+
+        MappedFile moved = std::move(m);
+        CHECK(!m.mapped());
+        CHECK(moved.mapped());
+        CHECK_EQ(moved.size(), payload.size());
+        CHECK(std::memcmp(moved.data(), payload.data(),
+                          payload.size()) == 0);
+
+        CHECK_THROWS(MappedFile::map("iotest-does-not-exist.bin"));
+    }
+
+    // Both backends expose byte-identical content; their
+    // self-description (kind / mapped / pinnedBytes) matches how they
+    // hold it.
+    {
+        const auto buf =
+            openLibrarySource(path, StorageBackend::buffer);
+        CHECK(std::string(buf->kind()) == "owned-buffer");
+        CHECK(!buf->mapped());
+        CHECK_EQ(buf->size(), payload.size());
+        CHECK_EQ(buf->pinnedBytes(), payload.size());
+        CHECK(std::memcmp(buf->data(), payload.data(),
+                          payload.size()) == 0);
+        buf->prefetch(0, buf->size()); // no-op, must not crash
+        buf->release(0, buf->size());
+
+        if (mmapSupported()) {
+            const auto map =
+                openLibrarySource(path, StorageBackend::mapped);
+            CHECK(std::string(map->kind()) == "mmap");
+            CHECK(map->mapped());
+            CHECK_EQ(map->size(), payload.size());
+            CHECK_EQ(map->pinnedBytes(), 0u);
+            CHECK(std::memcmp(map->data(), buf->data(),
+                              payload.size()) == 0);
+            map->prefetch(4096, 64 * 1024);
+            map->release(4096, 64 * 1024);
+            CHECK(std::memcmp(map->data(), payload.data(),
+                              payload.size()) == 0);
+        }
+
+        CHECK_THROWS(openLibrarySource("iotest-does-not-exist.bin",
+                                       StorageBackend::buffer));
+        CHECK_THROWS(openLibrarySource("iotest-does-not-exist.bin",
+                                       StorageBackend::autoSelect));
+    }
+
+    // The selector: auto maps where possible, and LP_NO_MMAP=1
+    // forces the owned-buffer fallback (the CI no-mmap leg runs the
+    // whole fast suite under that override).
+    {
+        const bool envDisabled = mmapDisabledByEnv();
+        const auto autoSrc =
+            openLibrarySource(path, StorageBackend::autoSelect);
+        if (mmapSupported() && !envDisabled)
+            CHECK(autoSrc->mapped());
+        else
+            CHECK(!autoSrc->mapped());
+
+#if defined(__unix__) || defined(__APPLE__)
+        setenv("LP_NO_MMAP", "1", 1);
+        CHECK(mmapDisabledByEnv());
+        const auto forced =
+            openLibrarySource(path, StorageBackend::autoSelect);
+        CHECK(!forced->mapped());
+        CHECK(std::string(forced->kind()) == "owned-buffer");
+        if (envDisabled)
+            setenv("LP_NO_MMAP", "1", 1);
+        else
+            unsetenv("LP_NO_MMAP");
+#endif
+    }
+
+    // Backend names are stable (they appear in tooling output).
+    CHECK(std::string(storageBackendName(StorageBackend::buffer)) ==
+          "owned-buffer");
+    CHECK(std::string(storageBackendName(StorageBackend::mapped)) ==
+          "mmap");
+    CHECK(std::string(storageBackendName(
+              StorageBackend::autoSelect)) == "auto");
+
+    std::remove(path.c_str());
+    return TEST_MAIN_RESULT();
+}

@@ -3,10 +3,17 @@
  * fresh-context results exactly, and the block-synchronous runners
  * produce bit-identical estimates at every thread count — with and
  * without early stopping, which must stop at the same block prefix
- * everywhere.
+ * everywhere. The storage matrix: every backend (in-memory arena,
+ * owned-buffer load, mmap load) and the resident-budget streaming
+ * mode must reproduce the same bits at threads 1/2/4, stopping
+ * included.
  */
 
 #include "test_util.hh"
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/replay.hh"
 #include "core/runners.hh"
@@ -132,6 +139,89 @@ main()
                        base.result.deltaHalfWidth, 0.0);
             CHECK_EQ(r.pairedSampleSize, base.pairedSampleSize);
         }
+    }
+
+    // Storage matrix: a loaded library must replay bit-identically to
+    // the in-memory build through every backend, with and without a
+    // resident budget, at every thread count — the storage layer may
+    // decide where bytes live, never what the estimate is.
+    {
+        const std::string path = "replaytest-backend.lpl";
+        lib.save(path);
+
+        std::vector<StorageBackend> backends{StorageBackend::buffer};
+        if (mmapSupported() && !mmapDisabledByEnv())
+            backends.push_back(StorageBackend::mapped);
+
+        for (const bool stopping : {false, true}) {
+            LivePointRunOptions ref;
+            ref.shuffleSeed = 5;
+            ref.stopAtConfidence = stopping;
+            ref.blockSize = 8;
+            ref.spec = ConfidenceSpec{0.95, 0.20};
+            const LivePointRunResult base =
+                runLivePoints(prog, lib, cfg, ref);
+
+            for (const StorageBackend backend : backends) {
+                const LivePointLibrary loaded =
+                    LivePointLibrary::load(path, backend);
+                CHECK_EQ(loaded.contentHash(), lib.contentHash());
+                // Budgets from generous down to below one fold block
+                // (the degenerate block-at-a-time stream); 0 = off.
+                std::uint64_t window = 0;
+                for (std::size_t i = 0; i < loaded.size(); ++i)
+                    window += loaded.compressedSize(i) +
+                              loaded.rawSize(i);
+                for (const std::uint64_t budget :
+                     {std::uint64_t{0}, window / 2, window / 4,
+                      window / 16, std::uint64_t{1}}) {
+                    for (const unsigned threads : {1u, 2u, 4u}) {
+                        LivePointRunOptions opt = ref;
+                        opt.threads = threads;
+                        opt.residentBudgetBytes = budget;
+                        const LivePointRunResult r =
+                            runLivePoints(prog, loaded, cfg, opt);
+                        CHECK_EQ(r.processed, base.processed);
+                        CHECK_NEAR(r.cpi(), base.cpi(), 0.0);
+                        CHECK_NEAR(r.finalSnapshot.relHalfWidth,
+                                   base.finalSnapshot.relHalfWidth,
+                                   0.0);
+                        CHECK_EQ(r.unavailableLoads,
+                                 base.unavailableLoads);
+                        // A real budget must be respected whenever it
+                        // admits at least one whole fold block.
+                        if (budget >= window / 4)
+                            CHECK(r.peakResidentBytes <=
+                                  (budget ? budget : window));
+                    }
+                }
+            }
+        }
+
+        // Matched pairs stream through a budget identically too.
+        {
+            const CoreConfig slow = slowMemConfig();
+            LivePointRunOptions ref;
+            ref.stopAtConfidence = true;
+            ref.blockSize = 8;
+            const MatchedPairOutcome base =
+                runMatchedPair(prog, lib, cfg, slow, ref);
+            const LivePointLibrary loaded =
+                LivePointLibrary::load(path);
+            for (const unsigned threads : {1u, 2u}) {
+                LivePointRunOptions opt = ref;
+                opt.threads = threads;
+                opt.residentBudgetBytes = 64 * 1024;
+                const MatchedPairOutcome r =
+                    runMatchedPair(prog, loaded, cfg, slow, opt);
+                CHECK_EQ(r.processed, base.processed);
+                CHECK_NEAR(r.result.meanDelta, base.result.meanDelta,
+                           0.0);
+                CHECK_NEAR(r.result.deltaHalfWidth,
+                           base.result.deltaHalfWidth, 0.0);
+            }
+        }
+        std::remove(path.c_str());
     }
 
     // Stratified: the parallel pilot leaves every greedy decision —
