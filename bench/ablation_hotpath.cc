@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Ablation — replay hot path. Measures the three layers the hot-path
+ * overhaul touched, on one library:
+ *
+ *  - **Decode throughput**: single-thread MB/s of the batched LZSS
+ *    decoder over every compressed record, against the retained
+ *    byte-at-a-time reference decoder on the same bytes in the same
+ *    process. Their outputs are cross-checked bit-for-bit; the ratio
+ *    (decode_speedup) is machine-normalized by construction and must
+ *    stay >= 1.5x.
+ *  - **Replay throughput**: single-thread decode+simulate points/s
+ *    and cycles/point (rdtsc where available) through a pooled
+ *    ReplayContext — the per-point cost everything downstream pays.
+ *  - **Normalized replay**: points/s divided by the reference
+ *    decoder's MB/s on the same machine, a machine-speed-normalized
+ *    trajectory number comparable across runners.
+ *
+ * With LP_BENCH_JSON set, emits BENCH_6.json. The regression gate
+ * compares the two normalized metrics (decode_speedup,
+ * points_per_norm) against a committed baseline and fails the run on
+ * a >10% regression:
+ *
+ *   LP_BENCH_BASELINE=path  baseline JSON (default
+ *                           bench/BENCH_6.baseline.json, the CI
+ *                           working-directory-relative committed
+ *                           file); "none" skips the gate
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+#include "bench_util.hh"
+#include "codec/zip.hh"
+#include "core/replay.hh"
+#include "util/log.hh"
+
+using namespace lp;
+using namespace lpbench;
+
+namespace
+{
+
+double
+secSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::uint64_t
+cycleCounter()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return 0;
+#endif
+}
+
+/**
+ * One decoder's sustained MB/s over every record of the library:
+ * repeated full passes until the measurement window is long enough to
+ * damp scheduler noise, best pass reported.
+ */
+double
+decodeMBps(const LivePointLibrary &lib,
+           void (*decode)(const std::uint8_t *, std::size_t, Blob &),
+           Blob &scratch)
+{
+    std::uint64_t rawBytes = 0;
+    for (std::size_t i = 0; i < lib.size(); ++i)
+        rawBytes += lib.rawSize(i);
+    double best = 0.0;
+    double elapsed = 0.0;
+    int passes = 0;
+    while (elapsed < 0.25 || passes < 3) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            const ByteSpan rec = lib.record(i);
+            decode(rec.data, rec.size, scratch);
+        }
+        const double dt = secSince(t0);
+        best = std::max(best,
+                        static_cast<double>(rawBytes) / dt / 1e6);
+        elapsed += dt;
+        ++passes;
+    }
+    return best;
+}
+
+/** Pull `"key": <number>` out of a JSON blob; nan when absent. */
+double
+jsonNumber(const std::string &json, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return std::nan("");
+    std::size_t p = at + needle.size();
+    while (p < json.size() && (json[p] == ':' || json[p] == ' '))
+        ++p;
+    return std::strtod(json.c_str() + p, nullptr);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const BenchSettings s = settings();
+    printHeader("Ablation: replay hot path (gcc-2)");
+    const PreparedBench b = prepareOne("gcc-2", s);
+    const CoreConfig cfg = CoreConfig::eightWay();
+
+    const std::uint64_t n = sampleSize(b, cfg, s);
+    const SampleDesign design = SampleDesign::systematic(
+        b.length, n, 1000, cfg.detailedWarming);
+    const LivePointLibrary lib =
+        cachedLibrary(b, design, defaultBuilderConfig(), s);
+
+    // --- Decode: batched vs reference, bit-for-bit then MB/s -------
+    Blob fast;
+    Blob ref;
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const ByteSpan rec = lib.record(i);
+        zipDecompressInto(rec.data, rec.size, fast);
+        zipDecompressReferenceInto(rec.data, rec.size, ref);
+        if (fast != ref)
+            panic("ablation_hotpath: batched decode of record %zu "
+                  "differs from the reference decoder",
+                  i);
+    }
+    const double mbpsBatched = decodeMBps(lib, zipDecompressInto, fast);
+    const double mbpsReference =
+        decodeMBps(lib, zipDecompressReferenceInto, ref);
+    const double speedup = mbpsBatched / mbpsReference;
+
+    // --- Replay: single-thread decode+simulate points/s ------------
+    ReplayContext ctx(b.prog, cfg);
+    Blob scratch;
+    LivePoint point;
+    // Warm pass: grows every pooled buffer to its high-water mark so
+    // the measured passes run the steady (allocation-free) state.
+    double cpiSum = 0.0;
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        lib.decodeInto(i, scratch, point);
+        cpiSum += ctx.simulate(point).cpi;
+    }
+    double bestPps = 0.0;
+    double bestCyclesPerPoint = 0.0;
+    double elapsed = 0.0;
+    int passes = 0;
+    while (elapsed < 0.5 || passes < 2) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t c0 = cycleCounter();
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            lib.decodeInto(i, scratch, point);
+            ctx.simulate(point);
+        }
+        const std::uint64_t c1 = cycleCounter();
+        const double dt = secSince(t0);
+        const double pps = static_cast<double>(lib.size()) / dt;
+        if (pps > bestPps) {
+            bestPps = pps;
+            bestCyclesPerPoint = static_cast<double>(c1 - c0) /
+                                 static_cast<double>(lib.size());
+        }
+        elapsed += dt;
+        ++passes;
+    }
+    const double pointsPerNorm = bestPps / mbpsReference;
+
+    std::printf("library: %llu points, %s compressed (%s raw), mean "
+                "CPI %.3f\n\n",
+                static_cast<unsigned long long>(lib.size()),
+                fmtBytes(lib.totalCompressedBytes()).c_str(),
+                fmtBytes(lib.totalUncompressedBytes()).c_str(),
+                cpiSum / static_cast<double>(lib.size()));
+    std::printf("decode   : batched %8.1f MB/s | reference %8.1f "
+                "MB/s | speedup %.2fx\n",
+                mbpsBatched, mbpsReference, speedup);
+    std::printf("replay   : %8.1f points/s | %.0f cycles/point "
+                "(decode + simulate, 1 thread)\n",
+                bestPps, bestCyclesPerPoint);
+    std::printf("normalized: %.3f points/s per reference-MB/s\n\n",
+                pointsPerNorm);
+
+    const std::string json = strfmt(
+        "{\n  \"bench\": \"ablation_hotpath\",\n"
+        "  \"benchmark\": \"%s\",\n  \"points\": %llu,\n"
+        "  \"compressed_bytes\": %llu,\n  \"raw_bytes\": %llu,\n"
+        "  \"decode_mbps_batched\": %.2f,\n"
+        "  \"decode_mbps_reference\": %.2f,\n"
+        "  \"decode_speedup\": %.3f,\n"
+        "  \"points_per_sec\": %.2f,\n"
+        "  \"cycles_per_point\": %.0f,\n"
+        "  \"points_per_norm\": %.4f,\n"
+        "  \"decode_identical\": true\n}\n",
+        b.profile.name.c_str(),
+        static_cast<unsigned long long>(lib.size()),
+        static_cast<unsigned long long>(lib.totalCompressedBytes()),
+        static_cast<unsigned long long>(lib.totalUncompressedBytes()),
+        mbpsBatched, mbpsReference, speedup, bestPps,
+        bestCyclesPerPoint, pointsPerNorm);
+    if (writeBenchJson(s, json))
+        std::printf("timings written to %s\n", s.jsonPath.c_str());
+
+    // --- Regression gate --------------------------------------------
+    // Hard floor first: the overhaul's acceptance target.
+    if (speedup < 1.5)
+        panic("ablation_hotpath: decode speedup %.2fx is below the "
+              "1.5x floor",
+              speedup);
+
+    const char *baseEnv = std::getenv("LP_BENCH_BASELINE");
+    const std::string basePath =
+        baseEnv ? baseEnv : "bench/BENCH_6.baseline.json";
+    if (basePath == "none") {
+        std::printf("baseline gate skipped (LP_BENCH_BASELINE=none)\n");
+        return 0;
+    }
+    const std::string baseline = readFile(basePath);
+    if (baseline.empty()) {
+        std::printf("baseline gate skipped: '%s' not found (set "
+                    "LP_BENCH_BASELINE, or run from the repo root)\n",
+                    basePath.c_str());
+        return 0;
+    }
+    // Only the machine-normalized metrics gate — absolute MB/s and
+    // points/s track runner speed, the two ratios track the code.
+    struct Gate
+    {
+        const char *key;
+        double now;
+    };
+    const Gate gates[] = {
+        {"decode_speedup", speedup},
+        {"points_per_norm", pointsPerNorm},
+    };
+    bool failed = false;
+    for (const Gate &g : gates) {
+        const double base = jsonNumber(baseline, g.key);
+        if (std::isnan(base) || base <= 0) {
+            std::printf("baseline gate: '%s' missing from %s, "
+                        "skipped\n",
+                        g.key, basePath.c_str());
+            continue;
+        }
+        const double rel = g.now / base;
+        const bool ok = rel >= 0.9;
+        std::printf("baseline gate: %-16s %8.3f vs %8.3f baseline "
+                    "(%+.1f%%)%s\n",
+                    g.key, g.now, base, (rel - 1.0) * 100.0,
+                    ok ? "" : "  ** REGRESSION **");
+        failed = failed || !ok;
+    }
+    if (failed) {
+        std::fprintf(stderr,
+                     "ablation_hotpath: >10%% regression against %s\n",
+                     basePath.c_str());
+        return 1;
+    }
+    std::printf("\nbatched decode reproduced the reference bytes on "
+                "every record; normalized metrics within 10%% of "
+                "baseline.\n");
+    return 0;
+}

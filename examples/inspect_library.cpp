@@ -6,7 +6,9 @@
  * breakdowns (the Figure 7 view of your own library). With --verify,
  * walks every record and cross-checks its decode against the index
  * table (rawSize, windowIndex) and the canonical re-encoding —
- * exiting nonzero if any record is damaged. Useful when deciding the
+ * exiting nonzero if any record is damaged — and reports per-record
+ * decode latency (avg/min/max ns) plus aggregate decode MB/s, the
+ * quick health read on the codec hot path. Useful when deciding the
  * maximum cache/predictor configuration a library should bake in,
  * and as an integrity pass over archived libraries.
  *
@@ -17,6 +19,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -88,9 +91,20 @@ main(int argc, char **argv)
         Blob scratch;
         LivePoint pt;
         std::size_t bad = 0;
+        RunningStat decodeNs;
+        std::uint64_t decodedBytes = 0;
+        double decodeSeconds = 0.0;
         for (std::size_t i = 0; i < lib.size(); ++i) {
             try {
+                const auto t0 = std::chrono::steady_clock::now();
                 lib.decodeInto(i, scratch, pt);
+                const double dt =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                decodeNs.add(dt * 1e9);
+                decodeSeconds += dt;
+                decodedBytes += lib.rawSize(i);
                 if (pt.serialize() != scratch)
                     throw std::runtime_error(
                         "re-encode differs from stored bytes");
@@ -104,6 +118,13 @@ main(int argc, char **argv)
                     "(decode + rawSize/windowIndex/re-encode "
                     "cross-checks)\n",
                     lib.size() - bad, lib.size());
+        std::printf("decode time        %.0f ns/record avg (min %.0f, "
+                    "max %.0f), %.1f MB/s aggregate\n",
+                    decodeNs.mean(), decodeNs.min(), decodeNs.max(),
+                    decodeSeconds > 0.0
+                        ? static_cast<double>(decodedBytes) /
+                              decodeSeconds / 1e6
+                        : 0.0);
         if (bad)
             return 1;
     }

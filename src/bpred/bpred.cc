@@ -1,5 +1,6 @@
 #include "bpred/bpred.hh"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "codec/der.hh"
@@ -14,61 +15,64 @@ BpredConfig::key() const
     return strfmt("comb%u", tableEntries);
 }
 
-BranchPredictor::BranchPredictor(const BpredConfig &cfg)
-    : cfg_(cfg), bimod_(cfg.tableEntries, 1), gshare_(cfg.tableEntries, 1),
-      chooser_(cfg.tableEntries, 1)
+namespace
 {
+
+/** Branchless 2-bit saturating update. */
+inline std::uint8_t
+saturate(std::uint8_t ctr, bool up)
+{
+    return static_cast<std::uint8_t>(up ? ctr + (ctr < 3) : ctr - (ctr > 0));
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(const BpredConfig &cfg)
+    : cfg_(cfg), bimodChooser_(2 * cfg.tableEntries, 1),
+      gshare_(cfg.tableEntries, 1)
+{
+    if (cfg_.tableEntries > 1 &&
+        (cfg_.tableEntries & (cfg_.tableEntries - 1)) == 0)
+        mask_ = cfg_.tableEntries - 1;
 }
 
 std::size_t
 BranchPredictor::bimodIndex(PcIndex pc) const
 {
-    return static_cast<std::size_t>(pc % cfg_.tableEntries);
+    return static_cast<std::size_t>(mask_ ? (pc & mask_)
+                                          : (pc % cfg_.tableEntries));
 }
 
 std::size_t
 BranchPredictor::gshareIndex(PcIndex pc) const
 {
-    return static_cast<std::size_t>((pc ^ history_) % cfg_.tableEntries);
+    const std::uint64_t x = pc ^ history_;
+    return static_cast<std::size_t>(mask_ ? (x & mask_)
+                                          : (x % cfg_.tableEntries));
 }
 
 bool
 BranchPredictor::predict(PcIndex pc) const
 {
-    const bool useGshare = chooser_[bimodIndex(pc)] >= 2;
-    const std::uint8_t ctr =
-        useGshare ? gshare_[gshareIndex(pc)] : bimod_[bimodIndex(pc)];
+    const std::uint8_t *bc = bimodChooser_.data() + 2 * bimodIndex(pc);
+    const bool useGshare = bc[1] >= 2;
+    const std::uint8_t ctr = useGshare ? gshare_[gshareIndex(pc)] : bc[0];
     return ctr >= 2;
 }
 
 void
 BranchPredictor::update(PcIndex pc, bool taken)
 {
-    auto train = [taken](std::uint8_t &ctr) {
-        if (taken) {
-            if (ctr < 3)
-                ++ctr;
-        } else {
-            if (ctr > 0)
-                --ctr;
-        }
-    };
-    const std::size_t bi = bimodIndex(pc);
     const std::size_t gi = gshareIndex(pc);
-    const bool bimodRight = (bimod_[bi] >= 2) == taken;
-    const bool gshareRight = (gshare_[gi] >= 2) == taken;
-    if (gshareRight != bimodRight) {
-        std::uint8_t &ch = chooser_[bi];
-        if (gshareRight) {
-            if (ch < 3)
-                ++ch;
-        } else {
-            if (ch > 0)
-                --ch;
-        }
-    }
-    train(bimod_[bi]);
-    train(gshare_[gi]);
+    std::uint8_t *bc = bimodChooser_.data() + 2 * bimodIndex(pc);
+    const std::uint8_t b = bc[0];
+    const std::uint8_t g = gshare_[gi];
+    const bool bimodRight = (b >= 2) == taken;
+    const bool gshareRight = (g >= 2) == taken;
+    if (gshareRight != bimodRight)
+        bc[1] = saturate(bc[1], gshareRight);
+    bc[0] = saturate(b, taken);
+    gshare_[gi] = saturate(g, taken);
     history_ = ((history_ << 1) | (taken ? 1 : 0)) &
                (cfg_.tableEntries - 1);
 }
@@ -85,9 +89,8 @@ BranchPredictor::warmBranch(PcIndex pc, const Instruction &ins, bool taken,
 void
 BranchPredictor::reset()
 {
-    std::fill(bimod_.begin(), bimod_.end(), 1);
+    std::fill(bimodChooser_.begin(), bimodChooser_.end(), 1);
     std::fill(gshare_.begin(), gshare_.end(), 1);
-    std::fill(chooser_.begin(), chooser_.end(), 1);
     history_ = 0;
 }
 
@@ -98,17 +101,21 @@ BranchPredictor::serialize() const
     w.beginSequence();
     w.putUint(cfg_.tableEntries);
     w.putUint(history_);
-    // Pack the three 2-bit tables four counters per byte.
-    auto pack = [&w](const std::vector<std::uint8_t> &table) {
-        Blob packed((table.size() + 3) / 4, 0);
-        for (std::size_t i = 0; i < table.size(); ++i)
+    // Pack 2-bit counters four per byte, one octet string per logical
+    // table (bimod, gshare, chooser — the stable image layout), with a
+    // stride to walk the interleaved plane.
+    const std::size_t entries = cfg_.tableEntries;
+    auto pack = [&w, entries](const std::uint8_t *table,
+                              std::size_t stride) {
+        Blob packed((entries + 3) / 4, 0);
+        for (std::size_t i = 0; i < entries; ++i)
             packed[i / 4] |= static_cast<std::uint8_t>(
-                (table[i] & 3) << ((i % 4) * 2));
+                (table[i * stride] & 3) << ((i % 4) * 2));
         w.putBytes(packed);
     };
-    pack(bimod_);
-    pack(gshare_);
-    pack(chooser_);
+    pack(bimodChooser_.data(), 2);
+    pack(gshare_.data(), 1);
+    pack(bimodChooser_.data() + 1, 2);
     w.endSequence();
     return w.finish();
 }
@@ -125,22 +132,30 @@ BranchPredictor::deserialize(const Blob &image)
                    static_cast<unsigned long long>(entries),
                    cfg_.tableEntries));
     history_ = seq.getUint();
-    // Unpack in place: resize (a no-op on a pooled predictor of the
-    // same geometry) and write each counter once.
-    Blob packed;
-    auto unpack = [entries, &packed](std::vector<std::uint8_t> &table) {
-        if (packed.size() < (entries + 3) / 4)
+    // Unpack each table from a borrowed view of the image — the
+    // replay hot path deserializes one image per point per config, so
+    // this must not allocate.
+    auto unpack = [entries](ByteSpan packed, std::uint8_t *table,
+                            std::size_t stride) {
+        if (packed.size < (entries + 3) / 4)
             throw std::runtime_error("bpred image truncated");
-        table.resize(entries);
-        for (std::size_t i = 0; i < table.size(); ++i)
-            table[i] = (packed[i / 4] >> ((i % 4) * 2)) & 3;
+        for (std::size_t i = 0; i < entries; ++i)
+            table[i * stride] = (packed.data[i / 4] >> ((i % 4) * 2)) & 3;
     };
-    seq.getBytes(packed);
-    unpack(bimod_);
-    seq.getBytes(packed);
-    unpack(gshare_);
-    seq.getBytes(packed);
-    unpack(chooser_);
+    unpack(seq.getBytesSpan(), bimodChooser_.data(), 2);
+    unpack(seq.getBytesSpan(), gshare_.data(), 1);
+    unpack(seq.getBytesSpan(), bimodChooser_.data() + 1, 2);
+}
+
+void
+BranchPredictor::copyStateFrom(const BranchPredictor &o)
+{
+    if (cfg_.tableEntries != o.cfg_.tableEntries)
+        throw std::runtime_error("BranchPredictor::copyStateFrom: size");
+    std::memcpy(bimodChooser_.data(), o.bimodChooser_.data(),
+                bimodChooser_.size());
+    std::memcpy(gshare_.data(), o.gshare_.data(), gshare_.size());
+    history_ = o.history_;
 }
 
 } // namespace lp

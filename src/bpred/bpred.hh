@@ -60,14 +60,29 @@ class BranchPredictor
     Blob serialize() const;
     void deserialize(const Blob &image);
 
+    /**
+     * Adopt the exact table and history state of @p o (same
+     * tableEntries required). Allocation-free: a pooled replay unit
+     * copies a sibling's already-deserialized warm state instead of
+     * unpacking the image again.
+     */
+    void copyStateFrom(const BranchPredictor &o);
+
   private:
     std::size_t bimodIndex(PcIndex pc) const;
     std::size_t gshareIndex(PcIndex pc) const;
 
     BpredConfig cfg_;
-    std::vector<std::uint8_t> bimod_;   //!< 2-bit counters
-    std::vector<std::uint8_t> gshare_;  //!< 2-bit counters
-    std::vector<std::uint8_t> chooser_; //!< 2-bit: prefer gshare high
+    std::uint64_t mask_ = 0; //!< tableEntries - 1 when a power of two
+    /**
+     * Bimodal and chooser counters interleaved [bimod, chooser] per
+     * entry: both are indexed by the same bimodal index on every
+     * predict and update, so fusing them makes one cache line serve
+     * both lookups. The serialized image keeps the original
+     * three-table layout.
+     */
+    std::vector<std::uint8_t> bimodChooser_;
+    std::vector<std::uint8_t> gshare_; //!< 2-bit counters
     std::uint64_t history_ = 0;
 };
 

@@ -1,53 +1,114 @@
 #include "cache/cache.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "util/log.hh"
 
 namespace lp
 {
 
+namespace
+{
+
+/**
+ * Find the way holding @p tag in a set, or -1. A way counts only if
+ * occupied (stamp != 0): an empty way's stale tag must never hit —
+ * warm-state reconstruction can legally install a line whose address
+ * collides with leftover tag bits.
+ */
+inline int
+findHitWay(const Addr *tags, const std::uint64_t *stamps, unsigned assoc,
+           Addr tag)
+{
+    unsigned w = 0;
+#if defined(__SSE2__)
+    // Two 64-bit ways per vector: equality via 32-bit compares ANDed
+    // with their lane-swapped halves. Resident tags are unique, so
+    // reporting the first hit lane is exact.
+    const __m128i vtag = _mm_set1_epi64x(static_cast<long long>(tag));
+    const __m128i zero = _mm_setzero_si128();
+    for (; w + 2 <= assoc; w += 2) {
+        __m128i eq = _mm_cmpeq_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(tags + w)),
+            vtag);
+        eq = _mm_and_si128(eq,
+                           _mm_shuffle_epi32(eq, _MM_SHUFFLE(2, 3, 0, 1)));
+        __m128i empty = _mm_cmpeq_epi32(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(stamps + w)),
+            zero);
+        empty = _mm_and_si128(
+            empty, _mm_shuffle_epi32(empty, _MM_SHUFFLE(2, 3, 0, 1)));
+        const int mask = _mm_movemask_epi8(_mm_andnot_si128(empty, eq));
+        if (mask)
+            return static_cast<int>(w) + ((mask & 0x00ff) ? 0 : 1);
+    }
+#endif
+    for (; w < assoc; ++w)
+        if (tags[w] == tag && stamps[w] != 0)
+            return static_cast<int>(w);
+    return -1;
+}
+
+} // namespace
+
 CacheModel::CacheModel(const CacheGeometry &geom, std::string name)
     : geom_(geom), name_(std::move(name))
 {
-    const std::uint64_t nsets = std::max<std::uint64_t>(geom_.numSets(), 1);
-    sets_.resize(nsets);
-    for (auto &s : sets_)
-        s.reserve(geom_.assoc);
+    nsets_ = std::max<std::uint64_t>(geom_.numSets(), 1);
+    assoc_ = std::max(geom_.assoc, 1u);
+    const std::size_t ways = nsets_ * assoc_;
+    tags_.resize(ways, 0);
+    stamps_.resize(ways, 0);
+    dirty_.resize(ways, 0);
 }
 
 std::uint64_t
 CacheModel::setOf(Addr a) const
 {
-    return (a / geom_.lineBytes) % sets_.size();
+    return (a / geom_.lineBytes) % nsets_;
 }
 
 AccessResult
 CacheModel::access(Addr a, bool write)
 {
     const Addr tag = a - (a % geom_.lineBytes);
-    auto &set = sets_[setOf(a)];
+    const std::size_t base = setOf(a) * assoc_;
+    Addr *tags = tags_.data() + base;
+    std::uint64_t *stamps = stamps_.data() + base;
     ++clock_;
     AccessResult res;
-    for (CacheLine &line : set) {
-        if (line.tag == tag) {
-            line.lastAccess = clock_;
-            line.dirty = line.dirty || write;
-            res.hit = true;
-            return res;
-        }
+
+    const int hit = findHitWay(tags, stamps, assoc_, tag);
+    if (hit >= 0) {
+        stamps[hit] = clock_;
+        dirty_[base + hit] |= static_cast<std::uint8_t>(write);
+        res.hit = true;
+        return res;
     }
-    // Miss: allocate, evicting the least recently used line if full.
-    if (set.size() >= geom_.assoc) {
-        std::size_t victim = 0;
-        for (std::size_t i = 1; i < set.size(); ++i)
-            if (set[i].lastAccess < set[victim].lastAccess)
-                victim = i;
-        res.writeback = set[victim].dirty;
-        set[victim] = CacheLine{tag, clock_, write};
-    } else {
-        set.push_back(CacheLine{tag, clock_, write});
+
+    // Miss: the victim is the minimum stamp. Empty ways carry stamp
+    // zero, so they fill first in way order — the same fill order and
+    // same LRU victim (first minimum) as the original scan, keeping
+    // reconstructed states bit-identical. Stamps are unique, so the
+    // strictly-less select is branch-predictor friendly.
+    unsigned victim = 0;
+    std::uint64_t best = stamps[0];
+    for (unsigned w = 1; w < assoc_; ++w) {
+        const bool lt = stamps[w] < best;
+        victim = lt ? w : victim;
+        best = lt ? stamps[w] : best;
     }
+    res.writeback = best != 0 && dirty_[base + victim] != 0;
+    tags[victim] = tag;
+    stamps[victim] = clock_;
+    dirty_[base + victim] = static_cast<std::uint8_t>(write);
     return res;
 }
 
@@ -55,28 +116,53 @@ bool
 CacheModel::probe(Addr a) const
 {
     const Addr tag = a - (a % geom_.lineBytes);
-    const auto &set = sets_[setOf(a)];
-    for (const CacheLine &line : set)
-        if (line.tag == tag)
-            return true;
-    return false;
+    const std::size_t base = setOf(a) * assoc_;
+    return findHitWay(tags_.data() + base, stamps_.data() + base, assoc_,
+                      tag) >= 0;
 }
 
 void
 CacheModel::reset()
 {
-    for (auto &s : sets_)
-        s.clear();
+    // Zeroing the stamp plane alone empties every way; tags and dirty
+    // bits of empty ways are never read.
+    std::memset(stamps_.data(), 0, stamps_.size() * sizeof(stamps_[0]));
     clock_ = 0;
+}
+
+std::vector<CacheLine>
+CacheModel::linesOfSet(std::uint64_t set) const
+{
+    std::vector<CacheLine> lines;
+    lines.reserve(assoc_);
+    const std::size_t base = set * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (stamps_[base + w] != 0)
+            lines.push_back(CacheLine{tags_[base + w], stamps_[base + w],
+                                      dirty_[base + w] != 0});
+    return lines;
 }
 
 std::uint64_t
 CacheModel::residentLines() const
 {
     std::uint64_t n = 0;
-    for (const auto &s : sets_)
-        n += s.size();
+    for (const std::uint64_t s : stamps_)
+        n += s != 0;
     return n;
+}
+
+void
+CacheModel::copyStateFrom(const CacheModel &o)
+{
+    if (geom_ != o.geom_)
+        throw std::runtime_error("CacheModel::copyStateFrom: geometry");
+    std::memcpy(tags_.data(), o.tags_.data(),
+                tags_.size() * sizeof(tags_[0]));
+    std::memcpy(stamps_.data(), o.stamps_.data(),
+                stamps_.size() * sizeof(stamps_[0]));
+    std::memcpy(dirty_.data(), o.dirty_.data(), dirty_.size());
+    clock_ = o.clock_;
 }
 
 } // namespace lp

@@ -6,6 +6,13 @@
  * recently touched distinct lines mapping to it, so storing each
  * line's last-access time suffices to reconstruct any smaller
  * geometry exactly (see cache/warmstate.hh).
+ *
+ * Storage is structure-of-arrays: one flat tag/stamp/dirty plane each,
+ * indexed set * assoc + way. A stamp of zero marks an empty way (the
+ * clock starts at one), so the hit scan and the LRU victim scan are
+ * single branchless passes over contiguous memory — the replay warm
+ * loops touch one or two cache lines per access instead of chasing a
+ * vector-of-vectors.
  */
 
 #ifndef LP_CACHE_CACHE_HH
@@ -79,12 +86,9 @@ class CacheModel
     void reset();
 
     /** Resident lines of one set, unordered. */
-    const std::vector<CacheLine> &linesOfSet(std::uint64_t set) const
-    {
-        return sets_[set];
-    }
+    std::vector<CacheLine> linesOfSet(std::uint64_t set) const;
 
-    std::uint64_t numSets() const { return sets_.size(); }
+    std::uint64_t numSets() const { return nsets_; }
 
     /** Total resident lines. */
     std::uint64_t residentLines() const;
@@ -92,12 +96,26 @@ class CacheModel
     /** Accesses performed since construction/reset. */
     std::uint64_t accessClock() const { return clock_; }
 
+    /**
+     * Adopt the exact state of @p o (same geometry required). Reuses
+     * this model's storage — allocation-free once warmed — so a
+     * reconstructed warm state can be stamped onto sibling units that
+     * share the geometry without replaying the record again.
+     */
+    void copyStateFrom(const CacheModel &o);
+
   private:
     std::uint64_t setOf(Addr a) const;
 
     CacheGeometry geom_;
     std::string name_;
-    std::vector<std::vector<CacheLine>> sets_;
+    std::uint64_t nsets_ = 1;
+    unsigned assoc_ = 1;
+    // SoA planes, indexed set * assoc_ + way. stamps_[i] == 0 means
+    // the way is empty; tags_/dirty_ of empty ways are meaningless.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> stamps_;
+    std::vector<std::uint8_t> dirty_;
     std::uint64_t clock_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "codec/zip.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -311,9 +312,166 @@ zipDecompressInto(const Blob &compressed, Blob &out)
     zipDecompressInto(compressed.data(), compressed.size(), out);
 }
 
+namespace
+{
+
+/**
+ * Overlap-safe match copy: writes exactly @p len bytes at @p dst from
+ * @p off bytes behind it. Non-overlapping matches are one memcpy.
+ * off == 1 (the dominant RLE encoding) is a memset. Other overlapping
+ * offsets use a doubling copy: every chunk is bounded by the current
+ * cursor distance, so each memcpy is non-overlapping and the distance
+ * doubles per round — an off-2..4 RLE run costs O(log(len/off))
+ * word-wide copies instead of the old one-byte-at-a-time loop.
+ */
+inline void
+copyMatch(std::uint8_t *dst, std::size_t off, std::size_t len)
+{
+    const std::uint8_t *src = dst - off;
+    if (off >= len) {
+        std::memcpy(dst, src, len);
+        return;
+    }
+    if (off == 1) {
+        std::memset(dst, *src, len);
+        return;
+    }
+    while (len) {
+        const std::size_t chunk =
+            std::min(len, static_cast<std::size_t>(dst - src));
+        std::memcpy(dst, src, chunk);
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+/**
+ * Worst-case expansion of one input byte, rounded up: a full group of
+ * 8 match tokens turns 25 input bytes (flag + 8x3) into at most
+ * 8 * kMaxMatch output bytes, ~82.9 output per input. A header
+ * promising more than the remaining input could ever produce is
+ * malformed; rejecting it before the output allocation keeps crafted
+ * headers from forcing a giant buffer.
+ */
+constexpr std::uint64_t kMaxExpansionPerByte = 83;
+
+} // namespace
+
 void
 zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
                   Blob &out)
+{
+    std::size_t pos = 0;
+    const std::uint64_t rawSize = getLeb(compressed, size, pos);
+    if (rawSize > (size - pos) * kMaxExpansionPerByte + 8 * kMaxMatch)
+        throw std::runtime_error("zip: truncated stream");
+    // One up-front size: the body writes through raw cursors, no
+    // per-literal push_back. On a recycled buffer only the growth
+    // delta (if any) is value-initialized.
+    out.resize(rawSize);
+
+    const std::uint8_t *ip = compressed + pos;
+    const std::uint8_t *const iend = compressed + size;
+    std::uint8_t *const obase = out.data();
+    std::uint8_t *op = obase;
+    std::uint8_t *const oend = obase + rawSize;
+
+    // Fast path: while a worst-case token group fits the remaining
+    // input (flag + 8 match tokens + 8-byte literal-copy slack) and
+    // output (8 maximum matches), whole groups decode with the bounds
+    // checks hoisted to this one loop condition. The margins license
+    // fixed 8-byte literal copies that scribble past the run — every
+    // scribbled output byte is overwritten by a later token before the
+    // margin shrinks below one group, and the input slack keeps the
+    // 8-byte read inside the buffer even when a short literal run
+    // trails seven match tokens.
+    while (iend - ip >= 1 + 8 * 3 + 8 &&
+           oend - op >= static_cast<std::ptrdiff_t>(8 * kMaxMatch)) {
+        const unsigned flags = *ip++;
+        if (flags == 0) {
+            // All 8 items literal: one word-wide copy.
+            std::memcpy(op, ip, 8);
+            op += 8;
+            ip += 8;
+            continue;
+        }
+        unsigned b = 0;
+        while (b < 8) {
+            if (!((flags >> b) & 1u)) {
+                // Batch the run of consecutive literal bits into one
+                // copy (8 bytes stored, run-length consumed).
+#if defined(__GNUC__) || defined(__clang__)
+                const unsigned run = static_cast<unsigned>(
+                    __builtin_ctz((flags >> b) | (1u << (8 - b))));
+#else
+                unsigned run = 0;
+                while (b + run < 8 && !((flags >> (b + run)) & 1u))
+                    ++run;
+#endif
+                std::memcpy(op, ip, 8);
+                op += run;
+                ip += run;
+                b += run;
+                continue;
+            }
+            const std::size_t off =
+                static_cast<std::size_t>(ip[0]) |
+                (static_cast<std::size_t>(ip[1]) << 8);
+            const std::size_t len =
+                static_cast<std::size_t>(ip[2]) + kMinMatch;
+            ip += 3;
+            if (off == 0 ||
+                off > static_cast<std::size_t>(op - obase))
+                throw std::runtime_error("zip: bad match offset");
+            copyMatch(op, off, len);
+            op += len;
+            ++b;
+        }
+    }
+
+    // Strict tail: per-token checks, token-for-token the reference
+    // semantics. The fast path only consumes whole flag groups, so
+    // the tail always resumes at a flag-byte boundary.
+    std::size_t tpos = static_cast<std::size_t>(ip - compressed);
+    std::uint8_t flags = 0;
+    unsigned flagBit = 8;
+    while (op < oend) {
+        if (flagBit == 8) {
+            if (tpos >= size)
+                throw std::runtime_error("zip: truncated stream");
+            flags = compressed[tpos++];
+            flagBit = 0;
+        }
+        const bool isMatch = (flags >> flagBit) & 1;
+        ++flagBit;
+        if (isMatch) {
+            if (tpos + 3 > size)
+                throw std::runtime_error("zip: truncated match");
+            const std::size_t off =
+                static_cast<std::size_t>(compressed[tpos]) |
+                (static_cast<std::size_t>(compressed[tpos + 1]) << 8);
+            const std::size_t len =
+                static_cast<std::size_t>(compressed[tpos + 2]) +
+                kMinMatch;
+            tpos += 3;
+            if (off == 0 ||
+                off > static_cast<std::size_t>(op - obase))
+                throw std::runtime_error("zip: bad match offset");
+            if (len > static_cast<std::size_t>(oend - op))
+                throw std::runtime_error("zip: size mismatch");
+            copyMatch(op, off, len);
+            op += len;
+        } else {
+            if (tpos >= size)
+                throw std::runtime_error("zip: truncated literal");
+            *op++ = compressed[tpos++];
+        }
+    }
+}
+
+void
+zipDecompressReferenceInto(const std::uint8_t *compressed,
+                           std::size_t size, Blob &out)
 {
     std::size_t pos = 0;
     const std::uint64_t rawSize = getLeb(compressed, size, pos);

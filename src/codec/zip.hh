@@ -41,6 +41,16 @@ void zipDecompressInto(const Blob &compressed, Blob &out);
 void zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
                        Blob &out);
 
+/**
+ * Reference scalar decompressor: the original flag-bit/byte-at-a-time
+ * loop, retained verbatim as the oracle for the differential fuzz leg
+ * and for the decode-throughput speedup ratio in bench/ablation_hotpath.
+ * Accepts exactly the inputs zipDecompressInto() accepts and produces
+ * byte-identical output; both throw on the same malformed inputs.
+ */
+void zipDecompressReferenceInto(const std::uint8_t *compressed,
+                                std::size_t size, Blob &out);
+
 } // namespace lp
 
 #endif // LP_CODEC_ZIP_HH

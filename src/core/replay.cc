@@ -69,6 +69,18 @@ ReplayContext::ReplayContext(const Program &prog, const CoreConfig &cfg)
 {
 }
 
+namespace
+{
+
+bool
+sameCacheGeometry(const MemHierarchyConfig &a, const MemHierarchyConfig &b)
+{
+    return a.l1i == b.l1i && a.l1d == b.l1d && a.l2 == b.l2 &&
+           a.itlb == b.itlb && a.dtlb == b.dtlb;
+}
+
+} // namespace
+
 ReplayContext::ReplayContext(const Program &prog,
                              const std::vector<CoreConfig> &cfgs)
     : prog_(prog), direct_(mem_), overlay_(mem_)
@@ -78,6 +90,43 @@ ReplayContext::ReplayContext(const Program &prog,
     units_.reserve(cfgs.size());
     for (const CoreConfig &c : cfgs)
         units_.push_back(std::make_unique<Unit>(prog_, c, direct_));
+    bpredImage_.assign(units_.size(), nullptr);
+
+    // Group units by reconstruction identity: configurations sharing
+    // the five cache geometries (or the predictor table size) get one
+    // warm-state stash, so a decode-once fan-out reconstructs each
+    // distinct state from the record once per point and the remaining
+    // configurations copy it.
+    cacheStashOf_.assign(units_.size(), -1);
+    bpredStashOf_.assign(units_.size(), -1);
+    for (std::size_t j = 1; j < units_.size(); ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+            if (cacheStashOf_[j] < 0 &&
+                sameCacheGeometry(units_[i]->cfg.mem, units_[j]->cfg.mem)) {
+                if (cacheStashOf_[i] < 0) {
+                    cacheStashOf_[i] =
+                        static_cast<int>(cacheStash_.size());
+                    cacheStash_.push_back(CacheStash{
+                        std::make_unique<MemHierarchy>(units_[i]->cfg.mem),
+                        0});
+                }
+                cacheStashOf_[j] = cacheStashOf_[i];
+            }
+            if (bpredStashOf_[j] < 0 &&
+                units_[i]->cfg.bpred.tableEntries ==
+                    units_[j]->cfg.bpred.tableEntries) {
+                if (bpredStashOf_[i] < 0) {
+                    bpredStashOf_[i] =
+                        static_cast<int>(bpredStash_.size());
+                    bpredStash_.push_back(BpredStash{
+                        std::make_unique<BranchPredictor>(
+                            units_[i]->cfg.bpred),
+                        0});
+                }
+                bpredStashOf_[j] = bpredStashOf_[i];
+            }
+        }
+    }
 }
 
 const CoreConfig &
@@ -87,20 +136,55 @@ ReplayContext::config(std::size_t i) const
 }
 
 WindowResult
-ReplayContext::runUnit(Unit &u, const LivePoint &point, MemPort &port,
-                       bool approxWrongPath)
+ReplayContext::runUnit(std::size_t unitIdx, const LivePoint &point,
+                       MemPort &port, bool approxWrongPath)
 {
-    point.l1i.reconstruct(u.hier.l1i());
-    point.l1d.reconstruct(u.hier.l1d());
-    point.l2.reconstruct(u.hier.l2());
-    point.itlb.reconstruct(u.hier.itlb());
-    point.dtlb.reconstruct(u.hier.dtlb());
-    const Blob *image = point.findBpredImage(u.bpredKey);
-    if (!image)
-        throw std::runtime_error(
-            strfmt("library does not cover predictor '%s'",
-                   u.bpredKey.c_str()));
-    u.bp.deserialize(*image);
+    Unit &u = *units_[unitIdx];
+
+    // Warm caches: reconstruct from the record once per distinct
+    // geometry per point; sibling configurations copy the snapshot.
+    const int cs = cacheStashOf_[unitIdx];
+    if (cs >= 0 && cacheStash_[cs].epoch == pointEpoch_) {
+        MemHierarchy &stash = *cacheStash_[cs].hier;
+        u.hier.l1i().copyStateFrom(stash.l1i());
+        u.hier.l1d().copyStateFrom(stash.l1d());
+        u.hier.l2().copyStateFrom(stash.l2());
+        u.hier.itlb().copyStateFrom(stash.itlb());
+        u.hier.dtlb().copyStateFrom(stash.dtlb());
+    } else {
+        point.l1i.reconstruct(u.hier.l1i());
+        point.l1d.reconstruct(u.hier.l1d());
+        point.l2.reconstruct(u.hier.l2());
+        point.itlb.reconstruct(u.hier.itlb());
+        point.dtlb.reconstruct(u.hier.dtlb());
+        if (cs >= 0) {
+            MemHierarchy &stash = *cacheStash_[cs].hier;
+            stash.l1i().copyStateFrom(u.hier.l1i());
+            stash.l1d().copyStateFrom(u.hier.l1d());
+            stash.l2().copyStateFrom(u.hier.l2());
+            stash.itlb().copyStateFrom(u.hier.itlb());
+            stash.dtlb().copyStateFrom(u.hier.dtlb());
+            cacheStash_[cs].epoch = pointEpoch_;
+        }
+    }
+
+    // Warm predictor: image pointers were resolved in loadPoint();
+    // the first unit of a table-size group unpacks, the rest copy.
+    const int bs = bpredStashOf_[unitIdx];
+    if (bs >= 0 && bpredStash_[bs].epoch == pointEpoch_) {
+        u.bp.copyStateFrom(*bpredStash_[bs].bp);
+    } else {
+        const Blob *image = bpredImage_[unitIdx];
+        if (!image)
+            throw std::runtime_error(
+                strfmt("library does not cover predictor '%s'",
+                       u.bpredKey.c_str()));
+        u.bp.deserialize(*image);
+        if (bs >= 0) {
+            bpredStash_[bs].bp->copyStateFrom(u.bp);
+            bpredStash_[bs].epoch = pointEpoch_;
+        }
+    }
 
     CoreBindings b;
     b.prog = &prog_;
@@ -121,7 +205,7 @@ ReplayContext::simulate(const LivePoint &point, bool approxWrongPath)
     // The single-configuration path stores straight into the pooled
     // memory (no overlay indirection on the hot path); the next
     // loadPoint() resets it anyway.
-    return runUnit(*units_[0], point, direct_, approxWrongPath);
+    return runUnit(0, point, direct_, approxWrongPath);
 }
 
 void
@@ -130,6 +214,17 @@ ReplayContext::loadPoint(const LivePoint &point)
     mem_.reset();
     point.memImage.applyTo(mem_);
     loaded_ = &point;
+    ++pointEpoch_;
+    // Resolve each unit's predictor image once per point instead of a
+    // string-keyed map lookup per replay. A missing image only throws
+    // if the configuration actually replays.
+    for (std::size_t j = 0; j < units_.size(); ++j) {
+        if (j > 0 && units_[j]->bpredKey == units_[j - 1]->bpredKey) {
+            bpredImage_[j] = bpredImage_[j - 1];
+            continue;
+        }
+        bpredImage_[j] = point.findBpredImage(units_[j]->bpredKey);
+    }
 }
 
 WindowResult
@@ -141,7 +236,7 @@ ReplayContext::replay(std::size_t cfgIdx, bool approxWrongPath)
     // point's memory image, so the image is applied once per point
     // while every configuration still sees pristine live state.
     overlay_.clear();
-    return runUnit(*units_[cfgIdx], *loaded_, overlay_, approxWrongPath);
+    return runUnit(cfgIdx, *loaded_, overlay_, approxWrongPath);
 }
 
 ReplayEngine::ReplayEngine(const Program &prog,

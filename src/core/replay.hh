@@ -187,8 +187,27 @@ class ReplayContext
         OoOCore core;
     };
 
-    WindowResult runUnit(Unit &u, const LivePoint &point, MemPort &port,
-                         bool approxWrongPath);
+    WindowResult runUnit(std::size_t unitIdx, const LivePoint &point,
+                         MemPort &port, bool approxWrongPath);
+
+    /**
+     * Pristine reconstructed warm state shared by every unit of one
+     * cache-geometry (or predictor-table) group: the first unit of
+     * the group to replay a point reconstructs from the record and
+     * snapshots here, the rest memcpy the snapshot instead of
+     * replaying the record again. `epoch` says which loadPoint() the
+     * snapshot belongs to.
+     */
+    struct CacheStash
+    {
+        std::unique_ptr<MemHierarchy> hier;
+        std::uint64_t epoch = 0;
+    };
+    struct BpredStash
+    {
+        std::unique_ptr<BranchPredictor> bp;
+        std::uint64_t epoch = 0;
+    };
 
     const Program &prog_;
     SparseMemory mem_;
@@ -196,6 +215,12 @@ class ReplayContext
     OverlayMemPort overlay_;
     const LivePoint *loaded_ = nullptr;
     std::vector<std::unique_ptr<Unit>> units_;
+    std::uint64_t pointEpoch_ = 0;
+    std::vector<const Blob *> bpredImage_; //!< per unit, per point
+    std::vector<int> cacheStashOf_;        //!< unit -> stash, -1 = none
+    std::vector<int> bpredStashOf_;        //!< unit -> stash, -1 = none
+    std::vector<CacheStash> cacheStash_;
+    std::vector<BpredStash> bpredStash_;
 };
 
 class ReplayEngine

@@ -1,6 +1,8 @@
 #include "mem/memport.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace lp
 {
@@ -107,24 +109,95 @@ SparseMemory::clone() const
     return out;
 }
 
+namespace
+{
+
+/** Mix an (8-aligned) word address into a table hash. */
+inline std::size_t
+overlayHash(Addr a)
+{
+    std::uint64_t h = (a >> 3) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+} // namespace
+
 OverlayMemPort::OverlayMemPort(SparseMemory &base,
                                std::size_t reserveWrites)
     : base_(base)
 {
-    writes_.reserve(reserveWrites);
+    // Power-of-two capacity with load factor <= 1/2.
+    std::size_t cap = 16;
+    while (cap < reserveWrites * 2)
+        cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+}
+
+/**
+ * Index of the slot holding @p a, or of the first free slot in its
+ * probe chain. Within one epoch the table is insert-only, so linear
+ * probing needs no tombstones: a stale-epoch slot is simply free.
+ */
+std::size_t
+OverlayMemPort::probe(Addr a) const
+{
+    std::size_t i = overlayHash(a) & mask_;
+    while (slots_[i].epoch == epoch_ && slots_[i].addr != a)
+        i = (i + 1) & mask_;
+    return i;
 }
 
 std::uint64_t
 OverlayMemPort::read64(Addr a)
 {
-    const auto it = writes_.find(a);
-    return it == writes_.end() ? base_.read64(a) : it->second;
+    const Slot &s = slots_[probe(a)];
+    return s.epoch == epoch_ ? s.val : base_.read64(a);
 }
 
 void
 OverlayMemPort::write64(Addr a, std::uint64_t v)
 {
-    writes_[a] = v;
+    Slot &s = slots_[probe(a)];
+    if (s.epoch != epoch_) {
+        if ((count_ + 1) * 2 > slots_.size()) {
+            grow();
+            write64(a, v);
+            return;
+        }
+        ++count_;
+        s.addr = a;
+        s.epoch = epoch_;
+    }
+    s.val = v;
+}
+
+void
+OverlayMemPort::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot &s : old) {
+        if (s.epoch != epoch_)
+            continue;
+        std::size_t i = overlayHash(s.addr) & mask_;
+        while (slots_[i].epoch == epoch_)
+            i = (i + 1) & mask_;
+        slots_[i] = s;
+    }
+}
+
+void
+OverlayMemPort::clear()
+{
+    count_ = 0;
+    if (++epoch_ == 0) {
+        // Epoch counter wrapped: stale stamps could alias the fresh
+        // epoch, so wipe the table once every 2^32 windows.
+        std::fill(slots_.begin(), slots_.end(), Slot{});
+        epoch_ = 1;
+    }
 }
 
 MemoryImage::MemoryImage(unsigned blockBytes) : blockBytes_(blockBytes) {}
@@ -132,6 +205,8 @@ MemoryImage::MemoryImage(unsigned blockBytes) : blockBytes_(blockBytes) {}
 void
 MemoryImage::captureBeforeAccess(SparseMemory &mem, Addr a)
 {
+    if (flat_)
+        throw std::logic_error("MemoryImage: capture into replay image");
     const Addr base = a - (a % blockBytes_);
     auto it = blocks_.lower_bound(base);
     if (it != blocks_.end() && it->first == base)
@@ -144,18 +219,39 @@ MemoryImage::captureBeforeAccess(SparseMemory &mem, Addr a)
 bool
 MemoryImage::contains(Addr a) const
 {
-    return blocks_.count(a - (a % blockBytes_)) != 0;
+    const Addr base = a - (a % blockBytes_);
+    if (flat_)
+        return std::binary_search(flatAddrs_.begin(), flatAddrs_.end(),
+                                  base);
+    return blocks_.count(base) != 0;
 }
 
 std::uint64_t
 MemoryImage::payloadBytes() const
 {
-    return static_cast<std::uint64_t>(blocks_.size()) * blockBytes_;
+    return static_cast<std::uint64_t>(blockCount()) * blockBytes_;
 }
 
 void
 MemoryImage::applyTo(SparseMemory &mem) const
 {
+    if (flat_) {
+        // Runs of address-adjacent blocks are contiguous in the
+        // payload buffer, so they collapse into single writes.
+        const std::size_t n = flatAddrs_.size();
+        std::size_t i = 0;
+        while (i < n) {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   flatAddrs_[j] == flatAddrs_[j - 1] + blockBytes_)
+                ++j;
+            mem.writeBytes(flatAddrs_[i],
+                           flatPayload_.data() + i * blockBytes_,
+                           (j - i) * blockBytes_);
+            i = j;
+        }
+        return;
+    }
     for (const auto &kv : blocks_)
         mem.writeBytes(kv.first, kv.second.data(), kv.second.size());
 }
@@ -165,6 +261,16 @@ MemoryImage::forEach(
     const std::function<void(Addr, const std::vector<std::uint8_t> &)> &fn)
     const
 {
+    if (flat_) {
+        std::vector<std::uint8_t> tmp(blockBytes_);
+        for (std::size_t i = 0; i < flatAddrs_.size(); ++i) {
+            std::memcpy(tmp.data(),
+                        flatPayload_.data() + i * blockBytes_,
+                        blockBytes_);
+            fn(flatAddrs_[i], tmp);
+        }
+        return;
+    }
     for (const auto &kv : blocks_)
         fn(kv.first, kv.second);
 }
@@ -174,10 +280,18 @@ MemoryImage::serialize(DerWriter &w) const
 {
     w.beginSequence();
     w.putUint(blockBytes_);
-    w.putUint(blocks_.size());
-    for (const auto &kv : blocks_) {
-        w.putUint(kv.first);
-        w.putBytes(kv.second.data(), kv.second.size());
+    w.putUint(blockCount());
+    if (flat_) {
+        for (std::size_t i = 0; i < flatAddrs_.size(); ++i) {
+            w.putUint(flatAddrs_[i]);
+            w.putBytes(flatPayload_.data() + i * blockBytes_,
+                       blockBytes_);
+        }
+    } else {
+        for (const auto &kv : blocks_) {
+            w.putUint(kv.first);
+            w.putBytes(kv.second.data(), kv.second.size());
+        }
     }
     w.endSequence();
 }
@@ -195,27 +309,25 @@ MemoryImage::deserializeInto(DerReader &r, MemoryImage &out)
 {
     DerReader seq = r.getSequence();
     out.blockBytes_ = static_cast<unsigned>(seq.getUint());
-    // Recycle the previous point's payload buffers — block addresses
-    // differ point to point, so the map nodes must be rebuilt, but
-    // the byte vectors (the bulk of the image) are reused.
-    std::vector<std::vector<std::uint8_t>> spare;
-    spare.reserve(out.blocks_.size());
-    for (auto &kv : out.blocks_)
-        spare.push_back(std::move(kv.second));
+    // Replay-path storage: one sorted address array plus a contiguous
+    // payload buffer, both recycled point to point (the previous
+    // decode-once design rebuilt a map node per block per point).
+    out.flat_ = true;
     out.blocks_.clear();
     const std::uint64_t count = seq.getUint();
-    // Blocks were serialized in address order; an end hint keeps each
-    // insertion O(1).
-    auto hint = out.blocks_.end();
+    out.flatAddrs_.clear();
+    out.flatAddrs_.reserve(count);
+    out.flatPayload_.resize(count * out.blockBytes_);
     for (std::uint64_t i = 0; i < count; ++i) {
         const Addr base = seq.getUint();
-        std::vector<std::uint8_t> buf;
-        if (!spare.empty()) {
-            buf = std::move(spare.back());
-            spare.pop_back();
-        }
-        seq.getBytes(buf);
-        hint = out.blocks_.emplace_hint(hint, base, std::move(buf));
+        if (!out.flatAddrs_.empty() && base <= out.flatAddrs_.back())
+            throw std::runtime_error("memory image: blocks unordered");
+        out.flatAddrs_.push_back(base);
+        const ByteSpan b = seq.getBytesSpan();
+        if (b.size != out.blockBytes_)
+            throw std::runtime_error("memory image: block size mismatch");
+        std::memcpy(out.flatPayload_.data() + i * out.blockBytes_,
+                    b.data, b.size);
     }
 }
 

@@ -96,8 +96,11 @@ class DirectMemPort : public MemPort
  * A write-private view of a base memory: a detailed window runs on
  * top of the live functional memory without perturbing it (all
  * accesses are 8-aligned 8-byte, so a word-granular overlay is
- * exact). One overlay is reused across windows via clear(); the write
- * map is pre-reserved so steady state allocates nothing.
+ * exact). The write set is a flat open-addressing hash table with
+ * epoch-stamped slots: every read64 the core issues probes it, so
+ * lookups stay in one or two contiguous cache lines, writes allocate
+ * nothing once the table has grown to the window's footprint, and
+ * clear() is an O(1) epoch bump.
  */
 class OverlayMemPort : public MemPort
 {
@@ -108,12 +111,25 @@ class OverlayMemPort : public MemPort
     std::uint64_t read64(Addr a) override;
     void write64(Addr a, std::uint64_t v) override;
 
-    /** Drop the private writes, keeping the map's capacity. */
-    void clear() { writes_.clear(); }
+    /** Drop the private writes, keeping the table's capacity. */
+    void clear();
 
   private:
+    struct Slot
+    {
+        Addr addr = 0;
+        std::uint64_t val = 0;
+        std::uint32_t epoch = 0; //!< live iff == epoch_
+    };
+
+    std::size_t probe(Addr a) const;
+    void grow();
+
     SparseMemory &base_;
-    std::unordered_map<Addr, std::uint64_t> writes_;
+    std::vector<Slot> slots_; //!< power-of-two size
+    std::size_t mask_ = 0;
+    std::size_t count_ = 0;
+    std::uint32_t epoch_ = 1;
 };
 
 /**
@@ -142,7 +158,10 @@ class MemoryImage
     std::uint64_t payloadBytes() const;
 
     /** Number of captured blocks. */
-    std::size_t blockCount() const { return blocks_.size(); }
+    std::size_t blockCount() const
+    {
+        return flat_ ? flatAddrs_.size() : blocks_.size();
+    }
 
     /** Write every captured block into @p mem. */
     void applyTo(SparseMemory &mem) const;
@@ -160,7 +179,21 @@ class MemoryImage
 
   private:
     unsigned blockBytes_;
+    /**
+     * Capture-time storage: an ordered map so incremental first-touch
+     * capture stays cheap and serialization is canonical.
+     */
     std::map<Addr, std::vector<std::uint8_t>> blocks_;
+    /**
+     * Replay-time storage, used after deserializeInto(): a sorted
+     * flat address array plus one contiguous payload buffer. Loading
+     * the next point reuses both buffers — zero allocations per point
+     * in steady state — and applyTo() can coalesce adjacent blocks
+     * into single writes.
+     */
+    bool flat_ = false;
+    std::vector<Addr> flatAddrs_;
+    std::vector<std::uint8_t> flatPayload_;
 };
 
 } // namespace lp

@@ -76,11 +76,10 @@ OoOCore::programEnded() const
     return regs_.instIndex >= prog_->length;
 }
 
+template <bool HasAvail>
 void
 OoOCore::simulateWrongPath(InstCount index, Cycles resolve, Cycles fetched)
 {
-    if (approxWrongPath_)
-        return;
     // The front end fetches down the wrong path until the branch
     // resolves; model its cache pollution (and, under restricted
     // live-state, its references to unavailable data).
@@ -91,20 +90,21 @@ OoOCore::simulateWrongPath(InstCount index, Cycles resolve, Cycles fetched)
         const Instruction wp = prog_->wrongPath(index, k);
         if (wp.op != Opcode::Load)
             continue;
-        if (avail_ && !avail_->contains(wp.addr))
+        if (HasAvail && !avail_->contains(wp.addr))
             ++unavailableLoads_;
         hier_->timedData(wp.addr, false);
     }
 }
 
+template <bool ApproxWP, bool HasAvail>
 void
-OoOCore::step()
+OoOCore::step(const StepConsts &k)
 {
     const InstCount index = regs_.instIndex;
     const Instruction ins = prog_->fetch(index);
 
     // --- Fetch ---
-    if (fetchedThisCycle_ >= cfg_.width) {
+    if (fetchedThisCycle_ >= k.width) {
         ++fetchCycle_;
         fetchedThisCycle_ = 0;
         branchesThisCycle_ = 0;
@@ -114,11 +114,11 @@ OoOCore::step()
     if (fetchLine != lastFetchLine_) {
         lastFetchLine_ = fetchLine;
         const Cycles lat = hier_->timedFetch(fetchAddr);
-        if (lat > cfg_.mem.l1Latency)
-            fetchCycle_ += lat - cfg_.mem.l1Latency;
+        if (lat > k.l1Latency)
+            fetchCycle_ += lat - k.l1Latency;
     }
     if (ins.isBranch() &&
-        ++branchesThisCycle_ > cfg_.bpred.predictionsPerCycle) {
+        ++branchesThisCycle_ > k.predictionsPerCycle) {
         ++fetchCycle_;
         fetchedThisCycle_ = 0;
         branchesThisCycle_ = 1;
@@ -144,28 +144,28 @@ OoOCore::step()
         Cycles &fu = earliest(fuIntAlu_);
         const Cycles issue = std::max(ready, fu);
         fu = issue + 1;
-        complete = issue + cfg_.lat.intAlu;
+        complete = issue + k.intAlu;
         break;
       }
       case Opcode::IntMul: {
         Cycles &fu = earliest(fuIntMul_);
         const Cycles issue = std::max(ready, fu);
         fu = issue + 1;
-        complete = issue + cfg_.lat.intMulDiv;
+        complete = issue + k.intMulDiv;
         break;
       }
       case Opcode::FpAlu: {
         Cycles &fu = earliest(fuFpAlu_);
         const Cycles issue = std::max(ready, fu);
         fu = issue + 1;
-        complete = issue + cfg_.lat.fpAlu;
+        complete = issue + k.fpAlu;
         break;
       }
       case Opcode::FpMul: {
         Cycles &fu = earliest(fuFpMul_);
         const Cycles issue = std::max(ready, fu);
         fu = issue + 1;
-        complete = issue + cfg_.lat.fpMulDiv;
+        complete = issue + k.fpMulDiv;
         break;
       }
       case Opcode::Load:
@@ -203,9 +203,10 @@ OoOCore::step()
         const bool predicted = bp_->predict(ins.pc);
         bp_->update(ins.pc, ins.taken);
         if (predicted != ins.taken) {
-            simulateWrongPath(index, complete, fetched);
+            if (!ApproxWP)
+                simulateWrongPath<HasAvail>(index, complete, fetched);
             const Cycles redirect =
-                complete + cfg_.bpred.mispredictPenalty;
+                complete + k.mispredictPenalty;
             if (redirect > fetchCycle_) {
                 fetchCycle_ = redirect;
                 fetchedThisCycle_ = 0;
@@ -220,7 +221,7 @@ OoOCore::step()
         commitCycle_ = commit;
         committedThisCycle_ = 0;
     }
-    if (++committedThisCycle_ > cfg_.width) {
+    if (++committedThisCycle_ > k.width) {
         ++commitCycle_;
         committedThisCycle_ = 1;
         commit = commitCycle_;
@@ -239,16 +240,38 @@ OoOCore::step()
     executeArch(ins, regs_, *mem_);
 }
 
+template <bool ApproxWP, bool HasAvail>
+InstCount
+OoOCore::runLoop(InstCount n)
+{
+    StepConsts k;
+    k.width = cfg_.width;
+    k.predictionsPerCycle = cfg_.bpred.predictionsPerCycle;
+    k.l1Latency = cfg_.mem.l1Latency;
+    k.intAlu = cfg_.lat.intAlu;
+    k.intMulDiv = cfg_.lat.intMulDiv;
+    k.fpAlu = cfg_.lat.fpAlu;
+    k.fpMulDiv = cfg_.lat.fpMulDiv;
+    k.mispredictPenalty = cfg_.bpred.mispredictPenalty;
+    const InstCount length = prog_->length;
+    InstCount done = 0;
+    while (done < n && regs_.instIndex < length) {
+        step<ApproxWP, HasAvail>(k);
+        ++done;
+    }
+    return done;
+}
+
 WindowResult
 OoOCore::commitRun(InstCount n)
 {
     const Cycles c0 = lastCommit_;
     const std::uint64_t u0 = unavailableLoads_;
-    InstCount done = 0;
-    while (done < n && !programEnded()) {
-        step();
-        ++done;
-    }
+    InstCount done;
+    if (approxWrongPath_)
+        done = avail_ ? runLoop<true, true>(n) : runLoop<true, false>(n);
+    else
+        done = avail_ ? runLoop<false, true>(n) : runLoop<false, false>(n);
     WindowResult res;
     res.insts = done;
     res.cycles = lastCommit_ - c0;

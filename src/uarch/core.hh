@@ -81,7 +81,36 @@ class OoOCore
     const ArchRegs &regs() const { return regs_; }
 
   private:
-    void step();
+    /**
+     * Config-invariant values read every instruction, hoisted out of
+     * CoreConfig once per commitRun so the specialized step loop works
+     * from locals the optimizer can keep live across iterations.
+     */
+    struct StepConsts
+    {
+        unsigned width = 0;
+        unsigned predictionsPerCycle = 0;
+        Cycles l1Latency = 0;
+        Cycles intAlu = 0;
+        Cycles intMulDiv = 0;
+        Cycles fpAlu = 0;
+        Cycles fpMulDiv = 0;
+        Cycles mispredictPenalty = 0;
+    };
+
+    /**
+     * One instruction through the timing model, specialized at compile
+     * time on the two structural flags that never change within a run:
+     * whether wrong-path simulation is approximated away and whether
+     * an availability image is bound. commitRun dispatches once to the
+     * matching instantiation, so the per-instruction loop carries no
+     * runtime checks for either.
+     */
+    template <bool ApproxWP, bool HasAvail>
+    void step(const StepConsts &k);
+    template <bool ApproxWP, bool HasAvail>
+    InstCount runLoop(InstCount n);
+    template <bool HasAvail>
     void simulateWrongPath(InstCount index, Cycles resolve,
                            Cycles fetched);
 

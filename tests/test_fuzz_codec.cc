@@ -72,6 +72,32 @@ decodeSurvives(const Blob &z, Blob &scratch)
     }
 }
 
+/**
+ * Differential check: the batched decoder and the retained reference
+ * scalar decoder must agree on every input — byte-identical output
+ * when both succeed, and both throwing when either rejects.
+ */
+void
+checkAgainstReference(const std::uint8_t *data, std::size_t size,
+                      Blob &fast, Blob &ref)
+{
+    bool fastOk = true;
+    bool refOk = true;
+    try {
+        zipDecompressInto(data, size, fast);
+    } catch (const std::exception &) {
+        fastOk = false;
+    }
+    try {
+        zipDecompressReferenceInto(data, size, ref);
+    } catch (const std::exception &) {
+        refOk = false;
+    }
+    CHECK_EQ(static_cast<int>(fastOk), static_cast<int>(refOk));
+    if (fastOk && refOk)
+        CHECK(fast == ref);
+}
+
 } // namespace
 
 int
@@ -79,18 +105,24 @@ main()
 {
     using namespace lp;
 
-    // zip: round-trip every fuzz shape through both decompress paths.
+    // zip: round-trip every fuzz shape through both decompress paths,
+    // and cross-check the batched decoder against the reference scalar
+    // decoder on every generated buffer.
     Blob scratch;
+    Blob refScratch;
     for (std::uint64_t i = 0; i < 60; ++i) {
         const Blob data = fuzzBuffer(i);
         const Blob z = zipCompress(data);
         CHECK(zipDecompress(z) == data);
         zipDecompressInto(z, scratch); // recycled buffer across shapes
         CHECK(scratch == data);
+        zipDecompressReferenceInto(z.data(), z.size(), refScratch);
+        CHECK(refScratch == data);
     }
 
     // zip: truncation at every byte of a representative compressed
-    // record must error, never crash, over-read, or "succeed".
+    // record must error, never crash, over-read, or "succeed" — and
+    // the batched and reference decoders must agree at every cut.
     {
         const Blob data = fuzzBuffer(6); // mixed runs, 4096 bytes
         const Blob z = zipCompress(data);
@@ -100,12 +132,15 @@ main()
                                  z.begin() +
                                      static_cast<std::ptrdiff_t>(cut));
             CHECK_THROWS(zipDecompressInto(truncated, scratch));
+            CHECK_THROWS(zipDecompressReferenceInto(
+                truncated.data(), truncated.size(), refScratch));
         }
     }
 
     // zip: single-byte corruption must never crash or over-read (a
     // flipped literal may legally decode to different content; a
-    // mangled token must throw — either way, cleanly).
+    // mangled token must throw — either way, cleanly), and both
+    // decoders must reach the same verdict with the same bytes.
     {
         const Blob data = fuzzBuffer(3); // runs, 7 -> small stream
         const Blob big = fuzzBuffer(9);  // runs, 65534
@@ -121,6 +156,8 @@ main()
                     1 + rng.nextBounded(255));
                 // Either outcome is fine; crashing is not.
                 decodeSurvives(bad, scratch);
+                checkAgainstReference(bad.data(), bad.size(), scratch,
+                                      refScratch);
             }
         }
     }
