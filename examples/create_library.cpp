@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "core/builder.hh"
@@ -30,8 +31,8 @@
 
 using namespace lp;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
@@ -135,4 +136,18 @@ main(int argc, char **argv)
                output.c_str());
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // I/O failures (a full disk, an injected LP_FAILPOINTS fault)
+    // carry path + strerror context — report and exit cleanly
+    // instead of aborting through std::terminate.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "create_library: %s\n", e.what());
+        return 1;
+    }
 }

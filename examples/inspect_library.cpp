@@ -31,8 +31,8 @@
 
 using namespace lp;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
@@ -181,4 +181,17 @@ main(int argc, char **argv)
                     lib.compressedSize(i));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // A corrupt or unreadable library throws with path + strerror
+    // context — report and exit cleanly instead of aborting.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "inspect_library: %s\n", e.what());
+        return 1;
+    }
 }

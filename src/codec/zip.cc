@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/failpoint.hh"
+
 namespace lp
 {
 
@@ -236,6 +238,12 @@ class MatchFinder
 Blob
 zipCompress(const Blob &raw)
 {
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("codec.compress");
+        if (o.fail)
+            throw std::runtime_error(
+                "zip: injected encode fault (codec.compress)");
+    }
     Blob out;
     out.reserve(raw.size() / 2 + 16);
     putLeb(out, raw.size());
@@ -361,6 +369,16 @@ void
 zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
                   Blob &out)
 {
+    // Fault-injection site at the record boundary (never inside the
+    // token loop): an armed `codec.decompress` makes this record
+    // decode fail exactly like a corrupt stream would, so the layers
+    // above prove they contain a bad record instead of aborting.
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("codec.decompress");
+        if (o.fail)
+            throw std::runtime_error(
+                "zip: injected decode fault (codec.decompress)");
+    }
     std::size_t pos = 0;
     const std::uint64_t rawSize = getLeb(compressed, size, pos);
     if (rawSize > (size - pos) * kMaxExpansionPerByte + 8 * kMaxMatch)

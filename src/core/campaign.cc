@@ -1,16 +1,29 @@
 #include "core/campaign.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "core/replay.hh"
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "io/source.hh"
+#include "util/failpoint.hh"
 #include "util/log.hh"
 #include "util/threadpool.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LP_HAVE_FSYNC 1
+#include <unistd.h>
+#else
+#define LP_HAVE_FSYNC 0
+#endif
 
 namespace lp
 {
@@ -22,6 +35,75 @@ using Clock = std::chrono::steady_clock;
 
 constexpr std::uint64_t kManifestMagic = 0x4c50'434d'4631ull; // LPCMF1
 constexpr std::uint64_t kManifestVersion = 1;
+
+// The manifest ledger: a 16-byte header, then self-delimited
+// checksummed records, each holding one complete DER manifest image.
+// Barriers append; recovery scans forward and truncates at the first
+// invalid record. The first byte on disk is 'L' (0x4C); a legacy
+// single-image DER manifest starts with the SEQUENCE tag 0x30, so
+// the two formats are distinguished by one byte.
+constexpr std::uint64_t kLedgerMagic = 0x000a'3152'474c'504cull;  // "LPLGR1\n\0"
+constexpr std::uint64_t kLedgerVersion = 1;
+constexpr std::uint64_t kRecordMagic = 0x000a'3143'4552'504cull;  // "LPREC1\n\0"
+constexpr std::size_t kLedgerHeaderBytes = 16;
+constexpr std::size_t kRecordHeaderBytes = 24; // magic, length, fnv1a
+constexpr std::uint64_t kCompactRecords = 512; //!< compact beyond this
+constexpr int kManifestAttempts = 3; //!< tries for transient errors
+
+/**
+ * A manifest append failure. Distinct from replay faults so run()'s
+ * per-workload containment can rethrow it: a campaign that cannot
+ * checkpoint must abort loudly, not keep replaying undurably.
+ */
+struct ManifestWriteError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+truncateFile(const std::string &path, std::uint64_t size)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec)
+        throwIoError("truncate", "campaign manifest ledger", path,
+                     ec.value());
+}
+
+/** Minimal JSON string escaping for failure-reason reporting. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += strfmt("\\u%04x", c);
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
 
 double
 seconds(Clock::time_point t0)
@@ -152,6 +234,16 @@ CampaignEngine::CampaignEngine(std::vector<CampaignWorkload> workloads,
 void
 CampaignEngine::saveManifest(const Manifest &m) const
 {
+    // The per-barrier site: `crash` here kills the campaign at a
+    // block barrier before any checkpoint bytes move — the coarsest
+    // point in the crash matrix.
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("campaign.barrier");
+        if (o.fail)
+            throw ManifestWriteError(
+                ioErrorMsg("checkpoint", "campaign manifest",
+                           opt_.manifestPath, o.err));
+    }
     DerWriter w;
     w.beginSequence();
     w.putUint(kManifestMagic);
@@ -188,20 +280,143 @@ CampaignEngine::saveManifest(const Manifest &m) const
         w.endSequence();
     }
     w.endSequence();
-    const Blob data = w.finish();
+    appendLedgerRecord(w.finish());
+}
 
-    const std::string tmp = opt_.manifestPath + ".tmp";
-    FILE *f = std::fopen(tmp.c_str(), "wb");
+namespace
+{
+
+/**
+ * One append attempt: seek to the end, write (header if the file is
+ * fresh, then) frame + payload, flush, fsync. Any failure rewinds
+ * the file to its pre-append length so a retry — or the next barrier
+ * — starts from a clean tail, then throws IoError. Stdio buffers are
+ * flushed between stages so a crash failpoint tears the record at a
+ * deterministic on-disk boundary.
+ */
+void
+appendLedgerOnce(const std::string &path, const Blob &image)
+{
+    FILE *f = std::fopen(path.c_str(), "ab");
     if (!f)
-        throw std::runtime_error(
-            strfmt("campaign: cannot write manifest '%s'", tmp.c_str()));
-    const bool ok =
-        std::fwrite(data.data(), 1, data.size(), f) == data.size();
-    if (std::fclose(f) != 0 || !ok)
-        throw std::runtime_error(
-            strfmt("campaign: short write to manifest '%s'",
-                   tmp.c_str()));
-    std::filesystem::rename(tmp, opt_.manifestPath);
+        throwIoError("append to", "campaign manifest ledger", path,
+                     errno);
+    std::fseek(f, 0, SEEK_END);
+    const long start = std::ftell(f);
+    auto fail = [&](const char *verb, int err) {
+        std::fclose(f);
+        if (start >= 0)
+            truncateFile(path, static_cast<std::uint64_t>(start));
+        throwIoError(verb, "campaign manifest ledger", path, err);
+    };
+
+    if (start == 0) {
+        std::uint8_t hdr[kLedgerHeaderBytes];
+        putU64(hdr, kLedgerMagic);
+        putU64(hdr + 8, kLedgerVersion);
+        if (std::fwrite(hdr, 1, sizeof(hdr), f) != sizeof(hdr))
+            fail("write header to", errno ? errno : EIO);
+    }
+
+    if (failpointsArmed()) {
+        const FailpointOutcome o =
+            failpointFire("campaign.ledger.frame");
+        if (o.fail)
+            fail("write record frame to", o.err);
+    }
+    std::uint8_t frame[kRecordHeaderBytes];
+    putU64(frame, kRecordMagic);
+    putU64(frame + 8, image.size());
+    putU64(frame + 16, fnv1a(image.data(), image.size()));
+    if (std::fwrite(frame, 1, sizeof(frame), f) != sizeof(frame))
+        fail("write record frame to", errno ? errno : EIO);
+    std::fflush(f);
+
+    // Crash here → frame on disk, no payload: the torn tail the
+    // recovery scan must truncate.
+    if (failpointsArmed()) {
+        const FailpointOutcome o =
+            failpointFire("campaign.ledger.payload");
+        if (o.shortOp) {
+            std::fwrite(image.data(), 1, image.size() / 2, f);
+            std::fflush(f);
+            fail("write record payload to", o.err ? o.err : EIO);
+        }
+        if (o.fail)
+            fail("write record payload to", o.err);
+    }
+    if (std::fwrite(image.data(), 1, image.size(), f) != image.size())
+        fail("write record payload to", errno ? errno : EIO);
+    if (std::fflush(f) != 0)
+        fail("flush", errno ? errno : EIO);
+
+    // Crash here → complete record on disk, not yet durable: valid
+    // either way once the OS flushes.
+    if (failpointsArmed()) {
+        const FailpointOutcome o =
+            failpointFire("campaign.ledger.sync");
+        if (o.fail)
+            fail("sync", o.err);
+    }
+#if LP_HAVE_FSYNC
+    if (::fsync(::fileno(f)) != 0)
+        fail("sync", errno ? errno : EIO);
+#endif
+    if (std::fclose(f) != 0) {
+        if (start >= 0)
+            truncateFile(path, static_cast<std::uint64_t>(start));
+        throwIoError("close", "campaign manifest ledger", path,
+                     errno ? errno : EIO);
+    }
+}
+
+} // namespace
+
+void
+CampaignEngine::appendLedgerRecord(const Blob &image) const
+{
+    const std::string &path = opt_.manifestPath;
+
+    // Compaction: once the ledger is long, republish it as header +
+    // latest record via the atomic-write path (temp, fsync, rename)
+    // instead of appending — the file stays bounded and the swap is
+    // crash-safe.
+    if (ledgerRecords_ >= kCompactRecords) {
+        Blob out(kLedgerHeaderBytes + kRecordHeaderBytes +
+                 image.size());
+        putU64(out.data(), kLedgerMagic);
+        putU64(out.data() + 8, kLedgerVersion);
+        putU64(out.data() + kLedgerHeaderBytes, kRecordMagic);
+        putU64(out.data() + kLedgerHeaderBytes + 8, image.size());
+        putU64(out.data() + kLedgerHeaderBytes + 16,
+               fnv1a(image.data(), image.size()));
+        std::memcpy(out.data() + kLedgerHeaderBytes +
+                        kRecordHeaderBytes,
+                    image.data(), image.size());
+        try {
+            writeFileAtomic(path, out.data(), out.size(),
+                            "campaign manifest ledger");
+        } catch (const std::exception &e) {
+            throw ManifestWriteError(e.what());
+        }
+        ledgerRecords_ = 1;
+        return;
+    }
+
+    for (int attempt = 0;; ++attempt) {
+        try {
+            appendLedgerOnce(path, image);
+            ++ledgerRecords_;
+            return;
+        } catch (const IoError &e) {
+            if (e.transient() && attempt + 1 < kManifestAttempts) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1 << attempt));
+                continue;
+            }
+            throw ManifestWriteError(e.what());
+        }
+    }
 }
 
 CampaignEngine::Manifest
@@ -218,25 +433,79 @@ CampaignEngine::loadManifest() const
     if (opt_.manifestPath.empty())
         return m;
     std::error_code ec;
-    const std::uintmax_t size =
-        std::filesystem::file_size(opt_.manifestPath, ec);
-    if (ec)
+    if (!std::filesystem::exists(opt_.manifestPath, ec) || ec)
         return m; // no manifest yet: a fresh campaign
 
-    FILE *f = std::fopen(opt_.manifestPath.c_str(), "rb");
-    if (!f)
-        throw std::runtime_error(
-            strfmt("campaign: cannot open manifest '%s'",
-                   opt_.manifestPath.c_str()));
-    Blob data(static_cast<std::size_t>(size));
-    const bool ok = data.empty() ||
-                    std::fread(data.data(), 1, data.size(), f) ==
-                        data.size();
-    std::fclose(f);
-    if (!ok)
-        throw std::runtime_error(
-            strfmt("campaign: short read from manifest '%s'",
-                   opt_.manifestPath.c_str()));
+    if (failpointsArmed()) {
+        const FailpointOutcome o =
+            failpointFire("campaign.manifest.load");
+        if (o.fail)
+            throwIoError("read", "campaign manifest",
+                         opt_.manifestPath, o.err);
+    }
+    const Blob data =
+        readWholeFile(opt_.manifestPath, "campaign manifest");
+    if (data.empty())
+        return m; // empty ledger: nothing checkpointed yet
+
+    // Extract the newest durable manifest image. A ledger is scanned
+    // record by record; the scan stops at the first invalid record
+    // (torn tail, flipped byte, truncation) and the file is cut back
+    // to the last valid boundary. A legacy single-image DER manifest
+    // (first byte = SEQUENCE tag 0x30) is accepted whole and
+    // converted to a ledger below.
+    Blob image;
+    bool isLedger = false;
+    std::uint64_t records = 0;
+    if (data[0] == 0x30) {
+        image = data;
+    } else {
+        if (data.size() < kLedgerHeaderBytes) {
+            // Torn before the header finished: an empty ledger.
+            truncateFile(opt_.manifestPath, 0);
+            return m;
+        }
+        if (getU64(data.data()) != kLedgerMagic)
+            throw std::runtime_error(
+                strfmt("campaign: '%s' is not a campaign manifest "
+                       "(bad ledger magic)",
+                       opt_.manifestPath.c_str()));
+        if (getU64(data.data() + 8) != kLedgerVersion)
+            throw std::runtime_error(
+                strfmt("campaign: manifest ledger '%s' has an "
+                       "unsupported version",
+                       opt_.manifestPath.c_str()));
+        isLedger = true;
+        std::size_t offset = kLedgerHeaderBytes;
+        std::size_t valid = offset;
+        while (offset + kRecordHeaderBytes <= data.size()) {
+            const std::uint8_t *rec = data.data() + offset;
+            if (getU64(rec) != kRecordMagic)
+                break;
+            const std::uint64_t len = getU64(rec + 8);
+            if (len == 0 ||
+                len > data.size() - offset - kRecordHeaderBytes)
+                break;
+            const std::uint8_t *payload = rec + kRecordHeaderBytes;
+            if (fnv1a(payload, static_cast<std::size_t>(len)) !=
+                getU64(rec + 16))
+                break;
+            image.assign(payload, payload + len);
+            offset += kRecordHeaderBytes +
+                      static_cast<std::size_t>(len);
+            valid = offset;
+            ++records;
+        }
+        if (valid < data.size()) {
+            warn("campaign: manifest ledger '%s' has a torn tail "
+                 "(%zu of %zu bytes valid), truncating",
+                 opt_.manifestPath.c_str(), valid, data.size());
+            truncateFile(opt_.manifestPath, valid);
+        }
+        ledgerRecords_ = records;
+        if (image.empty())
+            return m; // header only: nothing checkpointed yet
+    }
 
     auto mismatch = [this](const char *what) {
         return std::runtime_error(
@@ -245,7 +514,7 @@ CampaignEngine::loadManifest() const
                    opt_.manifestPath.c_str(), what));
     };
 
-    DerReader top(data);
+    DerReader top(image);
     DerReader seq = top.getSequence();
     if (seq.getUint() != kManifestMagic ||
         seq.getUint() != kManifestVersion)
@@ -275,9 +544,14 @@ CampaignEngine::loadManifest() const
         DerReader ws = seq.getSequence();
         if (ws.getString() != workloads_[i].name)
             throw mismatch("workload name");
-        if (ws.getUint() != libHashes_[i])
+        // A quarantined shard recovered by an index rescan has no
+        // trusted hash (0): accept the manifest's record — its cells
+        // are failed-with-reason and never folded further.
+        const std::uint64_t hash = ws.getUint();
+        const std::uint64_t size = ws.getUint();
+        if (libHashes_[i] != 0 && hash != libHashes_[i])
             throw mismatch("library content");
-        if (ws.getUint() != libSizes_[i])
+        if (libHashes_[i] != 0 && size != libSizes_[i])
             throw mismatch("library size");
         mw.frontier = ws.getUint();
         for (Manifest::Cell &c : mw.cells) {
@@ -291,6 +565,13 @@ CampaignEngine::loadManifest() const
             p = getStatState(ws);
     }
     m.restored = true;
+
+    // Modernize a legacy single-image manifest, and bound a ledger
+    // that grew long across runs: republish as header + one record.
+    if (!isLedger || records > kCompactRecords) {
+        ledgerRecords_ = kCompactRecords; // force the compact path
+        appendLedgerRecord(image);
+    }
     return m;
 }
 
@@ -371,81 +652,129 @@ CampaignEngine::run()
                 initialMask |= 1ull << c;
         }
 
-        if (initialMask != 0 && !res.budgetExhausted) {
+        // A failed workload is contained, not fatal: its cells carry
+        // the reason, its workers migrate to the next workload.
+        std::string failReason;
+        if (!wk.lib && wk.set->quarantined(wk.shard))
+            failReason = wk.set->quarantineReason(wk.shard);
+
+        if (failReason.empty() && initialMask != 0 &&
+            !res.budgetExhausted) {
             // A set-backed workload's shard opens here — only now,
             // only because this workload actually has work left — and
             // closes again below. Workloads the manifest already
             // finished (or the budget never reaches) stay on disk.
+            // Transient open errors (EINTR/EAGAIN) are retried with
+            // backoff before the workload is declared failed.
             const bool lazyShard =
                 !wk.lib && !wk.set->isLoaded(wk.shard);
-            const LivePointLibrary &lib =
-                wk.lib ? *wk.lib : wk.set->shard(wk.shard);
-            const std::vector<std::size_t> order =
-                replayOrder(n, opt_.shuffleSeed);
-            ReplayEngine engine(*wk.prog, configs_, ropt);
+            const LivePointLibrary *lib = wk.lib;
+            for (int attempt = 0; !lib; ++attempt) {
+                try {
+                    lib = &wk.set->shard(wk.shard);
+                } catch (const IoError &e) {
+                    if (e.transient() &&
+                        attempt + 1 < kManifestAttempts) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1 << attempt));
+                        continue;
+                    }
+                    failReason = e.what();
+                    break;
+                } catch (const std::exception &e) {
+                    failReason = e.what();
+                    break;
+                }
+            }
 
-            ReplayPlan plan;
-            plan.firstPoint = static_cast<std::size_t>(mw.frontier);
-            plan.initialMask = initialMask;
+            if (lib) {
+                const std::vector<std::size_t> order =
+                    replayOrder(n, opt_.shuffleSeed);
+                ReplayEngine engine(*wk.prog, configs_, ropt);
 
-            engine.run(
-                lib, order, blockSize_, stopping,
-                [&](std::size_t, const WindowResult *row) {
-                    for (std::size_t c = 0; c < nc; ++c) {
-                        if (!cells[c].active)
-                            continue;
-                        cells[c].block.add(row[c].cpi);
-                        mw.cells[c].unavailable +=
-                            row[c].unavailableLoads;
-                    }
-                    for (std::size_t a = 0; a < nc; ++a) {
-                        if (!cells[a].active)
-                            continue;
-                        for (std::size_t b = a + 1; b < nc; ++b) {
-                            if (!cells[b].active)
-                                continue;
-                            mw.pairs[pairIndex(a, b)].add(row[b].cpi -
-                                                          row[a].cpi);
-                        }
-                    }
-                },
-                [&](std::size_t end) -> std::uint64_t {
-                    std::uint64_t keep = 0;
-                    for (std::size_t c = 0; c < nc; ++c) {
-                        if (!cells[c].active)
-                            continue;
-                        const OnlineSnapshot snap =
-                            cells[c].est.fold(cells[c].block);
-                        cells[c].block = RunningStat();
-                        folded += end - mw.frontier;
-                        mw.cells[c].processed = end;
-                        mw.cells[c].stat = cells[c].est.stat();
-                        if (opt_.stopAtConfidence && snap.satisfied) {
-                            cells[c].active = false;
-                            mw.cells[c].converged = true;
-                        } else {
-                            keep |= 1ull << c;
-                        }
-                    }
-                    mw.frontier = end;
-                    if (opt_.maxFoldedReplays &&
-                        folded >= opt_.maxFoldedReplays) {
-                        res.budgetExhausted = true;
-                        keep = 0;
-                    }
-                    if (!opt_.manifestPath.empty())
-                        saveManifest(m);
-                    return keep;
-                },
-                &plan);
+                ReplayPlan plan;
+                plan.firstPoint =
+                    static_cast<std::size_t>(mw.frontier);
+                plan.initialMask = initialMask;
 
-            res.bytesDecoded += engine.bytesDecoded();
-            res.pointsDecoded += engine.pointsDecoded();
-            res.replaysExecuted += engine.replaysExecuted();
-            res.peakResidentBytes = std::max(
-                res.peakResidentBytes, engine.peakResidentBytes());
-            if (lazyShard && opt_.unloadFinishedShards)
-                wk.set->unload(wk.shard);
+                try {
+                    engine.run(
+                        *lib, order, blockSize_, stopping,
+                        [&](std::size_t, const WindowResult *row) {
+                            for (std::size_t c = 0; c < nc; ++c) {
+                                if (!cells[c].active)
+                                    continue;
+                                cells[c].block.add(row[c].cpi);
+                                mw.cells[c].unavailable +=
+                                    row[c].unavailableLoads;
+                            }
+                            for (std::size_t a = 0; a < nc; ++a) {
+                                if (!cells[a].active)
+                                    continue;
+                                for (std::size_t b = a + 1; b < nc;
+                                     ++b) {
+                                    if (!cells[b].active)
+                                        continue;
+                                    mw.pairs[pairIndex(a, b)].add(
+                                        row[b].cpi - row[a].cpi);
+                                }
+                            }
+                        },
+                        [&](std::size_t end) -> std::uint64_t {
+                            std::uint64_t keep = 0;
+                            for (std::size_t c = 0; c < nc; ++c) {
+                                if (!cells[c].active)
+                                    continue;
+                                const OnlineSnapshot snap =
+                                    cells[c].est.fold(
+                                        cells[c].block);
+                                cells[c].block = RunningStat();
+                                folded += end - mw.frontier;
+                                mw.cells[c].processed = end;
+                                mw.cells[c].stat =
+                                    cells[c].est.stat();
+                                if (opt_.stopAtConfidence &&
+                                    snap.satisfied) {
+                                    cells[c].active = false;
+                                    mw.cells[c].converged = true;
+                                } else {
+                                    keep |= 1ull << c;
+                                }
+                            }
+                            mw.frontier = end;
+                            if (opt_.maxFoldedReplays &&
+                                folded >= opt_.maxFoldedReplays) {
+                                res.budgetExhausted = true;
+                                keep = 0;
+                            }
+                            if (!opt_.manifestPath.empty())
+                                saveManifest(m);
+                            return keep;
+                        },
+                        &plan);
+                } catch (const ManifestWriteError &) {
+                    // A campaign that cannot checkpoint must not
+                    // keep replaying as if it could: abort.
+                    throw;
+                } catch (const std::exception &e) {
+                    failReason = strfmt("replay failed: %s",
+                                        e.what());
+                    warn("campaign: workload '%s' failed: %s",
+                         wk.name.c_str(), e.what());
+                }
+
+                res.bytesDecoded += engine.bytesDecoded();
+                res.pointsDecoded += engine.pointsDecoded();
+                res.replaysExecuted += engine.replaysExecuted();
+                res.peakResidentBytes =
+                    std::max(res.peakResidentBytes,
+                             engine.peakResidentBytes());
+                if (lazyShard && opt_.unloadFinishedShards)
+                    wk.set->unload(wk.shard);
+            } else {
+                warn("campaign: workload '%s' unavailable: %s",
+                     wk.name.c_str(), failReason.c_str());
+            }
         }
 
         // Publish the workload's cells and pairs.
@@ -460,6 +789,14 @@ CampaignEngine::run()
             cell.restored = restoredAtStart[c];
             cell.unavailableLoads = mw.cells[c].unavailable;
             cell.converged = mw.cells[c].converged;
+            // Cells already retired by their confidence target have
+            // complete estimates; only the ones the failure cut
+            // short are marked failed.
+            if (!failReason.empty() && !cell.converged) {
+                cell.failed = true;
+                cell.failureReason = failReason;
+                ++res.failedCells;
+            }
             if (cell.converged)
                 ++res.retirements;
             res.migratedReplays += mw.frontier - mw.cells[c].processed;
@@ -501,11 +838,14 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         out += strfmt(
             "%s\n    {\"workload\": %zu, \"config\": %zu, "
             "\"points\": %zu, \"cpi\": %.9f, \"rel_half_width\": %.6f, "
-            "\"converged\": %s, \"unavailable_loads\": %llu}",
+            "\"converged\": %s, \"unavailable_loads\": %llu, "
+            "\"failed\": %s, \"reason\": \"%s\"}",
             i ? "," : "", cell.workload, cell.config, cell.processed,
             cell.estimate.mean, cell.estimate.relHalfWidth,
             cell.converged ? "true" : "false",
-            static_cast<unsigned long long>(cell.unavailableLoads));
+            static_cast<unsigned long long>(cell.unavailableLoads),
+            cell.failed ? "true" : "false",
+            jsonEscape(cell.failureReason).c_str());
     }
     out += "\n  ],\n  \"pairs\": [";
     for (std::size_t i = 0; i < r.pairs.size(); ++i) {
@@ -532,7 +872,8 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         "\"replays_executed\": %llu, \"folded_replays\": %llu, "
         "\"restored_replays\": %llu, \"migrated_replays\": %llu, "
         "\"peak_resident_bytes\": %llu, "
-        "\"retirements\": %zu, \"budget_exhausted\": %s, "
+        "\"retirements\": %zu, \"failed_cells\": %zu, "
+        "\"budget_exhausted\": %s, "
         "\"decode_fanout\": %.3f}\n}\n",
         r.wallSeconds, static_cast<unsigned long long>(r.bytesDecoded),
         static_cast<unsigned long long>(r.pointsDecoded),
@@ -541,7 +882,8 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         static_cast<unsigned long long>(r.restoredReplays),
         static_cast<unsigned long long>(r.migratedReplays),
         static_cast<unsigned long long>(r.peakResidentBytes),
-        r.retirements, r.budgetExhausted ? "true" : "false",
+        r.retirements, r.failedCells,
+        r.budgetExhausted ? "true" : "false",
         r.pointsDecoded
             ? static_cast<double>(r.replaysExecuted) /
                   static_cast<double>(r.pointsDecoded)

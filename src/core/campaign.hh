@@ -28,6 +28,19 @@
  *    digest) at every block barrier; a killed campaign resumes
  *    without re-replaying finished work and finishes with results
  *    bit-identical to the uninterrupted run.
+ *  - **Crash safety.** The manifest is an append-only ledger of
+ *    self-delimited, checksummed barrier records. A crash mid-append
+ *    (kill -9, power loss, ENOSPC) leaves at worst a torn tail
+ *    record; recovery scans forward, truncates at the first invalid
+ *    record, and resumes from the last durable barrier — never from
+ *    corrupt state, never by throwing. Each append is fsync'd, and
+ *    the ledger is compacted (atomically) when it grows long.
+ *  - **Degraded-set tolerance.** A workload whose shard is
+ *    quarantined (see LibrarySet::openRecover) or fails to open is
+ *    marked failed-with-reason cell by cell; the campaign keeps
+ *    going and its workers migrate to the healthy workloads.
+ *    Transient open errors (EINTR/EAGAIN) are retried with backoff
+ *    before the workload is declared failed.
  */
 
 #ifndef LP_CORE_CAMPAIGN_HH
@@ -126,6 +139,15 @@ struct CampaignCell
     std::uint64_t unavailableLoads = 0;
     bool converged = false;    //!< retired by its confidence target
 
+    /**
+     * The workload failed before this cell finished (quarantined or
+     * unopenable shard, replay fault): the estimate covers only the
+     * points folded before the failure. Converged cells retired
+     * before the failure are not marked.
+     */
+    bool failed = false;
+    std::string failureReason; //!< why ("" when healthy)
+
     double cpi() const { return estimate.mean; }
 };
 
@@ -159,6 +181,7 @@ struct CampaignResult
     /** Peak budget-window bytes over all workload runs (0 = off). */
     std::uint64_t peakResidentBytes = 0;
     std::size_t retirements = 0;       //!< cells stopped early
+    std::size_t failedCells = 0;       //!< cells failed-with-reason
     bool budgetExhausted = false;
 
     const CampaignCell &cell(std::size_t workload, std::size_t config,
@@ -202,6 +225,7 @@ class CampaignEngine
 
     Manifest loadManifest() const;
     void saveManifest(const Manifest &m) const;
+    void appendLedgerRecord(const Blob &image) const;
 
     std::vector<CampaignWorkload> workloads_;
     std::vector<CoreConfig> configs_;
@@ -211,6 +235,7 @@ class CampaignEngine
     std::vector<std::uint64_t> libSizes_;  //!< per-workload point count
     CampaignOptions opt_;
     std::size_t blockSize_;
+    mutable std::uint64_t ledgerRecords_ = 0; //!< appended since compaction
 };
 
 } // namespace lp

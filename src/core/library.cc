@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "codec/zip.hh"
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "util/failpoint.hh"
 #include "util/log.hh"
 
 namespace lp
@@ -24,39 +27,6 @@ constexpr std::uint64_t kLpl3Version = 1;
 constexpr std::size_t kLpl3HeaderBytes = 64;
 constexpr std::size_t kLpl3TableEntryBytes = 32;
 
-/** RAII stdio handle: no error path can leak the FILE. */
-class FileHandle
-{
-  public:
-    FileHandle(const std::string &path, const char *mode)
-        : f_(std::fopen(path.c_str(), mode))
-    {
-    }
-
-    ~FileHandle()
-    {
-        if (f_)
-            std::fclose(f_);
-    }
-
-    FileHandle(const FileHandle &) = delete;
-    FileHandle &operator=(const FileHandle &) = delete;
-
-    explicit operator bool() const { return f_ != nullptr; }
-    FILE *get() const { return f_; }
-
-    /** Close eagerly; returns false if the flush failed. */
-    bool close()
-    {
-        FILE *f = f_;
-        f_ = nullptr;
-        return f && std::fclose(f) == 0;
-    }
-
-  private:
-    FILE *f_;
-};
-
 void
 putU64le(std::uint8_t *out, std::uint64_t v)
 {
@@ -71,15 +41,6 @@ getU64le(const std::uint8_t *in)
     for (unsigned i = 0; i < 8; ++i)
         v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
     return v;
-}
-
-void
-writeAll(FILE *f, const std::uint8_t *data, std::size_t size,
-         const std::string &path)
-{
-    if (std::fwrite(data, 1, size, f) != size)
-        throw std::runtime_error(
-            strfmt("short write to library '%s'", path.c_str()));
 }
 
 void
@@ -377,6 +338,11 @@ LivePointLibrary::save(const std::string &path, Format format) const
 void
 LivePointLibrary::saveLpl3(const std::string &path) const
 {
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("library.save");
+        if (o.fail)
+            throwIoError("save", "library", path, o.err);
+    }
     // Meta blob: benchmark name + design.
     DerWriter mw;
     mw.putString(benchmark_);
@@ -391,10 +357,10 @@ LivePointLibrary::saveLpl3(const std::string &path) const
     const std::uint64_t fileSize =
         dataOffset + totalCompressedBytes();
 
-    FileHandle f(path, "wb");
-    if (!f)
-        throw std::runtime_error(
-            strfmt("cannot write library '%s'", path.c_str()));
+    // Staged through the atomic writer: a crash or error mid-save
+    // leaves the previous file (if any) untouched, and the temp is
+    // removed on every error path.
+    AtomicFileWriter f(path, "library");
 
     std::uint8_t header[kLpl3HeaderBytes] = {};
     std::memcpy(header, kMagic3, sizeof(kMagic3));
@@ -405,8 +371,8 @@ LivePointLibrary::saveLpl3(const std::string &path) const
     putU64le(header + 40, tableOffset);
     putU64le(header + 48, dataOffset);
     putU64le(header + 56, fileSize);
-    writeAll(f.get(), header, sizeof(header), path);
-    writeAll(f.get(), meta.data(), meta.size(), path);
+    f.write(header, sizeof(header));
+    f.write(meta.data(), meta.size());
 
     // Index table, then the records, streamed straight from their
     // resident storage — the save never stages the library twice.
@@ -417,21 +383,24 @@ LivePointLibrary::saveLpl3(const std::string &path) const
         putU64le(row + 8, r.size);
         putU64le(row + 16, r.rawSize);
         putU64le(row + 24, r.index);
-        writeAll(f.get(), row, sizeof(row), path);
+        f.write(row, sizeof(row));
         rel += r.size;
     }
     for (std::size_t i = 0; i < refs_.size(); ++i) {
         const ByteSpan rec = record(i);
-        writeAll(f.get(), rec.data, rec.size, path);
+        f.write(rec.data, rec.size);
     }
-    if (!f.close())
-        throw std::runtime_error(
-            strfmt("short write to library '%s'", path.c_str()));
+    f.commit();
 }
 
 void
 LivePointLibrary::saveLpl2(const std::string &path) const
 {
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("library.save");
+        if (o.fail)
+            throwIoError("save", "library", path, o.err);
+    }
     DerWriter w;
     w.beginSequence();
     w.putUint(kFileMagic2);
@@ -446,20 +415,17 @@ LivePointLibrary::saveLpl2(const std::string &path) const
     }
     w.endSequence();
     const Blob data = w.finish();
-
-    FileHandle f(path, "wb");
-    if (!f)
-        throw std::runtime_error(
-            strfmt("cannot write library '%s'", path.c_str()));
-    writeAll(f.get(), data.data(), data.size(), path);
-    if (!f.close())
-        throw std::runtime_error(
-            strfmt("short write to library '%s'", path.c_str()));
+    writeFileAtomic(path, data.data(), data.size(), "library");
 }
 
 LivePointLibrary
 LivePointLibrary::load(const std::string &path, StorageBackend backend)
 {
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("library.load");
+        if (o.fail)
+            throwIoError("load", "library", path, o.err);
+    }
     std::shared_ptr<const LibrarySource> source =
         openLibrarySource(path, backend);
     if (source->size() >= sizeof(kMagic3) &&

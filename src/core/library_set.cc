@@ -1,9 +1,15 @@
 #include "core/library_set.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 
+#include "codec/der.hh"
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "io/source.hh"
+#include "util/failpoint.hh"
 #include "util/log.hh"
 
 namespace lp
@@ -41,6 +47,14 @@ shardFileName(std::size_t ordinal, const std::string &name)
     return strfmt("shard-%03zu-%s.lpl", ordinal, safe.c_str());
 }
 
+bool
+isShardFileName(const std::string &name)
+{
+    return name.size() > 4 &&
+           name.compare(name.size() - 4, 4, ".lpl") == 0 &&
+           !AtomicFileWriter::isTempFileName(name);
+}
+
 } // namespace
 
 const char *
@@ -52,6 +66,7 @@ LibrarySet::indexFileName()
 LibrarySet::LibrarySet(LibrarySet &&other) noexcept
     : dir_(std::move(other.dir_)), backend_(other.backend_),
       entries_(std::move(other.entries_)),
+      recovery_(std::move(other.recovery_)),
       loaded_(std::move(other.loaded_))
 {
 }
@@ -63,6 +78,7 @@ LibrarySet::operator=(LibrarySet &&other) noexcept
         dir_ = std::move(other.dir_);
         backend_ = other.backend_;
         entries_ = std::move(other.entries_);
+        recovery_ = std::move(other.recovery_);
         loaded_ = std::move(other.loaded_);
     }
     return *this;
@@ -71,30 +87,80 @@ LibrarySet::operator=(LibrarySet &&other) noexcept
 LibrarySet
 LibrarySet::open(const std::string &dir, StorageBackend backend)
 {
-    const std::string indexPath = joinPath(dir, kIndexFile);
-    const Blob data = readWholeFile(indexPath, "library-set index");
+    return openImpl(dir, backend, false);
+}
 
-    auto malformed = [&indexPath]() {
-        return std::runtime_error(
-            strfmt("'%s' is not a valid library-set index",
-                   indexPath.c_str()));
-    };
+LibrarySet
+LibrarySet::openRecover(const std::string &dir, StorageBackend backend)
+{
+    return openImpl(dir, backend, true);
+}
+
+LibrarySet
+LibrarySet::openImpl(const std::string &dir, StorageBackend backend,
+                     bool recover)
+{
+    const std::string indexPath = joinPath(dir, kIndexFile);
 
     LibrarySet set;
     set.dir_ = dir;
     set.backend_ = backend;
+
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("set.index.load");
+        if (o.fail) {
+            if (!recover)
+                throwIoError("read", "library-set index", indexPath,
+                             o.err);
+            set.rescanShards(ioErrorMsg("read", "library-set index",
+                                        indexPath, o.err));
+            return set;
+        }
+    }
+
+    Blob data;
     try {
-        DerReader top(data);
+        data = readWholeFile(indexPath, "library-set index");
+    } catch (const std::exception &e) {
+        if (!recover)
+            throw;
+        set.rescanShards(e.what());
+        return set;
+    }
+
+    auto malformed = [&indexPath](const char *why) {
+        return std::runtime_error(
+            strfmt("'%s' is not a valid library-set index (%s)",
+                   indexPath.c_str(), why));
+    };
+
+    // The integrity footer makes a torn index write detectable
+    // before parsing. A footer whose MAGIC is present but whose
+    // checksum fails is corruption — never parsed. Footer-less
+    // indexes (written before the footer existed) still parse, but
+    // must then be consumed byte-exactly: trailing garbage (a
+    // partially-truncated footer) is rejected, not ignored.
+    std::size_t payloadSize = data.size();
+    const bool hasFooter =
+        checksummedPayload(data.data(), data.size(), &payloadSize);
+
+    try {
+        if (!hasFooter &&
+            checksumFooterPresent(data.data(), data.size()))
+            throw malformed("checksum mismatch");
+        DerReader top(
+            ByteSpan(data.data(), hasFooter ? payloadSize
+                                            : data.size()));
         DerReader seq = top.getSequence();
         if (seq.getUint() != kSetMagic ||
             seq.getUint() != kSetVersion)
-            throw malformed();
+            throw malformed("bad magic or version");
         const std::uint64_t count = seq.getUint();
         // Bound the reserve by what could possibly fit (every entry
         // encodes to at least one byte) so a corrupt count cannot
         // trigger a huge allocation before parsing fails.
         if (count > data.size())
-            throw malformed();
+            throw malformed("implausible shard count");
         set.entries_.reserve(count);
         for (std::uint64_t i = 0; i < count; ++i) {
             DerReader es = seq.getSequence();
@@ -106,18 +172,127 @@ LibrarySet::open(const std::string &dir, StorageBackend backend)
             e.bytes = es.getUint();
             for (const Entry &have : set.entries_)
                 if (have.name == e.name)
-                    throw malformed();
+                    throw malformed("duplicate shard name");
             set.entries_.push_back(std::move(e));
         }
         if (!seq.atEnd())
-            throw malformed();
-    } catch (const std::runtime_error &) {
-        throw;
-    } catch (const std::exception &) {
-        throw malformed();
+            throw malformed("trailing bytes");
+        if (!hasFooter && !top.atEnd())
+            throw malformed("trailing bytes");
+    } catch (const std::exception &e) {
+        if (!recover)
+            throw malformed(hasFooter ? "malformed entries"
+                                      : "torn or corrupt");
+        set.entries_.clear();
+        set.rescanShards(
+            strfmt("index '%s' is torn or corrupt (%s)",
+                   indexPath.c_str(), e.what()));
+        return set;
     }
+
     set.loaded_.resize(set.entries_.size());
+    if (recover)
+        set.validateShardFiles();
     return set;
+}
+
+/**
+ * Index-less recovery: rebuild the entry table from the shard
+ * containers themselves. Shard names come from each container's
+ * benchmark metadata; point counts and content hashes are recomputed
+ * by loading each container once (buffer-backed so nothing stays
+ * mapped). Unloadable containers are quarantined, not fatal.
+ */
+void
+LibrarySet::rescanShards(const std::string &reason)
+{
+    recovery_.degraded = true;
+    recovery_.indexRebuilt = true;
+    recovery_.notes.push_back(
+        strfmt("index unusable, rescanned shards: %s",
+               reason.c_str()));
+
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string name = de.path().filename().string();
+        if (isShardFileName(name))
+            files.push_back(name);
+    }
+    if (ec)
+        throwIoError("scan", "library-set directory", dir_,
+                     ec.value());
+    // Shard files are named shard-%03zu-<name>.lpl, so sorting by
+    // file name restores the original append order.
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &file : files) {
+        Entry e;
+        e.file = file;
+        const std::string path = joinPath(dir_, file);
+        std::error_code sec;
+        const std::uintmax_t bytes =
+            std::filesystem::file_size(path, sec);
+        e.bytes = sec ? 0 : static_cast<std::uint64_t>(bytes);
+        try {
+            const LivePointLibrary lib =
+                LivePointLibrary::load(path, StorageBackend::buffer);
+            e.name = lib.benchmark();
+            e.points = lib.size();
+            e.hash = lib.contentHash();
+        } catch (const std::exception &ex) {
+            // Keep the shard listed (stable indices for grids that
+            // reference it) but quarantined.
+            e.name = file;
+            e.quarantine = strfmt("shard '%s' failed rescan: %s",
+                                  file.c_str(), ex.what());
+            recovery_.notes.push_back(e.quarantine);
+        }
+        // Rescan can surface duplicate benchmark names (two shards
+        // of the same workload); keep both, uniquified by file name,
+        // so nothing is silently dropped.
+        for (const Entry &have : entries_)
+            if (!e.name.empty() && have.name == e.name)
+                e.name = e.name + "@" + file;
+        entries_.push_back(std::move(e));
+    }
+    loaded_.resize(entries_.size());
+}
+
+/**
+ * Cheap per-entry validation for a recovering open with a healthy
+ * index: the shard file must exist with the recorded size. Content
+ * corruption inside a right-sized file is caught at shard() load
+ * time (count + content hash verification).
+ */
+void
+LibrarySet::validateShardFiles()
+{
+    for (Entry &e : entries_) {
+        const std::string path = joinPath(dir_, e.file);
+        std::error_code ec;
+        const std::uintmax_t bytes =
+            std::filesystem::file_size(path, ec);
+        if (ec) {
+            e.quarantine = ioErrorMsg("find", "shard container", path,
+                                      ec.value());
+        } else if (static_cast<std::uint64_t>(bytes) != e.bytes &&
+                   e.bytes != 0) {
+            e.quarantine = strfmt(
+                "shard container '%s' is %llu bytes, index records "
+                "%llu (torn write?)",
+                path.c_str(),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(e.bytes));
+        } else {
+            continue;
+        }
+        recovery_.degraded = true;
+        recovery_.notes.push_back(e.quarantine);
+    }
 }
 
 std::size_t
@@ -141,6 +316,18 @@ LibrarySet::shard(std::size_t i) const
     std::lock_guard<std::mutex> lk(m_);
     if (!loaded_[i]) {
         const Entry &e = entries_[i];
+        if (!e.quarantine.empty())
+            throw std::runtime_error(strfmt(
+                "library-set shard '%s' is quarantined (set '%s'): "
+                "%s",
+                e.name.c_str(), dir_.c_str(), e.quarantine.c_str()));
+        if (failpointsArmed()) {
+            const FailpointOutcome o =
+                failpointFire("set.shard.load");
+            if (o.fail)
+                throwIoError("load", "library-set shard",
+                             shardPath(i), o.err);
+        }
         auto lib = std::make_unique<LivePointLibrary>(
             LivePointLibrary::load(shardPath(i), backend_));
         // The index metadata is load-bearing (campaign manifests key
@@ -150,8 +337,13 @@ LibrarySet::shard(std::size_t i) const
             lib->contentHash() != e.hash)
             throw std::runtime_error(
                 strfmt("library-set shard '%s' does not match its "
-                       "index entry (set '%s')",
-                       e.name.c_str(), dir_.c_str()));
+                       "index entry (set '%s'): %zu points hash "
+                       "%016llx, index says %llu points hash %016llx",
+                       e.name.c_str(), dir_.c_str(), lib->size(),
+                       static_cast<unsigned long long>(
+                           lib->contentHash()),
+                       static_cast<unsigned long long>(e.points),
+                       static_cast<unsigned long long>(e.hash)));
         loaded_[i] = std::move(lib);
     }
     return *loaded_[i];
@@ -206,9 +398,36 @@ LibrarySet::mappedBytes() const
 LibrarySetWriter::LibrarySetWriter(const std::string &dir) : dir_(dir)
 {
     std::filesystem::create_directories(dir_);
+
+    // Sweep staging temps a crashed writer left behind: they are not
+    // referenced by any index and would otherwise accumulate.
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string name = de.path().filename().string();
+        if (AtomicFileWriter::isTempFileName(name)) {
+            std::error_code rec;
+            std::filesystem::remove(de.path(), rec);
+            if (!rec)
+                warn("library set '%s': removed orphaned temp '%s'",
+                     dir_.c_str(), name.c_str());
+        }
+    }
+
     const std::string indexPath = joinPath(dir_, kIndexFile);
-    if (std::filesystem::exists(indexPath))
-        entries_ = LibrarySet::open(dir_).entries_;
+    if (std::filesystem::exists(indexPath)) {
+        // Recovering open: a torn index rebuilds from the shards,
+        // and quarantined (unloadable) shards are dropped so the
+        // next writeIndex() publishes a repaired, fully-healthy set.
+        LibrarySet set = LibrarySet::openRecover(dir_);
+        for (const std::string &note : set.recovery().notes)
+            warn("library set '%s': %s", dir_.c_str(), note.c_str());
+        for (LibrarySet::Entry &e : set.entries_)
+            if (e.quarantine.empty())
+                entries_.push_back(std::move(e));
+    }
 }
 
 void
@@ -237,6 +456,12 @@ LibrarySetWriter::addShard(const std::string &name,
 void
 LibrarySetWriter::writeIndex() const
 {
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("set.index.write");
+        if (o.fail)
+            throwIoError("write", "library-set index",
+                         joinPath(dir_, kIndexFile), o.err);
+    }
     DerWriter w;
     w.beginSequence();
     w.putUint(kSetMagic);
@@ -252,23 +477,14 @@ LibrarySetWriter::writeIndex() const
         w.endSequence();
     }
     w.endSequence();
-    const Blob data = w.finish();
+    Blob data = w.finish();
+    appendChecksumFooter(data);
 
-    // tmp + rename: the index on disk is always one of the valid
-    // states, never a torn write.
-    const std::string path = joinPath(dir_, kIndexFile);
-    const std::string tmp = path + ".tmp";
-    FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        throw std::runtime_error(
-            strfmt("cannot write library-set index '%s'", tmp.c_str()));
-    const bool ok =
-        std::fwrite(data.data(), 1, data.size(), f) == data.size();
-    if (std::fclose(f) != 0 || !ok)
-        throw std::runtime_error(
-            strfmt("short write to library-set index '%s'",
-                   tmp.c_str()));
-    std::filesystem::rename(tmp, path);
+    // write-temp → fsync → rename → dir-fsync: the index on disk is
+    // always one of the valid states, never a torn write, and the
+    // publish is durable before the writer moves on.
+    writeFileAtomic(joinPath(dir_, kIndexFile), data.data(),
+                    data.size(), "library-set index");
 }
 
 } // namespace lp

@@ -17,9 +17,22 @@
  * metadata consumers (campaign manifests, schedulers) never touch the
  * shard files themselves. The writer appends shards streaming — each
  * shard is written and released before the next is built — and
- * rewrites the index atomically (tmp + rename) after every append,
+ * rewrites the index atomically (write-temp → fsync → rename →
+ * dir-fsync, with a checksummed integrity footer) after every append,
  * so a killed fleet build leaves a valid set of the shards completed
  * so far.
+ *
+ * Durability: open() is strict — a torn or corrupt index throws.
+ * openRecover() never gives up on a torn index: it falls back to
+ * rescanning the shard files themselves (names, point counts, and
+ * content hashes are recomputed from the containers), quarantines
+ * any shard that fails to load or mismatches its index entry, and
+ * reports what happened through recovery(). A quarantined shard
+ * stays listed (indices stay stable for campaign grids) but shard()
+ * on it throws with the quarantine reason — the campaign engine
+ * turns that into per-cell failed-with-reason results instead of
+ * aborting the run. Orphaned `*.tmp` staging files from a crashed
+ * writer are ignored by scans and swept by the writer.
  */
 
 #ifndef LP_CORE_LIBRARY_SET_HH
@@ -40,6 +53,19 @@ class LibrarySet
     /** The index file's name inside the set directory. */
     static const char *indexFileName();
 
+    /** How an open (or recovery) of the set went. */
+    struct Recovery
+    {
+        /** Anything below par: rebuilt index or quarantined shards. */
+        bool degraded = false;
+
+        /** The index was missing/torn; entries came from a rescan. */
+        bool indexRebuilt = false;
+
+        /** Human-readable notes (one per anomaly found). */
+        std::vector<std::string> notes;
+    };
+
     LibrarySet() = default;
 
     // Movable (the mutex guards only the lazy shard cache and is
@@ -52,11 +78,41 @@ class LibrarySet
     /**
      * Open the set at @p dir by reading only its index; no shard is
      * touched. @p backend selects how shards open when first
-     * accessed. Throws when the index is missing or malformed.
+     * accessed. Throws when the index is missing, malformed, or has
+     * a torn/invalid integrity footer.
      */
     static LibrarySet
     open(const std::string &dir,
          StorageBackend backend = StorageBackend::autoSelect);
+
+    /**
+     * Open the set at @p dir, recovering instead of throwing on a
+     * damaged index: a missing or torn index is rebuilt by rescanning
+     * the shard containers (shard names come from each container's
+     * benchmark metadata), and a shard that is missing, unloadable,
+     * or inconsistent with its index entry is quarantined — it stays
+     * listed (indices stay stable) but shard() on it throws the
+     * quarantine reason. Inspect recovery() for what happened. Only
+     * throws when the directory itself cannot be read.
+     */
+    static LibrarySet
+    openRecover(const std::string &dir,
+                StorageBackend backend = StorageBackend::autoSelect);
+
+    /** What open/openRecover found (empty for a healthy strict open). */
+    const Recovery &recovery() const { return recovery_; }
+
+    /** True when shard @p i is quarantined (shard() would throw). */
+    bool quarantined(std::size_t i) const
+    {
+        return !entries_[i].quarantine.empty();
+    }
+
+    /** Why shard @p i is quarantined ("" when healthy). */
+    const std::string &quarantineReason(std::size_t i) const
+    {
+        return entries_[i].quarantine;
+    }
 
     std::size_t size() const { return entries_.size(); }
     const std::string &dir() const { return dir_; }
@@ -130,13 +186,20 @@ class LibrarySet
         std::uint64_t points = 0;
         std::uint64_t hash = 0;
         std::uint64_t bytes = 0; //!< container file size
+        std::string quarantine;  //!< non-empty: why shard() throws
     };
 
     friend class LibrarySetWriter;
 
+    static LibrarySet openImpl(const std::string &dir,
+                               StorageBackend backend, bool recover);
+    void rescanShards(const std::string &reason);
+    void validateShardFiles();
+
     std::string dir_;
     StorageBackend backend_ = StorageBackend::autoSelect;
     std::vector<Entry> entries_;
+    Recovery recovery_;
     mutable std::mutex m_; //!< guards loaded_
     mutable std::vector<std::unique_ptr<LivePointLibrary>> loaded_;
 };
@@ -155,7 +218,11 @@ class LibrarySetWriter
     /**
      * Create (or append to) the set at @p dir. The directory is
      * created if missing; an existing index is loaded so new shards
-     * extend the set.
+     * extend the set. Opening recovers: orphaned `*.tmp` staging
+     * files from a crashed writer are removed, a torn index is
+     * rebuilt from the shard files, and quarantined (corrupt) shards
+     * are dropped from the index so the next writeIndex() repairs
+     * the set on disk.
      */
     explicit LibrarySetWriter(const std::string &dir);
 

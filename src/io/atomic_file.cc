@@ -1,0 +1,256 @@
+#include "io/atomic_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/io_error.hh"
+#include "util/failpoint.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LP_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define LP_HAVE_FSYNC 0
+#endif
+
+namespace lp
+{
+
+namespace
+{
+
+// "LPFOOT1\n" little-endian: identifies the 16-byte integrity footer.
+constexpr std::uint64_t kFooterMagic = 0x0a31'544f'4f46'504cull;
+
+// Transient-errno retries before a write/fsync gives up: generous
+// enough for real signal storms, bounded so an `every:1:err:EINTR`
+// injection terminates with a clean hard failure instead of a hang.
+constexpr int kMaxTransientRetries = 64;
+
+void
+putU64le(std::uint8_t *out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64le(const std::uint8_t *in)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i)
+        h = (h ^ data[i]) * 0x100000001b3ull;
+    return h;
+}
+
+void
+appendChecksumFooter(Blob &payload)
+{
+    std::uint8_t footer[checksumFooterBytes];
+    putU64le(footer, kFooterMagic);
+    putU64le(footer + 8, fnv1a(payload.data(), payload.size()));
+    payload.insert(payload.end(), footer,
+                   footer + checksumFooterBytes);
+}
+
+bool
+checksummedPayload(const std::uint8_t *data, std::size_t size,
+                   std::size_t *payloadSize)
+{
+    if (size < checksumFooterBytes)
+        return false;
+    const std::size_t n = size - checksumFooterBytes;
+    if (getU64le(data + n) != kFooterMagic)
+        return false;
+    if (getU64le(data + n + 8) != fnv1a(data, n))
+        return false;
+    *payloadSize = n;
+    return true;
+}
+
+bool
+checksumFooterPresent(const std::uint8_t *data, std::size_t size)
+{
+    return size >= checksumFooterBytes &&
+           getU64le(data + size - checksumFooterBytes) ==
+               kFooterMagic;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, const char *what)
+    : path_(std::move(path)), tmp_(tempFileName(path_)), what_(what)
+{
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.open.write");
+        if (o.fail)
+            throwIoError("create temp for", what_, tmp_, o.err);
+    }
+    f_ = std::fopen(tmp_.c_str(), "wb");
+    if (!f_)
+        throwIoError("create temp for", what_, tmp_, errno);
+}
+
+AtomicFileWriter::~AtomicFileWriter()
+{
+    if (!committed_)
+        discard();
+}
+
+void
+AtomicFileWriter::discard() noexcept
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+    std::remove(tmp_.c_str());
+}
+
+bool
+AtomicFileWriter::isTempFileName(const std::string &fileName)
+{
+    const char *suffix = ".tmp";
+    const std::size_t n = std::strlen(suffix);
+    return fileName.size() > n &&
+           fileName.compare(fileName.size() - n, n, suffix) == 0;
+}
+
+void
+AtomicFileWriter::write(const void *data, std::size_t size)
+{
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+    int transientLeft = kMaxTransientRetries;
+    while (size > 0) {
+        std::size_t want = size;
+        if (failpointsArmed()) {
+            const FailpointOutcome o = failpointFire("io.write");
+            if (o.fail) {
+                if (transientErrno(o.err) && transientLeft-- > 0)
+                    continue;
+                const int err = o.err;
+                discard();
+                throwIoError("write", what_, tmp_, err);
+            }
+            if (o.shortOp && want > 1)
+                want /= 2;
+        }
+        const std::size_t n = std::fwrite(p, 1, want, f_);
+        p += n;
+        size -= n;
+        if (n == want)
+            continue;
+        const int err = errno;
+        if (transientErrno(err) && transientLeft-- > 0) {
+            std::clearerr(f_);
+            continue;
+        }
+        discard();
+        throwIoError("write", what_, tmp_, err ? err : EIO);
+    }
+}
+
+void
+AtomicFileWriter::commit()
+{
+    if (std::fflush(f_) != 0) {
+        const int err = errno;
+        discard();
+        throwIoError("flush", what_, tmp_, err);
+    }
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.fsync");
+        if (o.fail) {
+            const int err = o.err;
+            discard();
+            throwIoError("sync", what_, tmp_, err);
+        }
+    }
+#if LP_HAVE_FSYNC
+    {
+        int transientLeft = kMaxTransientRetries;
+        while (::fsync(::fileno(f_)) != 0) {
+            const int err = errno;
+            if (transientErrno(err) && transientLeft-- > 0)
+                continue;
+            discard();
+            throwIoError("sync", what_, tmp_, err);
+        }
+    }
+#endif
+    {
+        std::FILE *f = f_;
+        f_ = nullptr;
+        if (std::fclose(f) != 0) {
+            const int err = errno;
+            discard();
+            throwIoError("close", what_, tmp_, err);
+        }
+    }
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.rename");
+        if (o.fail) {
+            const int err = o.err;
+            discard();
+            throwIoError("publish", what_, path_, err);
+        }
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        const int err = errno;
+        discard();
+        throwIoError("publish", what_, path_, err);
+    }
+    committed_ = true;
+    // The rename is visible; make it durable. A failure here is
+    // reported (the caller's durability contract is broken) but the
+    // temp is gone — the file at path_ is complete either way.
+    syncParentDir(path_);
+}
+
+void
+syncParentDir(const std::string &path)
+{
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.dirsync");
+        if (o.fail)
+            throwIoError("sync directory of", "file", path, o.err);
+    }
+#if LP_HAVE_FSYNC
+    std::string dir = path;
+    const std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return; // best-effort: an unreadable parent is not an error
+    int transientLeft = kMaxTransientRetries;
+    while (::fsync(fd) != 0) {
+        const int err = errno;
+        if (transientErrno(err) && transientLeft-- > 0)
+            continue;
+        ::close(fd);
+        throwIoError("sync directory of", "file", path, err);
+    }
+    ::close(fd);
+#endif
+}
+
+void
+writeFileAtomic(const std::string &path, const std::uint8_t *data,
+                std::size_t size, const char *what)
+{
+    AtomicFileWriter w(path, what);
+    w.write(data, size);
+    w.commit();
+}
+
+} // namespace lp

@@ -1,9 +1,12 @@
 #include "io/mapped_file.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
+#include "io/io_error.hh"
+#include "util/failpoint.hh"
 #include "util/log.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -64,21 +67,41 @@ struct FdGuard
 MappedFile
 MappedFile::map(const std::string &path)
 {
-    FdGuard g{::open(path.c_str(), O_RDONLY)};
-    if (g.fd < 0)
-        throw std::runtime_error(
-            strfmt("cannot open '%s' for mapping", path.c_str()));
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.mmap.open");
+        if (o.fail)
+            throwIoError("open for mapping", "file", path, o.err);
+    }
+    int fd = -1;
+    int transientLeft = 64;
+    while ((fd = ::open(path.c_str(), O_RDONLY)) < 0) {
+        const int err = errno;
+        if (transientErrno(err) && transientLeft-- > 0)
+            continue;
+        throwIoError("open for mapping", "file", path, err);
+    }
+    FdGuard g{fd};
     struct stat st;
     if (::fstat(g.fd, &st) != 0 || st.st_size < 0)
-        throw std::runtime_error(
-            strfmt("cannot stat '%s'", path.c_str()));
+        throwIoError("stat", "file", path, errno);
     const std::size_t size = static_cast<std::size_t>(st.st_size);
     if (size == 0)
         return MappedFile(nullptr, 0);
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.mmap.map");
+        if (o.fail)
+            throw IoError(
+                strfmt("cannot map file '%s' (%zu bytes): %s",
+                       path.c_str(), size, std::strerror(o.err)),
+                o.err);
+    }
     void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, g.fd, 0);
-    if (p == MAP_FAILED)
-        throw std::runtime_error(
-            strfmt("cannot map '%s' (%zu bytes)", path.c_str(), size));
+    if (p == MAP_FAILED) {
+        const int err = errno;
+        throw IoError(strfmt("cannot map file '%s' (%zu bytes): %s",
+                             path.c_str(), size, std::strerror(err)),
+                      err);
+    }
     return MappedFile(static_cast<std::uint8_t *>(p), size);
 }
 

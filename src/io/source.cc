@@ -1,35 +1,124 @@
 #include "io/source.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 
+#include "io/io_error.hh"
+#include "util/failpoint.hh"
 #include "util/log.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LP_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define LP_HAVE_POSIX_IO 0
+#endif
 
 namespace lp
 {
 
+namespace
+{
+
+// Transient-errno retries before a read path gives up. EINTR costs
+// nothing to retry; EAGAIN backs off. Bounded so an injected
+// every-hit transient fails cleanly instead of hanging.
+constexpr int kMaxTransientRetries = 64;
+
+} // namespace
+
 Blob
 readWholeFile(const std::string &path, const char *what)
 {
+#if LP_HAVE_POSIX_IO
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("io.open.read");
+        if (o.fail)
+            throwIoError("open", what, path, o.err);
+    }
+    int fd = -1;
+    {
+        int transientLeft = kMaxTransientRetries;
+        while ((fd = ::open(path.c_str(), O_RDONLY)) < 0) {
+            const int err = errno;
+            if (transientErrno(err) && transientLeft-- > 0)
+                continue;
+            throwIoError("open", what, path, err);
+        }
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        const int err = errno;
+        ::close(fd);
+        throwIoError("stat", what, path, err);
+    }
+    Blob data(static_cast<std::size_t>(st.st_size));
+    std::size_t got = 0;
+    int transientLeft = kMaxTransientRetries;
+    while (got < data.size()) {
+        std::size_t want = data.size() - got;
+        if (failpointsArmed()) {
+            const FailpointOutcome o = failpointFire("io.read");
+            if (o.fail) {
+                if (transientErrno(o.err) && transientLeft-- > 0)
+                    continue;
+                ::close(fd);
+                throwIoError("read", what, path, o.err);
+            }
+            // A short read: deliver only part of the request once;
+            // the loop reads the remainder — which is exactly the
+            // resilience the retry loop exists to prove.
+            if (o.shortOp && want > 1)
+                want /= 2;
+        }
+        const ::ssize_t n = ::read(fd, data.data() + got, want);
+        if (n < 0) {
+            const int err = errno;
+            if (transientErrno(err) && transientLeft-- > 0)
+                continue;
+            ::close(fd);
+            throwIoError("read", what, path, err);
+        }
+        if (n == 0) {
+            // EOF before the stat size: the file shrank under us.
+            ::close(fd);
+            throw IoError(
+                strfmt("unexpected end of %s '%s': got %zu of %zu "
+                       "bytes",
+                       what, path.c_str(), got, data.size()),
+                0);
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return data;
+#else
     std::error_code ec;
     const std::uintmax_t size = std::filesystem::file_size(path, ec);
     if (ec)
-        throw std::runtime_error(
-            strfmt("cannot open %s '%s'", what, path.c_str()));
+        throwIoError("open", what, path, ec.value());
     FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        throw std::runtime_error(
-            strfmt("cannot open %s '%s'", what, path.c_str()));
+        throwIoError("open", what, path, errno);
     Blob data(static_cast<std::size_t>(size));
-    const bool ok = data.empty() ||
-                    std::fread(data.data(), 1, data.size(), f) ==
-                        data.size();
+    std::size_t got = 0;
+    while (got < data.size()) {
+        const std::size_t n = std::fread(data.data() + got, 1,
+                                         data.size() - got, f);
+        if (n == 0) {
+            const int err = errno;
+            std::fclose(f);
+            throwIoError("read", what, path, err ? err : EIO);
+        }
+        got += n;
+    }
     std::fclose(f);
-    if (!ok)
-        throw std::runtime_error(
-            strfmt("short read from %s '%s'", what, path.c_str()));
     return data;
+#endif
 }
 
 const char *

@@ -1,0 +1,744 @@
+/**
+ * Durability and fault injection: the failpoint framework's trigger
+ * semantics, atomic-write publication (temp cleanup, checksum
+ * footers), transient-errno retry loops, LibrarySet torn-index
+ * recovery and shard quarantine, the campaign manifest ledger's
+ * truncation/corruption recovery at many byte offsets, and a
+ * fork-based crash matrix: campaigns killed at every barrier and
+ * mid-append failpoint must resume bit-identical to the
+ * uninterrupted run.
+ */
+
+#include "test_util.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "core/campaign.hh"
+#include "core/library_set.hh"
+#include "core/runners.hh"
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "io/source.hh"
+#include "util/failpoint.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LP_TEST_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define LP_TEST_FORK 0
+#endif
+
+namespace
+{
+
+using namespace lp;
+using namespace lptest;
+
+Blob
+readBytes(const std::string &path)
+{
+    return readWholeFile(path, "test file");
+}
+
+void
+writeBytes(const std::string &path, const std::uint8_t *data,
+           std::size_t size)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    CHECK(f != nullptr);
+    if (!f)
+        return;
+    CHECK_EQ(std::fwrite(data, 1, size, f), size);
+    std::fclose(f);
+}
+
+/** Arm one site programmatically. */
+void
+arm(const char *site, FailpointSpec::Trigger trig, std::uint64_t n,
+    FailpointSpec::Action action, int err = EIO)
+{
+    FailpointSpec spec;
+    spec.trigger = trig;
+    spec.n = n;
+    spec.action = action;
+    spec.err = err;
+    armFailpoint(site, spec);
+}
+
+/** Two campaign results agree bit for bit (cells and pairs). */
+void
+checkSameGrid(const CampaignResult &a, const CampaignResult &b)
+{
+    CHECK_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        CHECK_EQ(a.cells[i].processed, b.cells[i].processed);
+        CHECK_NEAR(a.cells[i].cpi(), b.cells[i].cpi(), 0.0);
+        CHECK_NEAR(a.cells[i].estimate.relHalfWidth,
+                   b.cells[i].estimate.relHalfWidth, 0.0);
+        CHECK_EQ(a.cells[i].converged, b.cells[i].converged);
+        CHECK(!a.cells[i].failed);
+        CHECK(!b.cells[i].failed);
+    }
+    CHECK_EQ(a.pairs.size(), b.pairs.size());
+    for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+        CHECK_EQ(a.pairs[i].delta.count(), b.pairs[i].delta.count());
+        CHECK_NEAR(a.pairs[i].meanDelta(), b.pairs[i].meanDelta(),
+                   0.0);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+    using namespace lptest;
+
+    // ---- Failpoint framework semantics -----------------------------
+    {
+        CHECK(!failpointsArmed());
+        arm("t.a", FailpointSpec::Trigger::nth, 2,
+            FailpointSpec::Action::error, EIO);
+        CHECK(failpointsArmed());
+        // hit:2 fires on exactly the second hit.
+        CHECK(!failpointFire("t.a").fail);
+        FailpointOutcome o = failpointFire("t.a");
+        CHECK(o.fail);
+        CHECK_EQ(o.err, EIO);
+        CHECK(!failpointFire("t.a").fail);
+        CHECK_EQ(failpointHits("t.a"), 3u);
+
+        // every:2 fires on hits 2, 4, 6, ...
+        arm("t.b", FailpointSpec::Trigger::every, 2,
+            FailpointSpec::Action::error, EINTR);
+        CHECK(!failpointFire("t.b").fail);
+        CHECK(failpointFire("t.b").fail);
+        CHECK(!failpointFire("t.b").fail);
+        CHECK(failpointFire("t.b").fail);
+
+        // An unarmed site never fires, even while others are armed.
+        CHECK(!failpointFire("t.unarmed").fail);
+
+        // shortOp is reported distinctly from fail.
+        arm("t.c", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::shortOp);
+        o = failpointFire("t.c");
+        CHECK(o.shortOp);
+        CHECK(!o.fail);
+
+        disarmFailpoint("t.a");
+        CHECK(!failpointFire("t.a").fail);
+        CHECK(failpointsArmed()); // t.b, t.c still armed
+        disarmAllFailpoints();
+        CHECK(!failpointsArmed());
+
+        // The LP_FAILPOINTS grammar: valid specs arm, typos throw.
+        armFailpointsFromSpec(
+            "io.read=hit:3:err:EINTR;io.fsync=every:2:crash");
+        CHECK(failpointsArmed());
+        disarmAllFailpoints();
+        CHECK_THROWS(armFailpointsFromSpec("io.read=hit:3:bogus"));
+        CHECK_THROWS(armFailpointsFromSpec("io.read"));
+        CHECK_THROWS(armFailpointsFromSpec("io.read=hit:zero:crash"));
+        CHECK_THROWS(armFailpointsFromSpec("io.read=hit:0:crash"));
+        disarmAllFailpoints();
+
+        CHECK(transientErrno(EINTR));
+        CHECK(transientErrno(EAGAIN));
+        CHECK(!transientErrno(EIO));
+        CHECK(!transientErrno(ENOSPC));
+    }
+
+    // ---- Atomic publication and the checksum footer ----------------
+    {
+        const std::string path = "faults-atomic.bin";
+        const std::string tmp = AtomicFileWriter::tempFileName(path);
+        std::filesystem::remove(path);
+        std::filesystem::remove(tmp);
+        const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+
+        writeFileAtomic(path, payload, sizeof(payload), "test file");
+        CHECK(std::filesystem::exists(path));
+        CHECK(!std::filesystem::exists(tmp));
+        const Blob back = readBytes(path);
+        CHECK_EQ(back.size(), sizeof(payload));
+
+        // An uncommitted writer leaves nothing behind.
+        {
+            AtomicFileWriter w("faults-uncommitted.bin", "test file");
+            w.write(payload, sizeof(payload));
+        }
+        CHECK(!std::filesystem::exists("faults-uncommitted.bin"));
+        CHECK(!std::filesystem::exists("faults-uncommitted.bin.tmp"));
+
+        // A failed rename keeps the old content and removes the temp.
+        arm("io.rename", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EACCES);
+        const std::uint8_t other[] = {9, 9};
+        CHECK_THROWS(
+            writeFileAtomic(path, other, sizeof(other), "test file"));
+        disarmAllFailpoints();
+        CHECK(!std::filesystem::exists(tmp));
+        CHECK_EQ(readBytes(path).size(), sizeof(payload));
+
+        // A transient write error is retried to success; a hard one
+        // throws IoError carrying the errno and cleans the temp up.
+        arm("io.write", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EINTR);
+        writeFileAtomic(path, other, sizeof(other), "test file");
+        disarmAllFailpoints();
+        CHECK_EQ(readBytes(path).size(), sizeof(other));
+
+        arm("io.write", FailpointSpec::Trigger::every, 1,
+            FailpointSpec::Action::error, EIO);
+        bool threwIo = false;
+        try {
+            writeFileAtomic(path, payload, sizeof(payload),
+                            "test file");
+        } catch (const IoError &e) {
+            threwIo = true;
+            CHECK_EQ(e.errnum(), EIO);
+            CHECK(!e.transient());
+            CHECK(std::string(e.what()).find(path) !=
+                  std::string::npos);
+        }
+        disarmAllFailpoints();
+        CHECK(threwIo);
+        CHECK(!std::filesystem::exists(tmp));
+
+        // Footer round trip, and detection of any corrupt byte.
+        Blob data(payload, payload + sizeof(payload));
+        appendChecksumFooter(data);
+        CHECK_EQ(data.size(), sizeof(payload) + checksumFooterBytes);
+        std::size_t got = 0;
+        CHECK(checksummedPayload(data.data(), data.size(), &got));
+        CHECK_EQ(got, sizeof(payload));
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            Blob bad = data;
+            bad[i] ^= 0x40;
+            CHECK(!checksummedPayload(bad.data(), bad.size(), &got));
+        }
+        CHECK(!checksummedPayload(data.data(), checksumFooterBytes - 1,
+                                  &got));
+
+        std::filesystem::remove(path);
+    }
+
+    // ---- Read-path retry loops -------------------------------------
+    {
+        const std::string path = "faults-read.bin";
+        Blob content(4096);
+        for (std::size_t i = 0; i < content.size(); ++i)
+            content[i] = static_cast<std::uint8_t>(i * 7);
+        writeBytes(path, content.data(), content.size());
+
+        // A transient read error and a short read both recover to the
+        // full, correct content.
+        arm("io.read", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EINTR);
+        Blob back = readBytes(path);
+        disarmAllFailpoints();
+        CHECK_EQ(back.size(), content.size());
+        CHECK(std::equal(back.begin(), back.end(), content.begin()));
+
+        arm("io.read", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::shortOp);
+        back = readBytes(path);
+        disarmAllFailpoints();
+        CHECK_EQ(back.size(), content.size());
+        CHECK(std::equal(back.begin(), back.end(), content.begin()));
+
+        // A persistent transient is bounded: it must fail cleanly,
+        // not spin forever.
+        arm("io.read", FailpointSpec::Trigger::every, 1,
+            FailpointSpec::Action::error, EINTR);
+        CHECK_THROWS(readBytes(path));
+        disarmAllFailpoints();
+
+        // Hard errors carry path + strerror context.
+        arm("io.open.read", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EACCES);
+        bool threw = false;
+        try {
+            readBytes(path);
+        } catch (const IoError &e) {
+            threw = true;
+            const std::string msg = e.what();
+            CHECK(msg.find(path) != std::string::npos);
+            CHECK(msg.find(std::strerror(EACCES)) !=
+                  std::string::npos);
+        }
+        disarmAllFailpoints();
+        CHECK(threw);
+        std::filesystem::remove(path);
+    }
+
+    // Shared fixtures for the storage and campaign suites.
+    std::vector<CoreConfig> cfgs{baseConfig(), slowMemConfig()};
+    const TinyLib w0 = buildTinyLibrary("flt-a", 250'000, 31, 24, cfgs);
+    const TinyLib w1 = buildTinyLibrary("flt-b", 200'000, 37, 16, cfgs);
+
+    // ---- Library save faults ---------------------------------------
+    {
+        const std::string path = "faults-lib.lpl";
+        std::filesystem::remove(path);
+        arm("library.save", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, ENOSPC);
+        CHECK_THROWS(w0.lib.save(path));
+        disarmAllFailpoints();
+        CHECK(!std::filesystem::exists(path));
+        CHECK(!std::filesystem::exists(path + ".tmp"));
+
+        // A hard write error mid-container leaves no temp either.
+        arm("io.write", FailpointSpec::Trigger::nth, 2,
+            FailpointSpec::Action::error, EIO);
+        CHECK_THROWS(w0.lib.save(path));
+        disarmAllFailpoints();
+        CHECK(!std::filesystem::exists(path + ".tmp"));
+
+        // And a clean save round-trips.
+        w0.lib.save(path);
+        const LivePointLibrary lib =
+            LivePointLibrary::load(path, StorageBackend::buffer);
+        CHECK_EQ(lib.contentHash(), w0.lib.contentHash());
+        std::filesystem::remove(path);
+    }
+
+    // ---- LibrarySet: torn-index recovery and quarantine ------------
+    const std::string setDir = "faults-set";
+    std::filesystem::remove_all(setDir);
+    {
+        LibrarySetWriter writer(setDir);
+        writer.addShard("flt-a", w0.lib);
+        writer.addShard("flt-b", w1.lib);
+    }
+    const std::string idxPath =
+        setDir + "/" + LibrarySet::indexFileName();
+    const Blob idxBytes = readBytes(idxPath);
+
+    {
+        // Healthy strict open as the reference.
+        const LibrarySet healthy = LibrarySet::open(setDir);
+        CHECK_EQ(healthy.size(), 2u);
+        CHECK(!healthy.recovery().degraded);
+
+        // Truncation at EVERY byte: strict open rejects cleanly —
+        // except the one cut that removes exactly the 16-byte footer,
+        // which leaves a byte-complete legacy (footer-less) index
+        // whose content is still correct. openRecover always yields
+        // the full entry table, rebuilt from the shards when the
+        // index was unreadable.
+        for (std::size_t cut = 0; cut < idxBytes.size(); ++cut) {
+            writeBytes(idxPath, idxBytes.data(), cut);
+            const bool legacyOk =
+                cut + checksumFooterBytes == idxBytes.size();
+            bool strictOk = true;
+            try {
+                const LibrarySet s = LibrarySet::open(setDir);
+                CHECK_EQ(s.size(), 2u);
+            } catch (const std::exception &) {
+                strictOk = false;
+            }
+            CHECK_EQ(strictOk, legacyOk);
+            const LibrarySet rec = LibrarySet::openRecover(setDir);
+            CHECK_EQ(rec.recovery().degraded, !legacyOk);
+            CHECK_EQ(rec.recovery().indexRebuilt, !legacyOk);
+            CHECK_EQ(rec.size(), 2u);
+            const std::size_t a = rec.find("flt-a");
+            const std::size_t b = rec.find("flt-b");
+            CHECK(a != LibrarySet::npos);
+            CHECK(b != LibrarySet::npos);
+            if (a == LibrarySet::npos || b == LibrarySet::npos)
+                break; // one detailed failure is enough
+            CHECK(!rec.quarantined(a));
+            CHECK_EQ(rec.points(a), w0.lib.size());
+            CHECK_EQ(rec.contentHash(a), w0.lib.contentHash());
+            CHECK_EQ(rec.points(b), w1.lib.size());
+            if (lpTestFailures)
+                break;
+        }
+        // Byte-flip corruption (sampled): same contract.
+        for (std::size_t i = 0; i < idxBytes.size(); i += 7) {
+            Blob bad = idxBytes;
+            bad[i] ^= 0x20;
+            writeBytes(idxPath, bad.data(), bad.size());
+            bool strictOk = true;
+            try {
+                LibrarySet::open(setDir);
+            } catch (const std::exception &) {
+                strictOk = false;
+            }
+            // The checksum footer covers every payload byte: strict
+            // open must never silently accept a flipped index.
+            CHECK(!strictOk);
+            const LibrarySet rec = LibrarySet::openRecover(setDir);
+            CHECK_EQ(rec.size(), 2u);
+            if (lpTestFailures)
+                break;
+        }
+        // A missing index recovers too.
+        std::filesystem::remove(idxPath);
+        const LibrarySet rec = LibrarySet::openRecover(setDir);
+        CHECK_EQ(rec.size(), 2u);
+        CHECK(rec.recovery().indexRebuilt);
+        // Restore the healthy index.
+        writeBytes(idxPath, idxBytes.data(), idxBytes.size());
+        CHECK_EQ(LibrarySet::open(setDir).size(), 2u);
+    }
+
+    {
+        // Orphaned staging temps are ignored by recovery scans and
+        // swept by the writer.
+        const std::string stray = setDir + "/stray.lpl.tmp";
+        const std::string strayIdx = idxPath + ".tmp";
+        const std::uint8_t junk[] = {0xde, 0xad};
+        writeBytes(stray, junk, sizeof(junk));
+        writeBytes(strayIdx, junk, sizeof(junk));
+        const LibrarySet rec = LibrarySet::openRecover(setDir);
+        CHECK_EQ(rec.size(), 2u);
+        {
+            LibrarySetWriter writer(setDir);
+            CHECK_EQ(writer.shards(), 2u);
+        }
+        CHECK(!std::filesystem::exists(stray));
+        CHECK(!std::filesystem::exists(strayIdx));
+
+        // Reopening a torn-index set and appending repairs the index
+        // on disk.
+        writeBytes(idxPath, idxBytes.data(), idxBytes.size() / 2);
+        const TinyLib w2 =
+            buildTinyLibrary("flt-c", 150'000, 41, 8, cfgs);
+        {
+            LibrarySetWriter writer(setDir);
+            CHECK_EQ(writer.shards(), 2u);
+            writer.addShard("flt-c", w2.lib);
+        }
+        const LibrarySet set = LibrarySet::open(setDir); // strict again
+        CHECK_EQ(set.size(), 3u);
+        CHECK_EQ(set.contentHash(set.find("flt-a")),
+                 w0.lib.contentHash());
+    }
+
+    // Rebuild a clean two-shard set for the campaign suites.
+    std::filesystem::remove_all(setDir);
+    {
+        LibrarySetWriter writer(setDir);
+        writer.addShard("flt-a", w0.lib);
+        writer.addShard("flt-b", w1.lib);
+    }
+
+    // ---- Campaign fixtures -----------------------------------------
+    const std::vector<CampaignWorkload> grid{
+        {"flt-a", &w0.prog, &w0.lib, nullptr, 0},
+        {"flt-b", &w1.prog, &w1.lib, nullptr, 0},
+    };
+    CampaignOptions copt;
+    copt.blockSize = 4;
+    copt.shuffleSeed = 3;
+    const CampaignResult baseline =
+        CampaignEngine(grid, cfgs, copt).run();
+    CHECK_EQ(baseline.failedCells, 0u);
+
+    const std::string ledgerPath = "faults-ledger";
+    auto runWithManifest = [&]() {
+        CampaignOptions o = copt;
+        o.manifestPath = ledgerPath;
+        return CampaignEngine(grid, cfgs, o).run();
+    };
+
+    // ---- Manifest ledger: truncation and corruption ----------------
+    {
+        std::filesystem::remove(ledgerPath);
+        const CampaignResult first = runWithManifest();
+        checkSameGrid(first, baseline);
+        const Blob ledger = readBytes(ledgerPath);
+        CHECK(ledger.size() > 16u);
+        CHECK_EQ(ledger[0], 'L'); // ledger, not legacy DER
+
+        // A completed ledger resumes to the identical grid without
+        // replaying anything.
+        const CampaignResult resumed = runWithManifest();
+        checkSameGrid(resumed, baseline);
+        CHECK_EQ(resumed.restoredReplays, baseline.foldedReplays);
+
+        // Truncate at many offsets (all header bytes, then sampled):
+        // recovery must resume from the last intact barrier record
+        // and land bit-identical — never crash, never corrupt.
+        std::vector<std::size_t> cuts;
+        for (std::size_t c = 0; c <= 17 && c < ledger.size(); ++c)
+            cuts.push_back(c);
+        for (std::size_t c = 18; c < ledger.size(); c += 7)
+            cuts.push_back(c);
+        cuts.push_back(ledger.size() - 1);
+        for (const std::size_t cut : cuts) {
+            writeBytes(ledgerPath, ledger.data(), cut);
+            const CampaignResult r = runWithManifest();
+            checkSameGrid(r, baseline);
+            if (lpTestFailures)
+                break;
+        }
+
+        // Flip one byte at sampled offsets: the run must either
+        // complete bit-identical (recovery truncated the damage) or
+        // reject cleanly (damaged ledger header).
+        for (std::size_t i = 0; i < ledger.size(); i += 11) {
+            Blob bad = ledger;
+            bad[i] ^= 0x01;
+            writeBytes(ledgerPath, bad.data(), bad.size());
+            try {
+                const CampaignResult r = runWithManifest();
+                checkSameGrid(r, baseline);
+            } catch (const std::exception &e) {
+                CHECK(std::string(e.what()).find(ledgerPath) !=
+                      std::string::npos);
+            }
+            if (lpTestFailures)
+                break;
+        }
+        std::filesystem::remove(ledgerPath);
+    }
+
+    // ---- Manifest write faults: retry vs abort ---------------------
+    {
+        std::filesystem::remove(ledgerPath);
+        // One transient append error: retried invisibly.
+        arm("campaign.ledger.frame", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EINTR);
+        const CampaignResult r = runWithManifest();
+        disarmAllFailpoints();
+        checkSameGrid(r, baseline);
+
+        // A persistent transient exhausts the bounded retries and
+        // still fails cleanly rather than hanging.
+        std::filesystem::remove(ledgerPath);
+        arm("campaign.ledger.frame", FailpointSpec::Trigger::every, 1,
+            FailpointSpec::Action::error, EINTR);
+        CHECK_THROWS(runWithManifest());
+        disarmAllFailpoints();
+
+        // A hard checkpoint failure aborts the campaign loudly —
+        // replaying without durability would betray the manifest's
+        // contract.
+        std::filesystem::remove(ledgerPath);
+        arm("campaign.ledger.sync", FailpointSpec::Trigger::nth, 2,
+            FailpointSpec::Action::error, EIO);
+        CHECK_THROWS(runWithManifest());
+        disarmAllFailpoints();
+        // ... and what it left on disk still resumes cleanly.
+        const CampaignResult after = runWithManifest();
+        checkSameGrid(after, baseline);
+        std::filesystem::remove(ledgerPath);
+    }
+
+    // ---- Replay faults are contained per workload ------------------
+    {
+        // The first decode of the run fails (injected codec fault):
+        // that workload's cells carry the reason, the other workload
+        // finishes untouched and bit-identical.
+        arm("codec.decompress", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error);
+        const CampaignResult r = CampaignEngine(grid, cfgs, copt).run();
+        disarmAllFailpoints();
+        CHECK_EQ(r.failedCells, cfgs.size());
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            const CampaignCell &cell = r.cell(0, c, cfgs.size());
+            CHECK(cell.failed);
+            CHECK(cell.failureReason.find("codec.decompress") !=
+                  std::string::npos);
+            const CampaignCell &ok = r.cell(1, c, cfgs.size());
+            CHECK(!ok.failed);
+            CHECK_EQ(ok.processed,
+                     baseline.cell(1, c, cfgs.size()).processed);
+            CHECK_NEAR(ok.cpi(),
+                       baseline.cell(1, c, cfgs.size()).cpi(), 0.0);
+        }
+        const std::string report =
+            CampaignEngine(grid, cfgs, copt).jsonReport(r);
+        CHECK(report.find("\"failed\": true") != std::string::npos);
+        CHECK(report.find("codec.decompress") != std::string::npos);
+    }
+
+    // ---- Set-backed campaigns: quarantine and transient retries ----
+    {
+        LibrarySet set = LibrarySet::openRecover(setDir);
+        std::vector<CampaignWorkload> setGrid(2);
+        setGrid[0] = {"flt-a", &w0.prog, nullptr, &set,
+                      set.find("flt-a")};
+        setGrid[1] = {"flt-b", &w1.prog, nullptr, &set,
+                      set.find("flt-b")};
+
+        // A transient shard-open error is retried with backoff: the
+        // campaign completes with no failed cells.
+        arm("set.shard.load", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EINTR);
+        CampaignResult r = CampaignEngine(setGrid, cfgs, copt).run();
+        disarmAllFailpoints();
+        CHECK_EQ(r.failedCells, 0u);
+        checkSameGrid(r, baseline);
+
+        // A persistently failing shard open fails that workload's
+        // cells with the reason; the campaign keeps going.
+        set.unload(setGrid[0].shard);
+        set.unload(setGrid[1].shard);
+        arm("set.shard.load", FailpointSpec::Trigger::nth, 1,
+            FailpointSpec::Action::error, EIO);
+        r = CampaignEngine(setGrid, cfgs, copt).run();
+        disarmAllFailpoints();
+        CHECK_EQ(r.failedCells, cfgs.size());
+        CHECK(r.cell(0, 0, cfgs.size()).failed);
+        CHECK(!r.cell(1, 0, cfgs.size()).failed);
+
+        // A torn shard container quarantines on recovering open; its
+        // cells fail with the quarantine reason, the healthy workload
+        // is unaffected — the campaign never aborts.
+        const std::string shardB = set.shardPath(set.find("flt-b"));
+        const Blob shardBytes = readBytes(shardB);
+        writeBytes(shardB, shardBytes.data(), shardBytes.size() / 2);
+        const LibrarySet degraded = LibrarySet::openRecover(setDir);
+        CHECK(degraded.recovery().degraded);
+        const std::size_t qa = degraded.find("flt-a");
+        std::size_t qb = LibrarySet::npos;
+        for (std::size_t i = 0; i < degraded.size(); ++i)
+            if (degraded.quarantined(i))
+                qb = i;
+        CHECK(qb != LibrarySet::npos);
+        CHECK(!degraded.quarantined(qa));
+        if (qb != LibrarySet::npos) {
+            CHECK_THROWS(degraded.shard(qb));
+            std::vector<CampaignWorkload> dgrid(2);
+            dgrid[0] = {"flt-a", &w0.prog, nullptr, &degraded, qa};
+            dgrid[1] = {"flt-b", &w1.prog, nullptr, &degraded, qb};
+            const CampaignResult dr =
+                CampaignEngine(dgrid, cfgs, copt).run();
+            CHECK_EQ(dr.failedCells, cfgs.size());
+            for (std::size_t c = 0; c < cfgs.size(); ++c) {
+                CHECK(dr.cell(1, c, cfgs.size()).failed);
+                CHECK(!dr.cell(1, c, cfgs.size())
+                           .failureReason.empty());
+                CHECK(!dr.cell(0, c, cfgs.size()).failed);
+                CHECK_NEAR(dr.cell(0, c, cfgs.size()).cpi(),
+                           baseline.cell(0, c, cfgs.size()).cpi(),
+                           0.0);
+            }
+        }
+        // Restore the shard for later suites.
+        writeBytes(shardB, shardBytes.data(), shardBytes.size());
+    }
+
+#if LP_TEST_FORK
+    // ---- The crash matrix ------------------------------------------
+    // Fork a child campaign, kill it (real _exit, no unwinding) at
+    // every barrier and at every mid-append failpoint, resume in the
+    // parent, and require bit-identity with the uninterrupted run.
+    {
+        const char *sites[] = {
+            "campaign.barrier",
+            "campaign.ledger.frame",
+            "campaign.ledger.payload",
+            "campaign.ledger.sync",
+        };
+        int crashes = 0;
+        int completions = 0;
+        // The grid checkpoints 10 barriers (6 for flt-a, 4 for
+        // flt-b); hits 1..7 kill the child mid-run, 11 and 12 never
+        // fire so the child completes — both matrix outcomes run.
+        const std::uint64_t hits[] = {1, 2, 3, 4, 5, 6, 7, 11, 12};
+        for (const char *site : sites) {
+            for (const std::uint64_t hit : hits) {
+                std::filesystem::remove(ledgerPath);
+                std::fflush(stdout);
+                std::fflush(stderr);
+                const pid_t pid = ::fork();
+                CHECK(pid >= 0);
+                if (pid == 0) {
+                    // Child: arm the kill and run. Exit codes only —
+                    // never return into the parent's harness.
+                    arm(site, FailpointSpec::Trigger::nth, hit,
+                        FailpointSpec::Action::crash);
+                    try {
+                        CampaignOptions o = copt;
+                        o.manifestPath = ledgerPath;
+                        CampaignEngine(grid, cfgs, o).run();
+                    } catch (...) {
+                        ::_exit(99);
+                    }
+                    ::_exit(0);
+                }
+                int status = 0;
+                CHECK_EQ(::waitpid(pid, &status, 0), pid);
+                CHECK(WIFEXITED(status));
+                const int code =
+                    WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+                // Either the child died at the failpoint, or the hit
+                // count exceeded the barrier count and it finished.
+                CHECK(code == failpointCrashStatus || code == 0);
+                code == failpointCrashStatus ? ++crashes
+                                             : ++completions;
+                const CampaignResult r = runWithManifest();
+                checkSameGrid(r, baseline);
+                if (lpTestFailures)
+                    break;
+            }
+            if (lpTestFailures)
+                break;
+        }
+        // The matrix must actually have exercised both outcomes.
+        CHECK(crashes > 0);
+        CHECK(completions > 0);
+        std::filesystem::remove(ledgerPath);
+    }
+
+    // ---- Crash mid-shard-write: the writer sweeps and repairs ------
+    {
+        std::fflush(stdout);
+        std::fflush(stderr);
+        const pid_t pid = ::fork();
+        CHECK(pid >= 0);
+        if (pid == 0) {
+            arm("io.write", FailpointSpec::Trigger::nth, 2,
+                FailpointSpec::Action::crash);
+            try {
+                LibrarySetWriter writer(setDir);
+                const TinyLib w3 =
+                    buildTinyLibrary("flt-d", 150'000, 43, 8, cfgs);
+                writer.addShard("flt-d", w3.lib);
+            } catch (...) {
+                ::_exit(99);
+            }
+            ::_exit(0);
+        }
+        int status = 0;
+        CHECK_EQ(::waitpid(pid, &status, 0), pid);
+        CHECK(WIFEXITED(status) &&
+              WEXITSTATUS(status) == failpointCrashStatus);
+
+        // The kill left an orphaned temp and no index entry; the set
+        // still opens strict, and a writer reopen sweeps the temp.
+        bool orphan = false;
+        for (const auto &de :
+             std::filesystem::directory_iterator(setDir))
+            orphan = orphan ||
+                     AtomicFileWriter::isTempFileName(
+                         de.path().filename().string());
+        CHECK(orphan);
+        CHECK_EQ(LibrarySet::open(setDir).size(), 2u);
+        {
+            LibrarySetWriter writer(setDir);
+            CHECK_EQ(writer.shards(), 2u);
+        }
+        for (const auto &de :
+             std::filesystem::directory_iterator(setDir))
+            CHECK(!AtomicFileWriter::isTempFileName(
+                de.path().filename().string()));
+    }
+#endif // LP_TEST_FORK
+
+    std::filesystem::remove_all(setDir);
+    return TEST_MAIN_RESULT();
+}
