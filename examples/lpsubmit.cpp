@@ -1,0 +1,254 @@
+/**
+ * @file
+ * lpsubmit — client for the lpserved campaign service daemon.
+ *
+ * Usage: lpsubmit [--socket <path>] <command> ...
+ *   submit [--name X] --workload SHARD[:PROFILE] ...
+ *          [--tiny INSTS:SEED] --config PRESET[:NAME[:MEM[:L2LAT[:L2KB]]]] ...
+ *          [--threads N] [--deadline-ms N] [--level L] [--rel R]
+ *          [--seed N] [--block N] [--budget N]
+ *            submit a job; prints its id. `--tiny` sets the synthetic
+ *            program recipe used by workloads without a PROFILE.
+ *            Retries admission rejections until accepted.
+ *   status <id>        print state, progress, detail
+ *   wait <id> [ms]     poll until the job is terminal
+ *   result <id>        print the campaign JSON report (done jobs)
+ *   cancel <id> [why]  drain the job to its next barrier
+ *   resume <id>        re-enqueue a cancelled/failed job
+ *   drain              run the daemon's queue dry and stop it
+ *
+ * The socket defaults to LP_SVC_SOCKET.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hh"
+#include "util/log.hh"
+
+using namespace lp;
+
+namespace
+{
+
+std::vector<std::string>
+splitColon(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t next = s.find(':', pos);
+        if (next == std::string::npos) {
+            parts.push_back(s.substr(pos));
+            break;
+        }
+        parts.push_back(s.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return parts;
+}
+
+std::uint64_t
+toU64(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *envSock = std::getenv("LP_SVC_SOCKET");
+    std::string socketPath = envSock ? envSock : "";
+    int i = 1;
+    if (i + 1 < argc && std::string(argv[i]) == "--socket") {
+        socketPath = argv[i + 1];
+        i += 2;
+    }
+    if (i >= argc) {
+        std::fprintf(stderr, "lpsubmit: no command (see header)\n");
+        return 2;
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr,
+                     "lpsubmit: --socket or LP_SVC_SOCKET required\n");
+        return 2;
+    }
+    const std::string cmd = argv[i++];
+
+    try {
+        SvcClient client(socketPath);
+
+        if (cmd == "submit") {
+            JobSpec spec;
+            std::uint64_t tinyInsts = 0, tinySeed = 0;
+            for (; i < argc; ++i) {
+                const std::string a = argv[i];
+                auto need = [&]() -> std::string {
+                    if (i + 1 >= argc)
+                        panic("flag %s needs a value", a.c_str());
+                    return argv[++i];
+                };
+                if (a == "--name")
+                    spec.name = need();
+                else if (a == "--workload") {
+                    const auto p = splitColon(need());
+                    JobWorkloadSpec w;
+                    w.shard = p[0];
+                    if (p.size() > 1)
+                        w.profile = p[1];
+                    spec.workloads.push_back(w);
+                } else if (a == "--tiny") {
+                    const auto p = splitColon(need());
+                    tinyInsts = toU64(p[0]);
+                    tinySeed = p.size() > 1 ? toU64(p[1]) : 1;
+                } else if (a == "--config") {
+                    const auto p = splitColon(need());
+                    JobConfigSpec c;
+                    c.preset = p[0];
+                    if (p.size() > 1)
+                        c.name = p[1];
+                    if (p.size() > 2)
+                        c.memLatency = toU64(p[2]);
+                    if (p.size() > 3)
+                        c.l2Latency = toU64(p[3]);
+                    if (p.size() > 4)
+                        c.l2SizeBytes = toU64(p[4]) << 10;
+                    spec.configs.push_back(c);
+                } else if (a == "--threads")
+                    spec.threads =
+                        static_cast<std::uint32_t>(toU64(need()));
+                else if (a == "--deadline-ms")
+                    spec.deadlineMs = toU64(need());
+                else if (a == "--level")
+                    spec.level = std::atof(need().c_str());
+                else if (a == "--rel")
+                    spec.relativeError = std::atof(need().c_str());
+                else if (a == "--seed")
+                    spec.shuffleSeed = toU64(need());
+                else if (a == "--block")
+                    spec.blockSize = toU64(need());
+                else if (a == "--budget")
+                    spec.maxFoldedReplays = toU64(need());
+                else
+                    panic("unknown submit flag '%s'", a.c_str());
+            }
+            for (JobWorkloadSpec &w : spec.workloads) {
+                if (w.profile.empty()) {
+                    w.tinyInsts = tinyInsts;
+                    w.tinySeed = tinySeed;
+                }
+            }
+            if (spec.configs.empty())
+                spec.configs.push_back(JobConfigSpec{"eight", "", 0, 0, 0});
+            for (;;) {
+                const SvcReply r = client.submit(spec);
+                if (r.ok) {
+                    std::printf("%llu\n",
+                                static_cast<unsigned long long>(r.id));
+                    return 0;
+                }
+                if (!r.retry) {
+                    std::fprintf(stderr, "lpsubmit: rejected: %s\n",
+                                 r.detail.c_str());
+                    return 1;
+                }
+                std::fprintf(stderr,
+                             "lpsubmit: busy (%s), retrying in %llu "
+                             "ms\n",
+                             r.detail.c_str(),
+                             static_cast<unsigned long long>(
+                                 r.retryAfterMs));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(r.retryAfterMs));
+            }
+        }
+
+        if (cmd == "status" || cmd == "wait") {
+            if (i >= argc)
+                panic("lpsubmit %s: job id required", cmd.c_str());
+            const std::uint64_t id = toU64(argv[i++]);
+            const SvcReply r =
+                cmd == "wait"
+                    ? client.waitForJob(
+                          id, i < argc ? toU64(argv[i]) : 0)
+                    : client.status(id);
+            if (!r.ok) {
+                std::fprintf(stderr, "lpsubmit: %s\n",
+                             r.detail.c_str());
+                return 1;
+            }
+            std::printf("job %llu: %s (progress %llu)%s%s\n",
+                        static_cast<unsigned long long>(id),
+                        r.state.c_str(),
+                        static_cast<unsigned long long>(r.progress),
+                        r.detail.empty() ? "" : " — ",
+                        r.detail.c_str());
+            return 0;
+        }
+
+        if (cmd == "result") {
+            if (i >= argc)
+                panic("lpsubmit result: job id required");
+            const SvcReply r = client.result(toU64(argv[i]));
+            if (!r.ok) {
+                std::fprintf(stderr, "lpsubmit: %s\n",
+                             r.detail.c_str());
+                return 1;
+            }
+            if (r.state != "done") {
+                std::fprintf(stderr, "lpsubmit: job is %s: %s\n",
+                             r.state.c_str(), r.resultJson.c_str());
+                return 1;
+            }
+            std::fputs(r.resultJson.c_str(), stdout);
+            return 0;
+        }
+
+        if (cmd == "cancel") {
+            if (i >= argc)
+                panic("lpsubmit cancel: job id required");
+            const std::uint64_t id = toU64(argv[i++]);
+            const std::string why =
+                i < argc ? argv[i] : "cancelled by lpsubmit";
+            const SvcReply r = client.cancel(id, why);
+            std::printf(r.ok ? "cancelling job %llu\n"
+                             : "no job %llu\n",
+                        static_cast<unsigned long long>(id));
+            return r.ok ? 0 : 1;
+        }
+
+        if (cmd == "resume") {
+            if (i >= argc)
+                panic("lpsubmit resume: job id required");
+            const SvcReply r = client.resume(toU64(argv[i]));
+            if (!r.ok) {
+                std::fprintf(stderr, "lpsubmit: %s\n",
+                             r.detail.c_str());
+                return 1;
+            }
+            std::printf("resumed job %llu\n",
+                        static_cast<unsigned long long>(r.id));
+            return 0;
+        }
+
+        if (cmd == "drain") {
+            client.drain();
+            std::printf("daemon drained\n");
+            return 0;
+        }
+
+        std::fprintf(stderr, "lpsubmit: unknown command '%s'\n",
+                     cmd.c_str());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lpsubmit: %s\n", e.what());
+        return 1;
+    }
+}

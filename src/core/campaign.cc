@@ -148,6 +148,26 @@ doubleBits(double v)
 
 } // namespace
 
+const char *
+cellFailReasonToken(CellFailReason r)
+{
+    switch (r) {
+    case CellFailReason::shardQuarantined:
+        return "shard_quarantined";
+    case CellFailReason::shardUnavailable:
+        return "shard_unavailable";
+    case CellFailReason::replayFault:
+        return "replay_fault";
+    case CellFailReason::cellStuck:
+        return "cell_stuck";
+    case CellFailReason::staleFoldState:
+        return "stale_fold_state";
+    case CellFailReason::none:
+    default:
+        return "none";
+    }
+}
+
 const CampaignPair *
 CampaignResult::pair(std::size_t workload, std::size_t base,
                      std::size_t test) const
@@ -597,6 +617,7 @@ CampaignEngine::run()
     ropt.decodeThreads = opt_.decodeThreads;
     ropt.approxWrongPath = opt_.approxWrongPath;
     ropt.residentBudgetBytes = opt_.residentBudgetBytes;
+    ropt.control = opt_.control;
     ropt.decodeThreads = replayDecodeThreads(ropt);
     ThreadPool pool(ropt.threads + ropt.decodeThreads);
     ropt.sharedPool = &pool;
@@ -636,6 +657,9 @@ CampaignEngine::run()
         std::vector<CellRun> cells;
         cells.reserve(nc);
         std::vector<std::size_t> restoredAtStart(nc, 0);
+        std::vector<CellFailReason> cellReason(nc,
+                                               CellFailReason::none);
+        std::vector<std::string> cellDetail(nc);
         std::uint64_t initialMask = 0;
         for (std::size_t c = 0; c < nc; ++c) {
             restoredAtStart[c] =
@@ -648,6 +672,21 @@ CampaignEngine::run()
                 cells[c].est.fold(mw.cells[c].stat);
             cells[c].active =
                 !mw.cells[c].converged && mw.frontier < n;
+            // Active cells only ever leave the fold frontier by
+            // retiring, so a resumed unconverged cell sitting below
+            // it was cut out mid-run by a contained fault. Resuming
+            // it would fold from the wrong offset; it fails instead.
+            if (cells[c].active && m.restored &&
+                mw.cells[c].processed != mw.frontier) {
+                cells[c].active = false;
+                cellReason[c] = CellFailReason::staleFoldState;
+                cellDetail[c] = strfmt(
+                    "resumed below the fold frontier (%llu of %llu "
+                    "points): a prior fault cut this cell out",
+                    static_cast<unsigned long long>(
+                        mw.cells[c].processed),
+                    static_cast<unsigned long long>(mw.frontier));
+            }
             if (cells[c].active)
                 initialMask |= 1ull << c;
         }
@@ -655,11 +694,26 @@ CampaignEngine::run()
         // A failed workload is contained, not fatal: its cells carry
         // the reason, its workers migrate to the next workload.
         std::string failReason;
-        if (!wk.lib && wk.set->quarantined(wk.shard))
+        CellFailReason failKind = CellFailReason::none;
+        if (!wk.lib && wk.set->quarantined(wk.shard)) {
             failReason = wk.set->quarantineReason(wk.shard);
+            failKind = CellFailReason::shardQuarantined;
+        }
+
+        // A cancellation or expired deadline observed between
+        // workloads stops before the next one opens its shard.
+        if (!res.cancelled && opt_.control &&
+            opt_.control->cancel.cancelled()) {
+            res.cancelled = true;
+            res.cancelReason = opt_.control->cancel.reason();
+        }
+        if (!res.cancelled && opt_.deadline.expired()) {
+            res.cancelled = true;
+            res.cancelReason = "deadline expired";
+        }
 
         if (failReason.empty() && initialMask != 0 &&
-            !res.budgetExhausted) {
+            !res.budgetExhausted && !res.cancelled) {
             // A set-backed workload's shard opens here — only now,
             // only because this workload actually has work left — and
             // closes again below. Workloads the manifest already
@@ -680,9 +734,11 @@ CampaignEngine::run()
                         continue;
                     }
                     failReason = e.what();
+                    failKind = CellFailReason::shardUnavailable;
                     break;
                 } catch (const std::exception &e) {
                     failReason = e.what();
+                    failKind = CellFailReason::shardUnavailable;
                     break;
                 }
             }
@@ -701,6 +757,33 @@ CampaignEngine::run()
                     engine.run(
                         *lib, order, blockSize_, stopping,
                         [&](std::size_t, const WindowResult *row) {
+                            // Contained per-cell faults: the fault
+                            // record is visible before the faulting
+                            // point's block completes, so cutting the
+                            // cell out here guarantees no invalid
+                            // result is ever folded.
+                            if (const std::uint64_t fm =
+                                    engine.faultedConfigs()) {
+                                for (std::size_t c = 0; c < nc; ++c) {
+                                    if (!cells[c].active ||
+                                        !((fm >> c) & 1))
+                                        continue;
+                                    cells[c].active = false;
+                                    cells[c].block = RunningStat();
+                                    const auto info =
+                                        engine.cellFault(c);
+                                    cellReason[c] =
+                                        info.stuck
+                                            ? CellFailReason::cellStuck
+                                            : CellFailReason::
+                                                  replayFault;
+                                    cellDetail[c] = info.reason;
+                                    warn("campaign: workload '%s' "
+                                         "config %zu failed: %s",
+                                         wk.name.c_str(), c,
+                                         info.reason.c_str());
+                                }
+                            }
                             for (std::size_t c = 0; c < nc; ++c) {
                                 if (!cells[c].active)
                                     continue;
@@ -747,6 +830,25 @@ CampaignEngine::run()
                                 res.budgetExhausted = true;
                                 keep = 0;
                             }
+                            // Cancellation and deadlines stop here —
+                            // after the barrier's state update,
+                            // before the manifest write — so the
+                            // stop is a valid resume point and a
+                            // later resumption is bit-identical to
+                            // the uninterrupted run.
+                            if (!res.cancelled && opt_.control &&
+                                opt_.control->cancel.cancelled()) {
+                                res.cancelled = true;
+                                res.cancelReason =
+                                    opt_.control->cancel.reason();
+                                keep = 0;
+                            }
+                            if (!res.cancelled &&
+                                opt_.deadline.expired()) {
+                                res.cancelled = true;
+                                res.cancelReason = "deadline expired";
+                                keep = 0;
+                            }
                             if (!opt_.manifestPath.empty())
                                 saveManifest(m);
                             return keep;
@@ -759,6 +861,7 @@ CampaignEngine::run()
                 } catch (const std::exception &e) {
                     failReason = strfmt("replay failed: %s",
                                         e.what());
+                    failKind = CellFailReason::replayFault;
                     warn("campaign: workload '%s' failed: %s",
                          wk.name.c_str(), e.what());
                 }
@@ -790,10 +893,18 @@ CampaignEngine::run()
             cell.unavailableLoads = mw.cells[c].unavailable;
             cell.converged = mw.cells[c].converged;
             // Cells already retired by their confidence target have
-            // complete estimates; only the ones the failure cut
-            // short are marked failed.
-            if (!failReason.empty() && !cell.converged) {
+            // complete estimates; only the ones a failure cut short
+            // are marked failed. A per-cell fault (stuck/injected or
+            // stale resume state) outranks the workload-level reason.
+            if (cellReason[c] != CellFailReason::none &&
+                !cell.converged) {
                 cell.failed = true;
+                cell.reason = cellReason[c];
+                cell.failureReason = cellDetail[c];
+                ++res.failedCells;
+            } else if (!failReason.empty() && !cell.converged) {
+                cell.failed = true;
+                cell.reason = failKind;
                 cell.failureReason = failReason;
                 ++res.failedCells;
             }
@@ -822,7 +933,11 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
 {
     const std::size_t nc = configs_.size();
     const double z = confidenceZ(opt_.spec.level);
-    std::string out = "{\n  \"workloads\": [";
+    // Version 2: added schema_version, per-cell cpi_bits (exact IEEE
+    // bits, the bit-identity contract clients verify), the stable
+    // machine-readable per-cell "reason" token (free text moved to
+    // "detail"), and the cancelled/cancel_reason totals.
+    std::string out = "{\n  \"schema_version\": 2,\n  \"workloads\": [";
     for (std::size_t w = 0; w < workloads_.size(); ++w)
         out += strfmt("%s\"%s\"", w ? ", " : "",
                       workloads_[w].name.c_str());
@@ -837,14 +952,19 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         const CampaignCell &cell = r.cells[i];
         out += strfmt(
             "%s\n    {\"workload\": %zu, \"config\": %zu, "
-            "\"points\": %zu, \"cpi\": %.9f, \"rel_half_width\": %.6f, "
+            "\"points\": %zu, \"cpi\": %.9f, \"cpi_bits\": "
+            "\"%016llx\", \"rel_half_width\": %.6f, "
             "\"converged\": %s, \"unavailable_loads\": %llu, "
-            "\"failed\": %s, \"reason\": \"%s\"}",
+            "\"failed\": %s, \"reason\": \"%s\", \"detail\": \"%s\"}",
             i ? "," : "", cell.workload, cell.config, cell.processed,
-            cell.estimate.mean, cell.estimate.relHalfWidth,
+            cell.estimate.mean,
+            static_cast<unsigned long long>(
+                doubleBits(cell.estimate.mean)),
+            cell.estimate.relHalfWidth,
             cell.converged ? "true" : "false",
             static_cast<unsigned long long>(cell.unavailableLoads),
             cell.failed ? "true" : "false",
+            cellFailReasonToken(cell.reason),
             jsonEscape(cell.failureReason).c_str());
     }
     out += "\n  ],\n  \"pairs\": [";
@@ -874,6 +994,7 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         "\"peak_resident_bytes\": %llu, "
         "\"retirements\": %zu, \"failed_cells\": %zu, "
         "\"budget_exhausted\": %s, "
+        "\"cancelled\": %s, \"cancel_reason\": \"%s\", "
         "\"decode_fanout\": %.3f}\n}\n",
         r.wallSeconds, static_cast<unsigned long long>(r.bytesDecoded),
         static_cast<unsigned long long>(r.pointsDecoded),
@@ -884,6 +1005,8 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         static_cast<unsigned long long>(r.peakResidentBytes),
         r.retirements, r.failedCells,
         r.budgetExhausted ? "true" : "false",
+        r.cancelled ? "true" : "false",
+        jsonEscape(r.cancelReason).c_str(),
         r.pointsDecoded
             ? static_cast<double>(r.replaysExecuted) /
                   static_cast<double>(r.pointsDecoded)

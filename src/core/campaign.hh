@@ -54,6 +54,7 @@
 #include "core/sample.hh"
 #include "stats/running_stat.hh"
 #include "uarch/config.hh"
+#include "util/cancel.hh"
 #include "workload/generator.hh"
 
 namespace lp
@@ -125,7 +126,43 @@ struct CampaignOptions
      * resident set to roughly one shard.
      */
     bool unloadFinishedShards = true;
+
+    /**
+     * Supervision hook (optional; the caller keeps ownership).
+     * control->cancel stops the campaign gracefully at the next block
+     * barrier — after the barrier's manifest write, so the stop is a
+     * valid resume point and a later resumption is bit-identical to
+     * the uninterrupted run. control->progress and
+     * control->failStuck are threaded through to the replay engine
+     * (see ReplayEngineOptions::control).
+     */
+    ReplayControl *control = nullptr;
+
+    /**
+     * Wall-clock budget: when it expires the campaign stops at the
+     * next block barrier exactly like a cancellation (manifest
+     * consistent, resumable). Default: never.
+     */
+    Deadline deadline;
 };
+
+/**
+ * Machine-readable reason a cell failed — the stable vocabulary
+ * reports and clients match on (free text lives in
+ * CampaignCell::failureReason / the report's "detail").
+ */
+enum class CellFailReason
+{
+    none,             //!< healthy
+    shardQuarantined, //!< the workload's shard is quarantined
+    shardUnavailable, //!< the shard would not open
+    replayFault,      //!< a replay error (injected or real)
+    cellStuck,        //!< a stalled replay aborted by the supervisor
+    staleFoldState    //!< resumed cell was below the fold frontier
+};
+
+/** Stable token for @p r (e.g. "cell_stuck"); never changes meaning. */
+const char *cellFailReasonToken(CellFailReason r);
 
 /** One (workload, configuration) cell's outcome. */
 struct CampaignCell
@@ -140,13 +177,15 @@ struct CampaignCell
     bool converged = false;    //!< retired by its confidence target
 
     /**
-     * The workload failed before this cell finished (quarantined or
-     * unopenable shard, replay fault): the estimate covers only the
+     * The cell failed before it finished (quarantined or unopenable
+     * shard, a contained per-cell replay fault or stuck-worker
+     * verdict, or stale resume state): the estimate covers only the
      * points folded before the failure. Converged cells retired
      * before the failure are not marked.
      */
     bool failed = false;
-    std::string failureReason; //!< why ("" when healthy)
+    CellFailReason reason = CellFailReason::none;
+    std::string failureReason; //!< free-text detail ("" when healthy)
 
     double cpi() const { return estimate.mean; }
 };
@@ -183,6 +222,15 @@ struct CampaignResult
     std::size_t retirements = 0;       //!< cells stopped early
     std::size_t failedCells = 0;       //!< cells failed-with-reason
     bool budgetExhausted = false;
+
+    /**
+     * The run stopped early at a block barrier on a cancellation
+     * request or an expired deadline. The manifest (when enabled)
+     * holds the stop as a valid resume point; cells are not marked
+     * failed.
+     */
+    bool cancelled = false;
+    std::string cancelReason;
 
     const CampaignCell &cell(std::size_t workload, std::size_t config,
                              std::size_t numConfigs) const

@@ -1,10 +1,14 @@
 #include "core/replay.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "util/failpoint.hh"
 #include "util/log.hh"
 
 namespace lp
@@ -251,7 +255,8 @@ ReplayEngine::ReplayEngine(const Program &prog,
                      ? opt.ringSlots
                      : std::clamp<std::size_t>(
                            2 * (threads_ + producers_), 8, 64)),
-      residentBudget_(opt.residentBudgetBytes)
+      residentBudget_(opt.residentBudgetBytes),
+      control_(opt.control)
 {
     if (cfgs_.empty())
         throw std::invalid_argument("ReplayEngine: no configurations");
@@ -273,6 +278,29 @@ ReplayEngine::ReplayEngine(const Program &prog,
         ctx_.push_back(std::make_unique<ReplayContext>(prog_, cfgs_));
     // Caller contexts are built lazily: only simulateOne() needs them.
     callerCtx_.resize(cfgs_.size());
+    faults_.resize(cfgs_.size());
+}
+
+ReplayEngine::CellFaultInfo
+ReplayEngine::cellFault(std::size_t c) const
+{
+    std::lock_guard<std::mutex> lk(faultM_);
+    return faults_[c];
+}
+
+void
+ReplayEngine::recordCellFault(std::size_t c, std::size_t point,
+                              bool stuck, const std::string &reason)
+{
+    {
+        std::lock_guard<std::mutex> lk(faultM_);
+        if (!((faultMask_.load(std::memory_order_relaxed) >> c) & 1)) {
+            faults_[c].stuck = stuck;
+            faults_[c].point = point;
+            faults_[c].reason = reason;
+        }
+    }
+    faultMask_.fetch_or(1ull << c, std::memory_order_release);
 }
 
 WindowResult
@@ -454,6 +482,43 @@ ReplayEngine::run(
         }
     };
 
+    // The per-replay fault site. An injected error fails
+    // configuration c of point k as a contained cell fault; an
+    // injected hang parks this worker — a stuck cell — until the site
+    // is disarmed (the stall recovered: the replay proceeds normally
+    // and results are untouched) or a supervisor's failStuck verdict
+    // aborts it as a fault. Returns true when the replay must be
+    // skipped: its result slot stays invalid, and the fault record is
+    // visible to the fold side before the point's block completes.
+    auto cellGate = [&](std::size_t k, std::size_t c) -> bool {
+        if (!failpointsArmed())
+            return false;
+        const FailpointOutcome o = failpointFire("replay.cell");
+        if (o.hang) {
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (control_ && control_->failStuck.load(
+                                    std::memory_order_relaxed)) {
+                    recordCellFault(
+                        c, k, true,
+                        "stuck replay aborted by supervisor");
+                    return true;
+                }
+                if (!failpointsArmed())
+                    return false; // disarmed: the stall recovered
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+            return true; // the run is halting; skip the replay
+        }
+        if (o.fail) {
+            recordCellFault(c, k, false,
+                            strfmt("replay fault: %s",
+                                   std::strerror(o.err)));
+            return true;
+        }
+        return false;
+    };
+
     auto worker = [&](unsigned w) {
         ReplayContext &ctx = *ctx_[w];
         while (!stop.load(std::memory_order_relaxed)) {
@@ -482,9 +547,11 @@ ReplayEngine::run(
             }
             WindowResult *out = resultRow(k);
             if (nc == 1) {
-                out[0] = ctx.simulate(s.point, approxWrongPath_);
-                replaysExecuted_.fetch_add(1,
-                                           std::memory_order_relaxed);
+                if (!cellGate(k, 0)) {
+                    out[0] = ctx.simulate(s.point, approxWrongPath_);
+                    replaysExecuted_.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
             } else {
                 // Decode-once fan-out: the point's live state is
                 // loaded once, every still-active configuration
@@ -496,12 +563,17 @@ ReplayEngine::run(
                 for (std::size_t c = 0; c < nc; ++c) {
                     if (!((m >> c) & 1))
                         continue;
+                    if (cellGate(k, c))
+                        continue;
                     out[c] = ctx.replay(c, approxWrongPath_);
                     ++ran;
                 }
                 replaysExecuted_.fetch_add(ran,
                                            std::memory_order_relaxed);
             }
+            if (control_)
+                control_->progress.fetch_add(
+                    1, std::memory_order_relaxed);
             {
                 std::lock_guard<std::mutex> lk(ringM);
                 s.full = false;
@@ -547,7 +619,11 @@ ReplayEngine::run(
             const std::size_t end = std::min(n, (b + 1) * blockSize);
             for (; k < end; ++k)
                 foldPoint(k, resultRow(k));
-            const std::uint64_t keep = foldBarrier(end) & allMask;
+            // Faulted configurations never replay again, whatever the
+            // barrier answered (their pending results are invalid).
+            const std::uint64_t keep =
+                foldBarrier(end) & allMask &
+                ~faultMask_.load(std::memory_order_acquire);
             activeMask.store(keep, std::memory_order_release);
             {
                 std::lock_guard<std::mutex> lk(foldM);

@@ -35,10 +35,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/library.hh"
 #include "uarch/core.hh"
+#include "util/cancel.hh"
 #include "util/threadpool.hh"
 
 namespace lp
@@ -99,6 +101,16 @@ struct ReplayEngineOptions
      * while this engine runs.
      */
     ThreadPool *sharedPool = nullptr;
+
+    /**
+     * Supervision hook (optional; the caller keeps ownership). The
+     * engine bumps control->progress once per simulated point — the
+     * heartbeat a watchdog monitors — and honors control->failStuck
+     * by aborting replays parked at the `replay.cell` hang site as
+     * contained per-configuration faults (see ReplayEngine fault
+     * accessors) instead of killing the run.
+     */
+    ReplayControl *control = nullptr;
 };
 
 /**
@@ -271,6 +283,31 @@ class ReplayEngine
     }
 
     /**
+     * Configurations that took a contained per-cell fault (mask).
+     * Faults come from the `replay.cell` failpoint: an injected error
+     * fails the configuration immediately; an injected hang parks the
+     * worker until a supervisor flips control->failStuck (the stuck
+     * verdict) or the site is disarmed (a recovered stall). A faulted
+     * configuration's pending results are invalid — a fold callback
+     * that observes the bit here must stop consuming that
+     * configuration (visibility is guaranteed: the fault is recorded
+     * before the faulting point's block completes).
+     */
+    std::uint64_t faultedConfigs() const
+    {
+        return faultMask_.load(std::memory_order_acquire);
+    }
+
+    /** Details of config @p c's first fault (valid once its bit is set). */
+    struct CellFaultInfo
+    {
+        bool stuck = false;     //!< aborted by the supervisor verdict
+        std::size_t point = 0;  //!< order position where it faulted
+        std::string reason;
+    };
+    CellFaultInfo cellFault(std::size_t c) const;
+
+    /**
      * Replay lib[order[k]] for every k. foldPoint(k, results) runs on
      * the calling thread for k = firstPoint, firstPoint + 1, ...
      * strictly in order (results[c] is the k-th point's outcome under
@@ -301,6 +338,9 @@ class ReplayEngine
                              std::size_t pos, std::size_t cfgIdx = 0);
 
   private:
+    void recordCellFault(std::size_t c, std::size_t point, bool stuck,
+                         const std::string &reason);
+
     const Program &prog_;
     std::vector<CoreConfig> cfgs_;
     bool approxWrongPath_;
@@ -318,6 +358,10 @@ class ReplayEngine
     std::atomic<std::uint64_t> peakResidentBytes_{0};
     std::unique_ptr<ThreadPool> ownedPool_;
     ThreadPool *pool_;
+    ReplayControl *control_;
+    std::atomic<std::uint64_t> faultMask_{0};
+    mutable std::mutex faultM_;
+    std::vector<CellFaultInfo> faults_; //!< per config, first fault wins
 };
 
 } // namespace lp

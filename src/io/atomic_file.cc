@@ -5,6 +5,7 @@
 
 #include "io/io_error.hh"
 #include "util/failpoint.hh"
+#include "util/retry.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LP_HAVE_FSYNC 1
@@ -22,11 +23,6 @@ namespace
 
 // "LPFOOT1\n" little-endian: identifies the 16-byte integrity footer.
 constexpr std::uint64_t kFooterMagic = 0x0a31'544f'4f46'504cull;
-
-// Transient-errno retries before a write/fsync gives up: generous
-// enough for real signal storms, bounded so an `every:1:err:EINTR`
-// injection terminates with a clean hard failure instead of a hang.
-constexpr int kMaxTransientRetries = 64;
 
 void
 putU64le(std::uint8_t *out, std::uint64_t v)
@@ -130,13 +126,13 @@ void
 AtomicFileWriter::write(const void *data, std::size_t size)
 {
     const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
-    int transientLeft = kMaxTransientRetries;
+    TransientRetry retry;
     while (size > 0) {
         std::size_t want = size;
         if (failpointsArmed()) {
             const FailpointOutcome o = failpointFire("io.write");
             if (o.fail) {
-                if (transientErrno(o.err) && transientLeft-- > 0)
+                if (retry.shouldRetry(o.err))
                     continue;
                 const int err = o.err;
                 discard();
@@ -151,7 +147,7 @@ AtomicFileWriter::write(const void *data, std::size_t size)
         if (n == want)
             continue;
         const int err = errno;
-        if (transientErrno(err) && transientLeft-- > 0) {
+        if (retry.shouldRetry(err)) {
             std::clearerr(f_);
             continue;
         }
@@ -178,13 +174,13 @@ AtomicFileWriter::commit()
     }
 #if LP_HAVE_FSYNC
     {
-        int transientLeft = kMaxTransientRetries;
+        TransientRetry retry;
         while (::fsync(::fileno(f_)) != 0) {
             const int err = errno;
-            if (transientErrno(err) && transientLeft-- > 0)
-                continue;
-            discard();
-            throwIoError("sync", what_, tmp_, err);
+            if (!retry.shouldRetry(err)) {
+                discard();
+                throwIoError("sync", what_, tmp_, err);
+            }
         }
     }
 #endif
@@ -232,13 +228,13 @@ syncParentDir(const std::string &path)
     const int fd = ::open(dir.c_str(), O_RDONLY);
     if (fd < 0)
         return; // best-effort: an unreadable parent is not an error
-    int transientLeft = kMaxTransientRetries;
+    TransientRetry retry;
     while (::fsync(fd) != 0) {
         const int err = errno;
-        if (transientErrno(err) && transientLeft-- > 0)
-            continue;
-        ::close(fd);
-        throwIoError("sync directory of", "file", path, err);
+        if (!retry.shouldRetry(err)) {
+            ::close(fd);
+            throwIoError("sync directory of", "file", path, err);
+        }
     }
     ::close(fd);
 #endif

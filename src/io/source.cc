@@ -8,6 +8,7 @@
 #include "io/io_error.hh"
 #include "util/failpoint.hh"
 #include "util/log.hh"
+#include "util/retry.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LP_HAVE_POSIX_IO 1
@@ -21,16 +22,6 @@
 namespace lp
 {
 
-namespace
-{
-
-// Transient-errno retries before a read path gives up. EINTR costs
-// nothing to retry; EAGAIN backs off. Bounded so an injected
-// every-hit transient fails cleanly instead of hanging.
-constexpr int kMaxTransientRetries = 64;
-
-} // namespace
-
 Blob
 readWholeFile(const std::string &path, const char *what)
 {
@@ -42,12 +33,11 @@ readWholeFile(const std::string &path, const char *what)
     }
     int fd = -1;
     {
-        int transientLeft = kMaxTransientRetries;
+        TransientRetry retry;
         while ((fd = ::open(path.c_str(), O_RDONLY)) < 0) {
             const int err = errno;
-            if (transientErrno(err) && transientLeft-- > 0)
-                continue;
-            throwIoError("open", what, path, err);
+            if (!retry.shouldRetry(err))
+                throwIoError("open", what, path, err);
         }
     }
     struct stat st;
@@ -58,13 +48,13 @@ readWholeFile(const std::string &path, const char *what)
     }
     Blob data(static_cast<std::size_t>(st.st_size));
     std::size_t got = 0;
-    int transientLeft = kMaxTransientRetries;
+    TransientRetry retry;
     while (got < data.size()) {
         std::size_t want = data.size() - got;
         if (failpointsArmed()) {
             const FailpointOutcome o = failpointFire("io.read");
             if (o.fail) {
-                if (transientErrno(o.err) && transientLeft-- > 0)
+                if (retry.shouldRetry(o.err))
                     continue;
                 ::close(fd);
                 throwIoError("read", what, path, o.err);
@@ -78,7 +68,7 @@ readWholeFile(const std::string &path, const char *what)
         const ::ssize_t n = ::read(fd, data.data() + got, want);
         if (n < 0) {
             const int err = errno;
-            if (transientErrno(err) && transientLeft-- > 0)
+            if (retry.shouldRetry(err))
                 continue;
             ::close(fd);
             throwIoError("read", what, path, err);

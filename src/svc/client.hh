@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Client side of the campaign service protocol: one persistent
+ * connection to a daemon's Unix socket, one method per request type.
+ * connect() retries a not-yet-listening daemon with bounded backoff
+ * (startup races are the common case for a supervised daemon), and
+ * every reply's frame checksum is verified by recvFrame before a
+ * payload byte is trusted.
+ */
+
+#ifndef LP_SVC_CLIENT_HH
+#define LP_SVC_CLIENT_HH
+
+#include <string>
+
+#include "svc/proto.hh"
+#include "svc/job.hh"
+
+namespace lp
+{
+
+/** The decoded outcome of a client request. */
+struct SvcReply
+{
+    bool ok = false;
+    bool retry = false;         //!< daemon said retry later
+    std::uint64_t id = 0;       //!< submit/resume
+    std::uint64_t retryAfterMs = 0;
+    std::string state;          //!< status/result: job state token
+    std::uint64_t progress = 0; //!< status
+    std::string detail;         //!< status detail / error message
+    std::string resultJson;     //!< result: report (or failure text)
+};
+
+class SvcClient
+{
+  public:
+    /**
+     * Connect to the daemon at @p socketPath, retrying
+     * ENOENT/ECONNREFUSED for up to @p connectTimeoutMs (a daemon
+     * that is still binding). Throws IoError when the timeout lapses.
+     */
+    explicit SvcClient(const std::string &socketPath,
+                       std::uint64_t connectTimeoutMs = 2000);
+    ~SvcClient();
+
+    SvcClient(const SvcClient &) = delete;
+    SvcClient &operator=(const SvcClient &) = delete;
+
+    SvcReply submit(const JobSpec &spec);
+    SvcReply status(std::uint64_t id);
+    SvcReply result(std::uint64_t id);
+    SvcReply cancel(std::uint64_t id, const std::string &reason);
+    SvcReply resume(std::uint64_t id);
+
+    /** Blocks until the daemon has run its queue dry. */
+    SvcReply drain();
+
+    /**
+     * Poll status until @p id is terminal (done/failed/cancelled) or
+     * @p timeoutMs lapses (0 = wait forever). Returns the final
+     * status reply.
+     */
+    SvcReply waitForJob(std::uint64_t id, std::uint64_t timeoutMs = 0,
+                        std::uint64_t pollMs = 20);
+
+  private:
+    SvcReply roundTrip(MsgType type, const Blob &payload);
+
+    int fd_ = -1;
+};
+
+} // namespace lp
+
+#endif // LP_SVC_CLIENT_HH

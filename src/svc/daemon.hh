@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The campaign service daemon: a Unix-domain-socket front end over
+ * CampaignService. The daemon binds a stream socket, accepts one
+ * connection at a time (the control plane is tiny; jobs run in the
+ * service's own threads), and answers proto.hh frames until a drain
+ * request or stop() shuts it down. A stale socket file from a killed
+ * daemon is unlinked at bind time; recovery of in-flight jobs is the
+ * service's job (the daemon just restarts it on the same jobsDir).
+ */
+
+#ifndef LP_SVC_DAEMON_HH
+#define LP_SVC_DAEMON_HH
+
+#include <atomic>
+#include <string>
+
+#include "svc/service.hh"
+
+namespace lp
+{
+
+class SvcDaemon
+{
+  public:
+    /** Open the service and bind @p socketPath (unlinking a stale one). */
+    SvcDaemon(const ServiceConfig &cfg, std::string socketPath);
+
+    /** Close the socket (the service shuts down via its own dtor). */
+    ~SvcDaemon();
+
+    SvcDaemon(const SvcDaemon &) = delete;
+    SvcDaemon &operator=(const SvcDaemon &) = delete;
+
+    /**
+     * Accept-and-serve until a drain request completes or stop() is
+     * called from another thread (or a signal handler flips the stop
+     * flag). Returns after the listener closes; in-flight jobs were
+     * drained (drain request) or cancelled-resumably (stop()).
+     */
+    void run();
+
+    /** Ask run() to return at its next accept timeout. */
+    void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    CampaignService &service() { return svc_; }
+    const std::string &socketPath() const { return path_; }
+
+  private:
+    void serveConnection(int fd);
+    bool handleFrame(int fd, const Frame &req); //!< false = drain
+
+    CampaignService svc_;
+    std::string path_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace lp
+
+#endif // LP_SVC_DAEMON_HH

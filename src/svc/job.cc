@@ -1,0 +1,41 @@
+#include "svc/job.hh"
+
+namespace lp
+{
+
+const char *
+jobStateToken(JobState s)
+{
+    switch (s) {
+    case JobState::queued:
+        return "queued";
+    case JobState::running:
+        return "running";
+    case JobState::draining:
+        return "draining";
+    case JobState::done:
+        return "done";
+    case JobState::failed:
+        return "failed";
+    case JobState::cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+jobStateFromToken(const std::string &token, JobState *out)
+{
+    static const JobState all[] = {
+        JobState::queued, JobState::running,   JobState::draining,
+        JobState::done,   JobState::failed,    JobState::cancelled};
+    for (JobState s : all) {
+        if (token == jobStateToken(s)) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace lp

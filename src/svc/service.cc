@@ -1,0 +1,746 @@
+#include "svc/service.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "core/campaign.hh"
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "uarch/config.hh"
+#include "util/cancel.hh"
+#include "util/log.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nowWallMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+makeDir(const std::string &path, const char *what)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return;
+    throwIoError("create", what, path, errno);
+}
+
+bool
+readSmallFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out->clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+std::string
+trimToken(const std::string &s)
+{
+    std::size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** The bundle a job runs from; programs must outlive the engine. */
+struct MaterializedJob
+{
+    std::deque<Program> programs;
+    std::vector<CampaignWorkload> workloads;
+    std::vector<CoreConfig> configs;
+    CampaignOptions opt;
+};
+
+CoreConfig
+materializeConfig(const JobConfigSpec &c)
+{
+    CoreConfig cfg;
+    if (c.preset.empty() || c.preset == "eight")
+        cfg = CoreConfig::eightWay();
+    else if (c.preset == "sixteen")
+        cfg = CoreConfig::sixteenWay();
+    else
+        throw std::runtime_error(
+            strfmt("unknown config preset '%s'", c.preset.c_str()));
+    if (c.memLatency)
+        cfg.mem.memLatency = c.memLatency;
+    if (c.l2Latency)
+        cfg.mem.l2Latency = c.l2Latency;
+    if (c.l2SizeBytes)
+        cfg.mem.l2.sizeBytes = c.l2SizeBytes;
+    if (!c.name.empty())
+        cfg.name = c.name;
+    return cfg;
+}
+
+} // namespace
+
+struct CampaignService::Job
+{
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::string dir;
+    JobState state = JobState::queued;
+    bool cancelRequested = false;
+    std::string detail;     //!< failure / cancellation detail
+    std::string resultJson; //!< campaign report once done
+    std::vector<std::size_t> shards;
+    std::uint64_t residentEstimate = 0;
+    unsigned slots = 1;
+    ReplayControl control;
+    std::thread thread;
+
+    // Supervisor bookkeeping (valid while running).
+    std::uint64_t lastProgress = 0;
+    Clock::time_point lastChange{};
+};
+
+CampaignService::CampaignService(const ServiceConfig &cfg)
+    : cfg_(cfg), set_(LibrarySet::openRecover(cfg.setDir))
+{
+    makeDir(cfg_.jobsDir, "service jobs directory");
+    const std::string logPath = cfg_.logPath.empty()
+                                    ? cfg_.jobsDir + "/service.jsonl"
+                                    : cfg_.logPath;
+    log_ = std::fopen(logPath.c_str(), "ab");
+    if (!log_)
+        throwIoError("open", "service log", logPath, errno);
+    if (set_.recovery().degraded) {
+        for (const std::string &note : set_.recovery().notes)
+            logEvent("set_degraded", nullptr, note);
+    }
+    recoverJobs();
+    scheduler_ = std::thread([this] { schedulerLoop(); });
+    supervisor_ = std::thread([this] { supervisorLoop(); });
+    logEvent("service_start", nullptr,
+             strfmt("slots=%u queue=%zu", cfg_.workerSlots,
+                    cfg_.maxQueueDepth));
+}
+
+CampaignService::~CampaignService()
+{
+    shutdown(/*cancelRunning=*/true);
+    if (log_)
+        std::fclose(log_);
+}
+
+void
+CampaignService::logEvent(const std::string &event, const Job *j,
+                          const std::string &detail)
+{
+    std::string line =
+        strfmt("{\"ts_ms\": %llu, \"event\": \"%s\"",
+               static_cast<unsigned long long>(nowWallMs()),
+               jsonEscape(event).c_str());
+    if (j) {
+        line += strfmt(", \"job\": %llu, \"state\": \"%s\"",
+                       static_cast<unsigned long long>(j->id),
+                       jobStateToken(j->state));
+    }
+    if (!detail.empty())
+        line += strfmt(", \"detail\": \"%s\"",
+                       jsonEscape(detail).c_str());
+    line += "}\n";
+    std::lock_guard<std::mutex> lk(logM_);
+    std::fwrite(line.data(), 1, line.size(), log_);
+    std::fflush(log_);
+}
+
+void
+CampaignService::writeJobState(const Job &j, JobState s) const
+{
+    const std::string token = std::string(jobStateToken(s)) + "\n";
+    writeFileAtomic(j.dir + "/state",
+                    reinterpret_cast<const std::uint8_t *>(token.data()),
+                    token.size(), "job state");
+}
+
+std::uint64_t
+CampaignService::residentEstimate(const JobSpec &spec) const
+{
+    // A campaign streams set-backed workloads one shard at a time, so
+    // a job's resident footprint is bounded by its largest shard (the
+    // service keeps shards of *concurrent* jobs resident, so the
+    // admission sum is over jobs).
+    std::uint64_t mx = 0;
+    for (const JobWorkloadSpec &w : spec.workloads) {
+        const std::size_t i = set_.find(w.shard);
+        if (i != LibrarySet::npos)
+            mx = std::max(mx, set_.fileBytes(i));
+    }
+    return mx;
+}
+
+void
+CampaignService::recoverJobs()
+{
+    DIR *d = ::opendir(cfg_.jobsDir.c_str());
+    if (!d)
+        throwIoError("scan", "service jobs directory", cfg_.jobsDir,
+                     errno);
+    std::vector<std::uint64_t> ids;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.rfind("job-", 0) != 0)
+            continue;
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(name.c_str() + 4, &end, 10);
+        if (!end || *end != '\0' || v == 0)
+            continue;
+        ids.push_back(v);
+    }
+    ::closedir(d);
+    std::sort(ids.begin(), ids.end());
+
+    for (std::uint64_t id : ids) {
+        const std::string dir =
+            cfg_.jobsDir + strfmt("/job-%llu",
+                                  static_cast<unsigned long long>(id));
+        std::string specBytes;
+        if (!readSmallFile(dir + "/spec.der", &specBytes)) {
+            logEvent("recover_skipped", nullptr,
+                     strfmt("job-%llu has no spec",
+                            static_cast<unsigned long long>(id)));
+            continue;
+        }
+        auto j = std::make_unique<Job>();
+        j->id = id;
+        j->dir = dir;
+        try {
+            Blob blob(specBytes.begin(), specBytes.end());
+            j->spec = decodeJobSpec(blob);
+        } catch (const std::exception &e) {
+            logEvent("recover_skipped", nullptr,
+                     strfmt("job-%llu spec undecodable: %s",
+                            static_cast<unsigned long long>(id),
+                            e.what()));
+            continue;
+        }
+        j->slots = std::max(1u, j->spec.threads);
+        j->residentEstimate = residentEstimate(j->spec);
+        for (const JobWorkloadSpec &w : j->spec.workloads) {
+            const std::size_t i = set_.find(w.shard);
+            if (i != LibrarySet::npos)
+                j->shards.push_back(i);
+        }
+
+        std::string stateTok;
+        JobState s = JobState::queued;
+        if (readSmallFile(dir + "/state", &stateTok))
+            jobStateFromToken(trimToken(stateTok), &s);
+        if (s == JobState::done) {
+            readSmallFile(dir + "/result.json", &j->resultJson);
+            j->state = JobState::done;
+        } else if (jobStateTerminal(s)) {
+            j->state = s;
+        } else {
+            // queued / running / draining: the previous incarnation
+            // died with this job in flight. Re-enqueue; the manifest
+            // ledger resumes it bit-identically.
+            j->state = JobState::queued;
+            writeJobState(*j, JobState::queued);
+            logEvent("recovered", j.get(), "re-enqueued after restart");
+        }
+        nextId_ = std::max(nextId_, id + 1);
+        jobs_.emplace(id, std::move(j));
+    }
+}
+
+SubmitOutcome
+CampaignService::submit(const JobSpec &spec)
+{
+    SubmitOutcome out;
+    if (spec.workloads.empty() || spec.configs.empty()) {
+        out.error = "a job needs at least one workload and one config";
+        return out;
+    }
+    for (const JobConfigSpec &c : spec.configs) {
+        if (!c.preset.empty() && c.preset != "eight" &&
+            c.preset != "sixteen") {
+            out.error =
+                strfmt("unknown config preset '%s'", c.preset.c_str());
+            return out;
+        }
+    }
+    for (const JobWorkloadSpec &w : spec.workloads) {
+        if (set_.find(w.shard) == LibrarySet::npos) {
+            out.error = strfmt("shard '%s' is not in the fleet set",
+                               w.shard.c_str());
+            return out;
+        }
+    }
+
+    std::unique_lock<std::mutex> lk(m_);
+    if (draining_ || stop_) {
+        out.error = "service is draining";
+        return out;
+    }
+    std::size_t queued = 0;
+    std::uint64_t resident = 0;
+    for (const auto &kv : jobs_) {
+        const Job &j = *kv.second;
+        if (j.state == JobState::queued)
+            ++queued;
+        if (!jobStateTerminal(j.state))
+            resident += j.residentEstimate;
+    }
+    if (queued >= cfg_.maxQueueDepth) {
+        out.retry = true;
+        out.retryAfterMs = cfg_.retryAfterMs;
+        out.error = strfmt("queue full (%zu queued)", queued);
+        return out;
+    }
+    const std::uint64_t estimate = residentEstimate(spec);
+    if (cfg_.maxResidentBytes &&
+        resident + estimate > cfg_.maxResidentBytes &&
+        resident != 0) {
+        // resident == 0 means this job alone exceeds the budget; let
+        // it run (it still streams shard by shard) rather than wedge.
+        out.retry = true;
+        out.retryAfterMs = cfg_.retryAfterMs;
+        out.error = strfmt(
+            "resident budget full (%llu + %llu > %llu bytes)",
+            static_cast<unsigned long long>(resident),
+            static_cast<unsigned long long>(estimate),
+            static_cast<unsigned long long>(cfg_.maxResidentBytes));
+        return out;
+    }
+
+    auto j = std::make_unique<Job>();
+    j->id = nextId_++;
+    j->spec = spec;
+    j->dir = cfg_.jobsDir +
+             strfmt("/job-%llu", static_cast<unsigned long long>(j->id));
+    j->slots = std::max(1u, spec.threads);
+    j->residentEstimate = estimate;
+    for (const JobWorkloadSpec &w : spec.workloads)
+        j->shards.push_back(set_.find(w.shard));
+
+    makeDir(j->dir, "job directory");
+    const Blob enc = encodeJobSpec(spec);
+    writeFileAtomic(j->dir + "/spec.der", enc.data(), enc.size(),
+                    "job spec");
+    writeJobState(*j, JobState::queued);
+
+    out.accepted = true;
+    out.id = j->id;
+    logEvent("submitted", j.get(), spec.name);
+    jobs_.emplace(j->id, std::move(j));
+    cv_.notify_all();
+    return out;
+}
+
+bool
+CampaignService::cancel(std::uint64_t id, const std::string &reason)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job &j = *it->second;
+    if (j.state == JobState::queued) {
+        j.state = JobState::cancelled;
+        j.detail = reason.empty() ? "cancelled" : reason;
+        writeJobState(j, JobState::cancelled);
+        logEvent("cancelled", &j, j.detail);
+        cv_.notify_all();
+    } else if (j.state == JobState::running && !j.cancelRequested) {
+        j.cancelRequested = true;
+        j.control.cancel.requestCancel(
+            reason.empty() ? "cancel requested" : reason);
+        logEvent("draining", &j, reason);
+    }
+    return true;
+}
+
+SubmitOutcome
+CampaignService::resume(std::uint64_t id)
+{
+    SubmitOutcome out;
+    std::unique_lock<std::mutex> lk(m_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        out.error = strfmt("no job %llu",
+                           static_cast<unsigned long long>(id));
+        return out;
+    }
+    Job &j = *it->second;
+    if (draining_ || stop_) {
+        out.error = "service is draining";
+        return out;
+    }
+    if (!jobStateTerminal(j.state) || j.state == JobState::done) {
+        out.error = strfmt("job %llu is %s, not resumable",
+                           static_cast<unsigned long long>(id),
+                           jobStateToken(j.state));
+        return out;
+    }
+    if (j.thread.joinable())
+        j.thread.join(); // it already reached a terminal state
+    j.control.cancel.reset();
+    j.control.failStuck.store(false, std::memory_order_relaxed);
+    j.cancelRequested = false;
+    j.detail.clear();
+    j.state = JobState::queued;
+    writeJobState(j, JobState::queued);
+    logEvent("resumed", &j, "");
+    out.accepted = true;
+    out.id = id;
+    cv_.notify_all();
+    return out;
+}
+
+JobStatusInfo
+CampaignService::status(std::uint64_t id) const
+{
+    JobStatusInfo info;
+    std::unique_lock<std::mutex> lk(m_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return info;
+    const Job &j = *it->second;
+    info.found = true;
+    info.state = (j.state == JobState::running && j.cancelRequested)
+                     ? JobState::draining
+                     : j.state;
+    info.progress =
+        j.control.progress.load(std::memory_order_relaxed);
+    info.detail = j.detail;
+    return info;
+}
+
+bool
+CampaignService::result(std::uint64_t id, JobState *state,
+                        std::string *json) const
+{
+    std::unique_lock<std::mutex> lk(m_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    const Job &j = *it->second;
+    if (!jobStateTerminal(j.state))
+        return false;
+    *state = j.state;
+    *json = j.state == JobState::done ? j.resultJson : j.detail;
+    return true;
+}
+
+bool
+CampaignService::waitForJob(std::uint64_t id, std::uint64_t timeoutMs)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    auto terminal = [&] {
+        auto it = jobs_.find(id);
+        return it != jobs_.end() && jobStateTerminal(it->second->state);
+    };
+    if (jobs_.find(id) == jobs_.end())
+        return false;
+    if (timeoutMs == 0) {
+        cv_.wait(lk, terminal);
+        return true;
+    }
+    return cv_.wait_for(lk, std::chrono::milliseconds(timeoutMs),
+                        terminal);
+}
+
+std::vector<std::uint64_t>
+CampaignService::jobIds() const
+{
+    std::unique_lock<std::mutex> lk(m_);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(jobs_.size());
+    for (const auto &kv : jobs_)
+        ids.push_back(kv.first);
+    return ids;
+}
+
+void
+CampaignService::startJobLocked(Job *j)
+{
+    j->state = JobState::running;
+    j->cancelRequested = false;
+    j->lastProgress =
+        j->control.progress.load(std::memory_order_relaxed);
+    j->lastChange = Clock::now();
+    runningSlots_ += j->slots;
+    for (std::size_t s : j->shards)
+        ++shardRefs_[s];
+    writeJobState(*j, JobState::running);
+    logEvent("started", j, "");
+    j->thread = std::thread([this, j] { runJob(j); });
+}
+
+void
+CampaignService::schedulerLoop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    while (!stop_) {
+        // Reap threads of jobs that reached a terminal state (their
+        // thread is at its very end; join returns immediately).
+        for (auto &kv : jobs_) {
+            Job &j = *kv.second;
+            if (jobStateTerminal(j.state) && j.thread.joinable())
+                j.thread.join();
+        }
+        Job *next = nullptr;
+        for (auto &kv : jobs_) {
+            Job &j = *kv.second;
+            if (j.state != JobState::queued)
+                continue;
+            // Admit under the slot budget; an oversized job runs
+            // alone rather than starving forever.
+            if (runningSlots_ == 0 ||
+                runningSlots_ + j.slots <= cfg_.workerSlots) {
+                next = &j;
+                break;
+            }
+        }
+        if (next) {
+            startJobLocked(next);
+            continue;
+        }
+        cv_.wait_for(lk, std::chrono::milliseconds(20));
+    }
+}
+
+void
+CampaignService::supervisorLoop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    while (!stop_) {
+        const Clock::time_point now = Clock::now();
+        for (auto &kv : jobs_) {
+            Job &j = *kv.second;
+            if (j.state != JobState::running)
+                continue;
+            const std::uint64_t p =
+                j.control.progress.load(std::memory_order_relaxed);
+            if (p != j.lastProgress) {
+                j.lastProgress = p;
+                j.lastChange = now;
+                continue;
+            }
+            if (cfg_.stuckTimeoutMs == 0 ||
+                j.control.failStuck.load(std::memory_order_relaxed))
+                continue;
+            const auto stalled =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - j.lastChange)
+                    .count();
+            if (stalled >= 0 &&
+                static_cast<std::uint64_t>(stalled) >=
+                    cfg_.stuckTimeoutMs) {
+                // Raising failStuck aborts only hang-parked workers
+                // (ReplayControl::failStuck), so a healthy job that
+                // is merely slow is unaffected.
+                j.control.failStuck.store(true,
+                                          std::memory_order_relaxed);
+                logEvent("stuck_detected", &j,
+                         strfmt("no progress for %lld ms",
+                                static_cast<long long>(stalled)));
+            }
+        }
+        cv_.wait_for(lk,
+                     std::chrono::milliseconds(cfg_.supervisorPeriodMs));
+    }
+}
+
+void
+CampaignService::runJob(Job *j)
+{
+    JobState final = JobState::failed;
+    std::string detail;
+    std::string resultJson;
+    try {
+        MaterializedJob mat;
+        const JobSpec &spec = j->spec;
+        for (const JobWorkloadSpec &w : spec.workloads) {
+            const WorkloadProfile prof =
+                w.profile.empty()
+                    ? tinyProfile(w.tinyInsts ? w.tinyInsts : 200'000,
+                                  w.tinySeed ? w.tinySeed : 1)
+                    : findProfile(w.profile);
+            mat.programs.push_back(generateProgram(prof));
+            CampaignWorkload cw;
+            cw.name = w.shard;
+            cw.prog = &mat.programs.back();
+            cw.set = &set_;
+            cw.shard = set_.find(w.shard);
+            mat.workloads.push_back(cw);
+        }
+        for (const JobConfigSpec &c : spec.configs)
+            mat.configs.push_back(materializeConfig(c));
+
+        CampaignOptions &o = mat.opt;
+        o.spec.level = spec.level;
+        o.spec.relativeError = spec.relativeError;
+        o.stopAtConfidence = spec.stopAtConfidence;
+        o.approxWrongPath = spec.approxWrongPath;
+        o.shuffleSeed = spec.shuffleSeed;
+        o.threads = std::max(1u, spec.threads);
+        o.decodeThreads = spec.decodeThreads;
+        o.blockSize = static_cast<std::size_t>(spec.blockSize);
+        o.maxFoldedReplays = spec.maxFoldedReplays;
+        o.manifestPath = j->dir + "/manifest.ledger";
+        o.residentBudgetBytes = spec.residentBudgetBytes;
+        // Concurrent jobs share shards through the service's
+        // refcounts; a job must never unload a shard under another.
+        o.unloadFinishedShards = false;
+        o.control = &j->control;
+        o.deadline = Deadline::inMs(spec.deadlineMs);
+
+        CampaignEngine engine(mat.workloads, mat.configs, mat.opt);
+        const CampaignResult res = engine.run();
+        if (res.cancelled) {
+            final = JobState::cancelled;
+            detail = res.cancelReason;
+        } else {
+            final = JobState::done;
+            resultJson = engine.jsonReport(res);
+            writeFileAtomic(
+                j->dir + "/result.json",
+                reinterpret_cast<const std::uint8_t *>(
+                    resultJson.data()),
+                resultJson.size(), "job result");
+        }
+    } catch (const std::exception &e) {
+        final = JobState::failed;
+        detail = e.what();
+    }
+    // The state token is written last: a crash before this line
+    // leaves `running` on disk, and recovery re-runs the job from
+    // its manifest.
+    try {
+        writeJobState(*j, final);
+    } catch (const std::exception &e) {
+        final = JobState::failed;
+        detail = strfmt("state write failed: %s", e.what());
+    }
+
+    std::unique_lock<std::mutex> lk(m_);
+    j->state = final;
+    j->detail = detail;
+    j->resultJson = std::move(resultJson);
+    runningSlots_ -= j->slots;
+    for (std::size_t s : j->shards) {
+        auto it = shardRefs_.find(s);
+        if (it != shardRefs_.end() && --it->second == 0) {
+            shardRefs_.erase(it);
+            if (set_.isLoaded(s))
+                set_.unload(s);
+        }
+    }
+    logEvent("finished", j, detail);
+    cv_.notify_all();
+}
+
+void
+CampaignService::drain()
+{
+    shutdown(/*cancelRunning=*/false);
+}
+
+void
+CampaignService::shutdown(bool cancelRunning)
+{
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        if (stop_)
+            return;
+        draining_ = true;
+        if (cancelRunning) {
+            for (auto &kv : jobs_) {
+                Job &j = *kv.second;
+                if (j.state == JobState::queued) {
+                    j.state = JobState::cancelled;
+                    j.detail = "service shutdown";
+                    writeJobState(j, JobState::cancelled);
+                } else if (j.state == JobState::running &&
+                           !j.cancelRequested) {
+                    j.cancelRequested = true;
+                    j.control.cancel.requestCancel("service shutdown");
+                }
+            }
+            cv_.notify_all();
+        }
+        cv_.wait(lk, [&] {
+            for (const auto &kv : jobs_)
+                if (!jobStateTerminal(kv.second->state))
+                    return false;
+            return true;
+        });
+        stop_ = true;
+        cv_.notify_all();
+    }
+    if (scheduler_.joinable())
+        scheduler_.join();
+    if (supervisor_.joinable())
+        supervisor_.join();
+    std::unique_lock<std::mutex> lk(m_);
+    for (auto &kv : jobs_)
+        if (kv.second->thread.joinable())
+            kv.second->thread.join();
+    logEvent("service_stop", nullptr, "");
+}
+
+} // namespace lp

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The campaign service: a job-queue scheduler, supervisor, and
+ * restart-recovery layer over CampaignEngine. One service owns one
+ * LibrarySet fleet store (opened with openRecover, so a degraded set
+ * serves what it can) and one worker-slot budget; submitted JobSpecs
+ * queue, run concurrently under that budget, and persist everything
+ * they need to resume into per-job directories:
+ *
+ *     <jobsDir>/job-<id>/spec.der         the encoded JobSpec
+ *     <jobsDir>/job-<id>/manifest.ledger  campaign barrier ledger
+ *     <jobsDir>/job-<id>/result.json      final report (done jobs)
+ *     <jobsDir>/job-<id>/state            one state token, written
+ *                                         atomically, always last
+ *     <jobsDir>/service.jsonl             structured event log
+ *
+ * Guarantees:
+ *  - **Bit-identity.** A job's result is bit-identical to running the
+ *    same grid standalone (same spec, seed, block size) — including a
+ *    job whose daemon was SIGKILLed mid-run and restarted: recovery
+ *    re-enqueues it and the manifest ledger resumes it at the last
+ *    durable barrier.
+ *  - **Admission control.** submit() rejects-with-retry-after when
+ *    the queue is at maxQueueDepth or when the aggregate resident
+ *    estimate (each job counts its largest shard, because a campaign
+ *    streams one shard at a time) would exceed maxResidentBytes.
+ *  - **Supervision.** A supervisor thread watches each running job's
+ *    progress heartbeat; a job stalled past stuckTimeoutMs gets its
+ *    failStuck flag raised, which aborts only hang-parked workers
+ *    (ReplayControl::failStuck) — the stuck cell fails with reason
+ *    `cell_stuck` and every other cell of every job completes.
+ *  - **Graceful degradation.** A job naming a quarantined shard still
+ *    runs; the campaign marks those cells failed-with-reason
+ *    (`shard_quarantined`) and the job completes `done`.
+ *  - **Cooperative cancellation.** cancel() stops a running job at
+ *    the next block barrier, after its manifest write — the stop is a
+ *    valid resume point, and resume() continues it bit-identically.
+ */
+
+#ifndef LP_SVC_SERVICE_HH
+#define LP_SVC_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/library_set.hh"
+#include "svc/job.hh"
+#include "svc/proto.hh"
+
+namespace lp
+{
+
+struct ServiceConfig
+{
+    std::string jobsDir; //!< job directories + structured log
+    std::string setDir;  //!< LibrarySet fleet store (openRecover)
+
+    /** Total simulation-worker budget across concurrent jobs. */
+    unsigned workerSlots = 4;
+
+    /** Queued (not yet running) jobs beyond this are rejected. */
+    std::size_t maxQueueDepth = 8;
+
+    /** Aggregate resident-bytes admission bound; 0 = unlimited. */
+    std::uint64_t maxResidentBytes = 0;
+
+    /** Heartbeat stall that marks a job stuck; 0 = watchdog off. */
+    std::uint64_t stuckTimeoutMs = 0;
+
+    /** Supervisor poll period. */
+    std::uint64_t supervisorPeriodMs = 25;
+
+    /** retryAfterMs hint returned with admission rejections. */
+    std::uint64_t retryAfterMs = 250;
+
+    /** Structured log path; "" = <jobsDir>/service.jsonl. */
+    std::string logPath;
+};
+
+/** What submit()/resume() decided. */
+struct SubmitOutcome
+{
+    bool accepted = false;
+    bool retry = false; //!< admission full: retry after retryAfterMs
+    std::uint64_t id = 0;
+    std::uint64_t retryAfterMs = 0;
+    std::string error; //!< rejection / retry detail
+};
+
+struct JobStatusInfo
+{
+    bool found = false;
+    JobState state = JobState::queued;
+    std::uint64_t progress = 0; //!< folded-replay heartbeat counter
+    std::string detail;         //!< error / cancel reason ("" if none)
+};
+
+class CampaignService
+{
+  public:
+    /**
+     * Open the fleet set, scan @p cfg.jobsDir for jobs a previous
+     * incarnation left behind (terminal jobs are reloaded as results;
+     * queued/running jobs re-enqueue and resume from their
+     * manifests), and start the scheduler and supervisor threads.
+     */
+    explicit CampaignService(const ServiceConfig &cfg);
+
+    /** Stops accepting, cancels what runs, and joins (resumable). */
+    ~CampaignService();
+
+    CampaignService(const CampaignService &) = delete;
+    CampaignService &operator=(const CampaignService &) = delete;
+
+    SubmitOutcome submit(const JobSpec &spec);
+
+    /**
+     * Request cancellation. A queued job cancels immediately; a
+     * running job drains to its next block barrier. False only when
+     * @p id is unknown.
+     */
+    bool cancel(std::uint64_t id, const std::string &reason);
+
+    /** Re-enqueue a cancelled/failed job; resumes from its manifest. */
+    SubmitOutcome resume(std::uint64_t id);
+
+    JobStatusInfo status(std::uint64_t id) const;
+
+    /**
+     * Terminal outcome of @p id: its state and, for done jobs, the
+     * campaign JSON report. False when unknown or not yet terminal.
+     */
+    bool result(std::uint64_t id, JobState *state,
+                std::string *json) const;
+
+    /** Block until @p id is terminal; false on timeout/unknown. */
+    bool waitForJob(std::uint64_t id, std::uint64_t timeoutMs = 0);
+
+    /** Stop accepting, run the queue dry, stop the threads. */
+    void drain();
+
+    const LibrarySet &set() const { return set_; }
+    const ServiceConfig &config() const { return cfg_; }
+
+    /** All job ids, ascending (for status listings and tests). */
+    std::vector<std::uint64_t> jobIds() const;
+
+  private:
+    struct Job;
+
+    void recoverJobs();
+    void schedulerLoop();
+    void supervisorLoop();
+    void runJob(Job *j);
+    void startJobLocked(Job *j);
+    void writeJobState(const Job &j, JobState s) const;
+    std::uint64_t residentEstimate(const JobSpec &spec) const;
+    void shutdown(bool cancelRunning);
+    void logEvent(const std::string &event, const Job *j,
+                  const std::string &detail);
+
+    ServiceConfig cfg_;
+    LibrarySet set_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    std::map<std::size_t, unsigned> shardRefs_; //!< loaded-shard users
+    std::uint64_t nextId_ = 1;
+    unsigned runningSlots_ = 0;
+    bool draining_ = false; //!< no new submissions
+    bool stop_ = false;     //!< scheduler/supervisor exit
+
+    std::mutex logM_;
+    std::FILE *log_ = nullptr;
+
+    std::thread scheduler_;
+    std::thread supervisor_;
+};
+
+} // namespace lp
+
+#endif // LP_SVC_SERVICE_HH

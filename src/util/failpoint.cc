@@ -113,6 +113,8 @@ parseSpec(const std::string &text)
 
     if (parts[2] == "crash") {
         spec.action = FailpointSpec::Action::crash;
+    } else if (parts[2] == "hang") {
+        spec.action = FailpointSpec::Action::hang;
     } else if (parts[2] == "short") {
         spec.action = FailpointSpec::Action::shortOp;
     } else if (parts[2] == "err") {
@@ -179,6 +181,9 @@ failpointFire(const char *site)
 #endif
     case FailpointSpec::Action::shortOp:
         out.shortOp = true;
+        return out;
+    case FailpointSpec::Action::hang:
+        out.hang = true;
         return out;
     case FailpointSpec::Action::error:
     default:

@@ -17,6 +17,11 @@
  *              every  fire on every nth hit
  *     action   crash         _exit(failpointCrashStatus) at the site
  *              short         simulate a short read/write (one chunk)
+ *              hang          park the hitting thread at the site (a
+ *                            stuck worker); the site waits
+ *                            interruptibly — a supervisor watchdog
+ *                            aborts it as a contained fault, and
+ *                            disarming the site releases it
  *              err[:CODE]    inject errno CODE (EIO, EINTR, EAGAIN,
  *                            ENOSPC, ENOENT, EACCES, or a number;
  *                            default EIO)
@@ -59,7 +64,8 @@ struct FailpointSpec
     {
         error,   //!< inject errno `err` (I/O sites) / throw (others)
         shortOp, //!< simulate a short read/write
-        crash    //!< _exit(failpointCrashStatus) at the site
+        crash,   //!< _exit(failpointCrashStatus) at the site
+        hang     //!< park the hitting thread (an injectable stall)
     };
 
     Trigger trigger = Trigger::nth;
@@ -73,6 +79,7 @@ struct FailpointOutcome
 {
     bool fail = false;    //!< inject an error with errno `err`
     bool shortOp = false; //!< perform a deliberately short operation
+    bool hang = false;    //!< park: the site must wait interruptibly
     int err = 0;
 };
 
