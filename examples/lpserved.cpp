@@ -15,6 +15,8 @@
  *   --resident <bytes>   admission bound (LP_SVC_MAX_RESIDENT_BYTES)
  *   --stuck-ms <ms>      watchdog stall  (LP_SVC_STUCK_TIMEOUT_MS)
  *   --period-ms <ms>     watchdog period (LP_SVC_SUPERVISOR_PERIOD_MS)
+ *   --results <path>     fleet result store (LP_SVC_RESULTS;
+ *                        default <jobs>/results.lpres)
  *
  * Flags override the LP_SVC_* environment; defaults are a socket and
  * jobs directory beside the set. Runs until `lpsubmit drain` (or
@@ -77,6 +79,7 @@ main(int argc, char **argv)
         envOrU64("LP_SVC_STUCK_TIMEOUT_MS", cfg.stuckTimeoutMs);
     cfg.supervisorPeriodMs = envOrU64("LP_SVC_SUPERVISOR_PERIOD_MS",
                                       cfg.supervisorPeriodMs);
+    cfg.resultStorePath = envOr("LP_SVC_RESULTS", "");
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -105,6 +108,8 @@ main(int argc, char **argv)
             cfg.stuckTimeoutMs = std::strtoull(need(), nullptr, 10);
         else if (a == "--period-ms")
             cfg.supervisorPeriodMs = std::strtoull(need(), nullptr, 10);
+        else if (a == "--results")
+            cfg.resultStorePath = need();
         else
             panic("unknown flag '%s'", a.c_str());
     }

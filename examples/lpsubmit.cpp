@@ -7,14 +7,22 @@
  *          [--tiny INSTS:SEED] --config PRESET[:NAME[:MEM[:L2LAT[:L2KB]]]] ...
  *          [--threads N] [--deadline-ms N] [--level L] [--rel R]
  *          [--seed N] [--block N] [--budget N]
+ *          [--retries N]
  *            submit a job; prints its id. `--tiny` sets the synthetic
  *            program recipe used by workloads without a PROFILE.
- *            Retries admission rejections until accepted.
+ *            Admission rejections are retried with bounded,
+ *            deterministic backoff that honors the daemon's
+ *            retry-after hint (at most N retries, default 64);
+ *            exit 3 when the budget lapses while the daemon is busy.
  *   status <id>        print state, progress, detail
  *   wait <id> [ms]     poll until the job is terminal
  *   result <id>        print the campaign JSON report (done jobs)
  *   cancel <id> [why]  drain the job to its next barrier
  *   resume <id>        re-enqueue a cancelled/failed job
+ *   query [WORKLOAD] [DIGEST]
+ *                      list the daemon's result store (zero
+ *                      simulation), optionally filtered by workload
+ *                      shard name and/or hex config digest
  *   drain              run the daemon's queue dry and stop it
  *
  * The socket defaults to LP_SVC_SOCKET.
@@ -88,6 +96,7 @@ main(int argc, char **argv)
         if (cmd == "submit") {
             JobSpec spec;
             std::uint64_t tinyInsts = 0, tinySeed = 0;
+            RetryPolicy retry;
             for (; i < argc; ++i) {
                 const std::string a = argv[i];
                 auto need = [&]() -> std::string {
@@ -136,6 +145,8 @@ main(int argc, char **argv)
                     spec.blockSize = toU64(need());
                 else if (a == "--budget")
                     spec.maxFoldedReplays = toU64(need());
+                else if (a == "--retries")
+                    retry.attempts = static_cast<int>(toU64(need()));
                 else
                     panic("unknown submit flag '%s'", a.c_str());
             }
@@ -147,27 +158,22 @@ main(int argc, char **argv)
             }
             if (spec.configs.empty())
                 spec.configs.push_back(JobConfigSpec{"eight", "", 0, 0, 0});
-            for (;;) {
-                const SvcReply r = client.submit(spec);
-                if (r.ok) {
-                    std::printf("%llu\n",
-                                static_cast<unsigned long long>(r.id));
-                    return 0;
-                }
-                if (!r.retry) {
-                    std::fprintf(stderr, "lpsubmit: rejected: %s\n",
-                                 r.detail.c_str());
-                    return 1;
-                }
-                std::fprintf(stderr,
-                             "lpsubmit: busy (%s), retrying in %llu "
-                             "ms\n",
-                             r.detail.c_str(),
-                             static_cast<unsigned long long>(
-                                 r.retryAfterMs));
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(r.retryAfterMs));
+            const SvcReply r = client.submitWithRetry(spec, retry);
+            if (r.ok) {
+                std::printf("%llu\n",
+                            static_cast<unsigned long long>(r.id));
+                return 0;
             }
+            if (r.retry) {
+                std::fprintf(stderr,
+                             "lpsubmit: daemon still busy after %d "
+                             "retries (%s)\n",
+                             retry.attempts, r.detail.c_str());
+                return 3;
+            }
+            std::fprintf(stderr, "lpsubmit: rejected: %s\n",
+                         r.detail.c_str());
+            return 1;
         }
 
         if (cmd == "status" || cmd == "wait") {
@@ -235,6 +241,20 @@ main(int argc, char **argv)
             }
             std::printf("resumed job %llu\n",
                         static_cast<unsigned long long>(r.id));
+            return 0;
+        }
+
+        if (cmd == "query") {
+            const std::string workload = i < argc ? argv[i++] : "";
+            const std::uint64_t digest =
+                i < argc ? std::strtoull(argv[i], nullptr, 16) : 0;
+            const SvcReply r = client.query(workload, digest);
+            if (!r.ok) {
+                std::fprintf(stderr, "lpsubmit: %s\n",
+                             r.detail.c_str());
+                return 1;
+            }
+            std::fputs(r.resultJson.c_str(), stdout);
             return 0;
         }
 

@@ -14,6 +14,7 @@
 #include "io/atomic_file.hh"
 #include "io/io_error.hh"
 #include "io/source.hh"
+#include "store/result_store.hh"
 #include "util/failpoint.hh"
 #include "util/log.hh"
 #include "util/threadpool.hh"
@@ -86,25 +87,6 @@ truncateFile(const std::string &path, std::uint64_t size)
                      ec.value());
 }
 
-/** Minimal JSON string escaping for failure-reason reporting. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\') {
-            out.push_back('\\');
-            out.push_back(c);
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            out += strfmt("\\u%04x", c);
-        } else {
-            out.push_back(c);
-        }
-    }
-    return out;
-}
-
 double
 seconds(Clock::time_point t0)
 {
@@ -135,15 +117,6 @@ getStatState(DerReader &r)
     st.min = seq.getDouble();
     st.max = seq.getDouble();
     return RunningStat::fromState(st);
-}
-
-std::uint64_t
-doubleBits(double v)
-{
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
-    std::memcpy(&bits, &v, sizeof(bits));
-    return bits;
 }
 
 } // namespace
@@ -608,6 +581,51 @@ CampaignEngine::run()
 
     Manifest m = loadManifest();
 
+    // Result-store memoization: resolve every cell whose full replay
+    // identity the store already holds, before any shard opens or
+    // worker starts. Memoized cells never become active, stay out of
+    // the manifest and the replay budget, and a workload whose cells
+    // all resolve never opens its shard at all — O(lookup) instead
+    // of O(replay).
+    std::vector<char> memoHit(workloads_.size() * nc, 0);
+    std::vector<CellRecord> memoRec(workloads_.size() * nc);
+    if (opt_.resultStore) {
+        for (std::size_t w = 0; w < workloads_.size(); ++w) {
+            if (libHashes_[w] == 0)
+                continue; // recovered shard: hash untrusted
+            for (std::size_t c = 0; c < nc; ++c) {
+                const ResultKey key = ResultKey::make(
+                    libHashes_[w], digests_[c], opt_.shuffleSeed,
+                    blockSize_, opt_.stopAtConfidence,
+                    opt_.approxWrongPath, opt_.spec);
+                CellRecord rec;
+                if (!opt_.resultStore->find(key, &rec))
+                    continue;
+                if (rec.libPoints != libSizes_[w])
+                    continue; // key-hash collision or stale record
+                memoHit[w * nc + c] = 1;
+                memoRec[w * nc + c] = rec;
+            }
+        }
+    }
+    auto pairProbeFor = [this](std::size_t w, std::size_t a,
+                               std::size_t b) {
+        const ResultKey k = ResultKey::make(
+            libHashes_[w], digests_[a], opt_.shuffleSeed, blockSize_,
+            opt_.stopAtConfidence, opt_.approxWrongPath, opt_.spec);
+        PairRecord p;
+        p.libHash = libHashes_[w];
+        p.baseDigest = digests_[a];
+        p.testDigest = digests_[b];
+        p.shuffleSeed = opt_.shuffleSeed;
+        p.blockSize = blockSize_;
+        p.stopAtConfidence = opt_.stopAtConfidence;
+        p.approxWrongPath = opt_.approxWrongPath;
+        p.levelBits = k.levelBits;
+        p.relErrBits = k.relErrBits;
+        return p;
+    };
+
     CampaignResult res;
     res.cells.resize(workloads_.size() * nc);
     res.pairs.reserve(workloads_.size() * numPairs);
@@ -662,12 +680,18 @@ CampaignEngine::run()
         std::vector<std::string> cellDetail(nc);
         std::uint64_t initialMask = 0;
         for (std::size_t c = 0; c < nc; ++c) {
+            cells.push_back(CellRun{OnlineEstimator(opt_.spec),
+                                    RunningStat{}, true});
+            // A store-memoized cell resolves wholly outside the run:
+            // no manifest state, no staleness check, no replay.
+            if (memoHit[w * nc + c]) {
+                cells[c].active = false;
+                continue;
+            }
             restoredAtStart[c] =
                 m.restored
                     ? static_cast<std::size_t>(mw.cells[c].processed)
                     : 0;
-            cells.push_back(CellRun{OnlineEstimator(opt_.spec),
-                                    RunningStat{}, true});
             if (mw.cells[c].stat.count())
                 cells[c].est.fold(mw.cells[c].stat);
             cells[c].active =
@@ -885,6 +909,31 @@ CampaignEngine::run()
             CampaignCell &cell = res.cells[w * nc + c];
             cell.workload = w;
             cell.config = c;
+            if (memoHit[w * nc + c]) {
+                const CellRecord &rec = memoRec[w * nc + c];
+                OnlineEstimator est(opt_.spec);
+                est.fold(RunningStat::fromState(rec.stat));
+                cell.stat = est.stat();
+                cell.estimate = est.snapshot();
+                cell.processed =
+                    static_cast<std::size_t>(rec.processed);
+                cell.unavailableLoads = rec.unavailableLoads;
+                cell.converged = rec.converged;
+                cell.memoized = true;
+                // The stored-vs-replayed bit-identity assertion: the
+                // restored fold state must reproduce the stored CPI
+                // bits exactly, or the store is inconsistent with
+                // the engine that produced it.
+                if (doubleBits(cell.estimate.mean) != rec.cpiBits)
+                    throw std::runtime_error(strfmt(
+                        "result store: memoized cell (workload '%s', "
+                        "config %zu) does not reproduce its stored "
+                        "CPI bits",
+                        wk.name.c_str(), c));
+                ++res.memoizedCells;
+                res.memoizedReplays += rec.processed;
+                continue;
+            }
             cell.stat = mw.cells[c].stat;
             cell.estimate = cells[c].est.snapshot();
             cell.processed =
@@ -919,6 +968,18 @@ CampaignEngine::run()
                 p.base = a;
                 p.test = b;
                 p.delta = mw.pairs[pairIndex(a, b)];
+                // Both cells memoized → no per-point delta replayed
+                // here; restore the matched-pair stat the producing
+                // run published. (A pair between a memoized and a
+                // fresh cell stays empty: per-point deltas cannot be
+                // reconstructed from per-cell fold state.)
+                if (p.delta.count() == 0 && opt_.resultStore &&
+                    memoHit[w * nc + a] && memoHit[w * nc + b]) {
+                    PairRecord rec;
+                    if (opt_.resultStore->findPair(
+                            pairProbeFor(w, a, b), &rec))
+                        p.delta = RunningStat::fromState(rec.delta);
+                }
                 res.pairs.push_back(std::move(p));
             }
     }
@@ -928,24 +989,94 @@ CampaignEngine::run()
     return res;
 }
 
+std::size_t
+CampaignEngine::publish(const CampaignResult &r,
+                        ResultStore &store) const
+{
+    const std::size_t nc = configs_.size();
+    std::size_t written = 0;
+    // A cell is publishable when its result is canonical for its key:
+    // not failed, and either retired by its confidence target or run
+    // over the whole library. Budget- or cancel-truncated cells stop
+    // at a non-canonical point and must not poison the store.
+    std::vector<char> ok(r.cells.size(), 0);
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+        const CampaignCell &cell = r.cells[i];
+        const std::size_t w = cell.workload;
+        if (libHashes_[w] == 0)
+            continue; // recovered shard: hash untrusted
+        const bool complete =
+            cell.converged ||
+            cell.processed ==
+                static_cast<std::size_t>(libSizes_[w]);
+        if (cell.failed || !complete || cell.processed == 0)
+            continue;
+        ok[i] = 1;
+        CellRecord rec;
+        rec.key = ResultKey::make(
+            libHashes_[w], digests_[cell.config], opt_.shuffleSeed,
+            blockSize_, opt_.stopAtConfidence, opt_.approxWrongPath,
+            opt_.spec);
+        rec.libPoints = libSizes_[w];
+        rec.processed = cell.processed;
+        rec.unavailableLoads = cell.unavailableLoads;
+        rec.converged = cell.converged;
+        rec.cpiBits = doubleBits(cell.estimate.mean);
+        rec.stat = cell.stat.state();
+        store.put(rec);
+        ++written;
+    }
+    for (const CampaignPair &p : r.pairs) {
+        if (p.delta.count() == 0)
+            continue;
+        if (!ok[p.workload * nc + p.base] ||
+            !ok[p.workload * nc + p.test])
+            continue;
+        const std::size_t w = p.workload;
+        const ResultKey k = ResultKey::make(
+            libHashes_[w], digests_[p.base], opt_.shuffleSeed,
+            blockSize_, opt_.stopAtConfidence, opt_.approxWrongPath,
+            opt_.spec);
+        PairRecord rec;
+        rec.libHash = libHashes_[w];
+        rec.baseDigest = digests_[p.base];
+        rec.testDigest = digests_[p.test];
+        rec.shuffleSeed = opt_.shuffleSeed;
+        rec.blockSize = blockSize_;
+        rec.stopAtConfidence = opt_.stopAtConfidence;
+        rec.approxWrongPath = opt_.approxWrongPath;
+        rec.levelBits = k.levelBits;
+        rec.relErrBits = k.relErrBits;
+        rec.delta = p.delta.state();
+        store.putPair(rec);
+        ++written;
+    }
+    return written;
+}
+
 std::string
 CampaignEngine::jsonReport(const CampaignResult &r) const
 {
     const std::size_t nc = configs_.size();
     const double z = confidenceZ(opt_.spec.level);
-    // Version 2: added schema_version, per-cell cpi_bits (exact IEEE
-    // bits, the bit-identity contract clients verify), the stable
+    // Version 3: every free-text string field (workload and config
+    // names included) is JSON-escaped, and the result-store
+    // memoization fields were added (per-cell "memoized", totals
+    // "memoized_cells" / "memoized_replays"). Version 2 added
+    // schema_version, per-cell cpi_bits (exact IEEE bits, the
+    // bit-identity contract clients verify), the stable
     // machine-readable per-cell "reason" token (free text moved to
     // "detail"), and the cancelled/cancel_reason totals.
-    std::string out = "{\n  \"schema_version\": 2,\n  \"workloads\": [";
+    std::string out = "{\n  \"schema_version\": 3,\n  \"workloads\": [";
     for (std::size_t w = 0; w < workloads_.size(); ++w)
         out += strfmt("%s\"%s\"", w ? ", " : "",
-                      workloads_[w].name.c_str());
+                      jsonEscape(workloads_[w].name).c_str());
     out += "],\n  \"configs\": [";
     for (std::size_t c = 0; c < nc; ++c)
         out += strfmt("%s\n    {\"name\": \"%s\", \"digest\": "
                       "\"%016llx\"}",
-                      c ? "," : "", configs_[c].name.c_str(),
+                      c ? "," : "",
+                      jsonEscape(configs_[c].name).c_str(),
                       static_cast<unsigned long long>(digests_[c]));
     out += "\n  ],\n  \"cells\": [";
     for (std::size_t i = 0; i < r.cells.size(); ++i) {
@@ -955,6 +1086,7 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
             "\"points\": %zu, \"cpi\": %.9f, \"cpi_bits\": "
             "\"%016llx\", \"rel_half_width\": %.6f, "
             "\"converged\": %s, \"unavailable_loads\": %llu, "
+            "\"memoized\": %s, "
             "\"failed\": %s, \"reason\": \"%s\", \"detail\": \"%s\"}",
             i ? "," : "", cell.workload, cell.config, cell.processed,
             cell.estimate.mean,
@@ -963,8 +1095,9 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
             cell.estimate.relHalfWidth,
             cell.converged ? "true" : "false",
             static_cast<unsigned long long>(cell.unavailableLoads),
+            cell.memoized ? "true" : "false",
             cell.failed ? "true" : "false",
-            cellFailReasonToken(cell.reason),
+            jsonEscape(cellFailReasonToken(cell.reason)).c_str(),
             jsonEscape(cell.failureReason).c_str());
     }
     out += "\n  ],\n  \"pairs\": [";
@@ -991,8 +1124,10 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         "\"bytes_decoded\": %llu, \"points_decoded\": %llu, "
         "\"replays_executed\": %llu, \"folded_replays\": %llu, "
         "\"restored_replays\": %llu, \"migrated_replays\": %llu, "
+        "\"memoized_replays\": %llu, "
         "\"peak_resident_bytes\": %llu, "
         "\"retirements\": %zu, \"failed_cells\": %zu, "
+        "\"memoized_cells\": %zu, "
         "\"budget_exhausted\": %s, "
         "\"cancelled\": %s, \"cancel_reason\": \"%s\", "
         "\"decode_fanout\": %.3f}\n}\n",
@@ -1002,8 +1137,9 @@ CampaignEngine::jsonReport(const CampaignResult &r) const
         static_cast<unsigned long long>(r.foldedReplays),
         static_cast<unsigned long long>(r.restoredReplays),
         static_cast<unsigned long long>(r.migratedReplays),
+        static_cast<unsigned long long>(r.memoizedReplays),
         static_cast<unsigned long long>(r.peakResidentBytes),
-        r.retirements, r.failedCells,
+        r.retirements, r.failedCells, r.memoizedCells,
         r.budgetExhausted ? "true" : "false",
         r.cancelled ? "true" : "false",
         jsonEscape(r.cancelReason).c_str(),

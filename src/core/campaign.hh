@@ -60,6 +60,9 @@
 namespace lp
 {
 
+class ResultStore;
+struct CellRecord;
+
 /**
  * One row of the campaign grid. The library comes from exactly one of
  * two places: a resident LivePointLibrary (@p lib), or a shard of a
@@ -144,6 +147,22 @@ struct CampaignOptions
      * consistent, resumable). Default: never.
      */
     Deadline deadline;
+
+    /**
+     * Fleet result store (optional; the caller keeps ownership).
+     * Before any replay starts, each cell's full replay identity —
+     * (library contentHash, config digest, shuffle seed, block size,
+     * wrong-path mode, stopping mode, confidence spec) — is looked
+     * up; a hit restores the stored fold state instead of replaying,
+     * bit-identical to a fresh run by the engine's determinism
+     * contract (the restore cross-checks the stored CPI bits and
+     * throws on mismatch). Memoized cells never open their shard, are
+     * excluded from the manifest and the replay budget, and pairs
+     * where both cells are memoized restore their matched-pair delta
+     * from the store. The store is read-only during run(); call
+     * publish() afterwards to add this run's completed cells.
+     */
+    ResultStore *resultStore = nullptr;
 };
 
 /**
@@ -187,6 +206,13 @@ struct CampaignCell
     CellFailReason reason = CellFailReason::none;
     std::string failureReason; //!< free-text detail ("" when healthy)
 
+    /**
+     * Restored from the result store without replaying: processed /
+     * stat / estimate are the stored run's, bit-identical to what
+     * replaying would have produced.
+     */
+    bool memoized = false;
+
     double cpi() const { return estimate.mean; }
 };
 
@@ -221,6 +247,9 @@ struct CampaignResult
     std::uint64_t peakResidentBytes = 0;
     std::size_t retirements = 0;       //!< cells stopped early
     std::size_t failedCells = 0;       //!< cells failed-with-reason
+    std::size_t memoizedCells = 0;     //!< cells resolved by the store
+    /** Replays the result store made unnecessary this run. */
+    std::uint64_t memoizedReplays = 0;
     bool budgetExhausted = false;
 
     /**
@@ -264,9 +293,23 @@ class CampaignEngine
     /**
      * The machine-readable campaign report: one JSON object with the
      * grid, per-cell estimates, matched-pair deltas at the campaign's
-     * confidence level, and decode-amortization totals.
+     * confidence level, and decode-amortization totals. Every
+     * free-text field (names, failure details, cancel reasons) is
+     * JSON-escaped; the output always parses.
      */
     std::string jsonReport(const CampaignResult &r) const;
+
+    /**
+     * Publish @p r's completed cells into @p store: every cell that
+     * is not failed and either converged or consumed its whole
+     * library, keyed by its full replay identity, plus the
+     * matched-pair deltas between published cells. Memoized cells
+     * republish their (identical) stored records, so publishing is
+     * idempotent. Returns the number of records written. The caller
+     * saves the store when it chooses.
+     */
+    std::size_t publish(const CampaignResult &r,
+                        ResultStore &store) const;
 
   private:
     struct Manifest;

@@ -1,0 +1,611 @@
+#include "store/result_store.hh"
+
+#include <filesystem>
+
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "codec/der.hh"
+
+namespace lp
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'L', 'P', 'R', 'E', 'S', '1', '\n', '\0'};
+constexpr std::uint64_t kVersion = 1;
+constexpr const char *kRole = "lp-result-store";
+
+constexpr std::size_t kHeaderBytes = 48;
+constexpr std::size_t kCellWords = 17; //!< 16 payload + record fnv
+constexpr std::size_t kPairWords = 14; //!< 13 payload + record fnv
+constexpr std::size_t kCellBytes = kCellWords * 8;
+constexpr std::size_t kPairBytes = kPairWords * 8;
+
+constexpr std::uint64_t kFlagStop = 1u << 0;
+constexpr std::uint64_t kFlagWrongPath = 1u << 1;
+constexpr std::uint64_t kFlagConverged = 1u << 2;
+
+void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+[[noreturn]] void
+badStore(const std::string &path, const char *why)
+{
+    throw IoError(
+        ioErrorMsg("parse", "result store", path, 0) + ": " + why, 0);
+}
+
+/** FNV-1a over @p n little-endian words. */
+std::uint64_t
+wordsFnv(const std::uint64_t *words, std::size_t n)
+{
+    Blob buf(n * 8);
+    for (std::size_t i = 0; i < n; ++i)
+        putU64(buf.data() + i * 8, words[i]);
+    return fnv1a(buf.data(), buf.size());
+}
+
+void
+encodeCell(std::uint8_t *p, const CellRecord &r)
+{
+    std::uint64_t flags = 0;
+    if (r.key.stopAtConfidence)
+        flags |= kFlagStop;
+    if (r.key.approxWrongPath)
+        flags |= kFlagWrongPath;
+    if (r.converged)
+        flags |= kFlagConverged;
+    const std::uint64_t w[kCellWords - 1] = {
+        r.key.libHash,      r.key.configDigest,
+        r.key.shuffleSeed,  r.key.blockSize,
+        flags,              r.key.levelBits,
+        r.key.relErrBits,   r.libPoints,
+        r.processed,        r.unavailableLoads,
+        r.cpiBits,          r.stat.n,
+        doubleBits(r.stat.mean), doubleBits(r.stat.m2),
+        doubleBits(r.stat.min),  doubleBits(r.stat.max)};
+    for (std::size_t i = 0; i < kCellWords - 1; ++i)
+        putU64(p + i * 8, w[i]);
+    putU64(p + (kCellWords - 1) * 8, fnv1a(p, (kCellWords - 1) * 8));
+}
+
+CellRecord
+decodeCell(const std::uint8_t *p, const std::string &path)
+{
+    if (getU64(p + (kCellWords - 1) * 8) !=
+        fnv1a(p, (kCellWords - 1) * 8))
+        badStore(path, "cell record checksum mismatch");
+    CellRecord r;
+    r.key.libHash = getU64(p);
+    r.key.configDigest = getU64(p + 8);
+    r.key.shuffleSeed = getU64(p + 16);
+    r.key.blockSize = getU64(p + 24);
+    const std::uint64_t flags = getU64(p + 32);
+    if (flags & ~(kFlagStop | kFlagWrongPath | kFlagConverged))
+        badStore(path, "cell record has unknown flag bits");
+    r.key.stopAtConfidence = (flags & kFlagStop) != 0;
+    r.key.approxWrongPath = (flags & kFlagWrongPath) != 0;
+    r.converged = (flags & kFlagConverged) != 0;
+    r.key.levelBits = getU64(p + 40);
+    r.key.relErrBits = getU64(p + 48);
+    r.libPoints = getU64(p + 56);
+    r.processed = getU64(p + 64);
+    r.unavailableLoads = getU64(p + 72);
+    r.cpiBits = getU64(p + 80);
+    r.stat.n = getU64(p + 88);
+    r.stat.mean = bitsFromDouble(getU64(p + 96));
+    r.stat.m2 = bitsFromDouble(getU64(p + 104));
+    r.stat.min = bitsFromDouble(getU64(p + 112));
+    r.stat.max = bitsFromDouble(getU64(p + 120));
+    return r;
+}
+
+void
+encodePair(std::uint8_t *p, const PairRecord &r)
+{
+    std::uint64_t flags = 0;
+    if (r.stopAtConfidence)
+        flags |= kFlagStop;
+    if (r.approxWrongPath)
+        flags |= kFlagWrongPath;
+    const std::uint64_t w[kPairWords - 1] = {
+        r.libHash,          r.baseDigest,
+        r.testDigest,       r.shuffleSeed,
+        r.blockSize,        flags,
+        r.levelBits,        r.relErrBits,
+        r.delta.n,          doubleBits(r.delta.mean),
+        doubleBits(r.delta.m2), doubleBits(r.delta.min),
+        doubleBits(r.delta.max)};
+    for (std::size_t i = 0; i < kPairWords - 1; ++i)
+        putU64(p + i * 8, w[i]);
+    putU64(p + (kPairWords - 1) * 8, fnv1a(p, (kPairWords - 1) * 8));
+}
+
+PairRecord
+decodePair(const std::uint8_t *p, const std::string &path)
+{
+    if (getU64(p + (kPairWords - 1) * 8) !=
+        fnv1a(p, (kPairWords - 1) * 8))
+        badStore(path, "pair record checksum mismatch");
+    PairRecord r;
+    r.libHash = getU64(p);
+    r.baseDigest = getU64(p + 8);
+    r.testDigest = getU64(p + 16);
+    r.shuffleSeed = getU64(p + 24);
+    r.blockSize = getU64(p + 32);
+    const std::uint64_t flags = getU64(p + 40);
+    if (flags & ~(kFlagStop | kFlagWrongPath))
+        badStore(path, "pair record has unknown flag bits");
+    r.stopAtConfidence = (flags & kFlagStop) != 0;
+    r.approxWrongPath = (flags & kFlagWrongPath) != 0;
+    r.levelBits = getU64(p + 48);
+    r.relErrBits = getU64(p + 56);
+    r.delta.n = getU64(p + 64);
+    r.delta.mean = bitsFromDouble(getU64(p + 72));
+    r.delta.m2 = bitsFromDouble(getU64(p + 80));
+    r.delta.min = bitsFromDouble(getU64(p + 88));
+    r.delta.max = bitsFromDouble(getU64(p + 96));
+    return r;
+}
+
+bool
+pairIdentityEquals(const PairRecord &a, const PairRecord &b)
+{
+    return a.libHash == b.libHash && a.baseDigest == b.baseDigest &&
+           a.testDigest == b.testDigest &&
+           a.shuffleSeed == b.shuffleSeed &&
+           a.blockSize == b.blockSize &&
+           a.stopAtConfidence == b.stopAtConfidence &&
+           a.approxWrongPath == b.approxWrongPath &&
+           a.levelBits == b.levelBits && a.relErrBits == b.relErrBits;
+}
+
+} // namespace
+
+ResultKey
+ResultKey::make(std::uint64_t libHash, std::uint64_t configDigest,
+                std::uint64_t shuffleSeed, std::uint64_t blockSize,
+                bool stopAtConfidence, bool approxWrongPath,
+                const ConfidenceSpec &spec)
+{
+    ResultKey k;
+    k.libHash = libHash;
+    k.configDigest = configDigest;
+    k.shuffleSeed = shuffleSeed;
+    k.blockSize = blockSize;
+    k.stopAtConfidence = stopAtConfidence;
+    k.approxWrongPath = approxWrongPath;
+    // A full-library run never consults the spec, so its result is
+    // reusable under any spec: canonicalize the key to spec-free.
+    if (stopAtConfidence) {
+        k.levelBits = doubleBits(spec.level);
+        k.relErrBits = doubleBits(spec.relativeError);
+    }
+    return k;
+}
+
+std::uint64_t
+ResultKey::hash() const
+{
+    const std::uint64_t w[8] = {libHash,
+                                configDigest,
+                                shuffleSeed,
+                                blockSize,
+                                (stopAtConfidence ? kFlagStop : 0u) |
+                                    (approxWrongPath ? kFlagWrongPath
+                                                     : 0u),
+                                levelBits,
+                                relErrBits,
+                                0};
+    return wordsFnv(w, 8);
+}
+
+std::uint64_t
+PairRecord::hash() const
+{
+    const std::uint64_t w[9] = {libHash,
+                                baseDigest,
+                                testDigest,
+                                shuffleSeed,
+                                blockSize,
+                                (stopAtConfidence ? kFlagStop : 0u) |
+                                    (approxWrongPath ? kFlagWrongPath
+                                                     : 0u),
+                                levelBits,
+                                relErrBits,
+                                1};
+    return wordsFnv(w, 9);
+}
+
+void
+ResultStore::load(const std::string &path, StorageBackend backend)
+{
+    const std::shared_ptr<const LibrarySource> src =
+        openLibrarySource(path, backend);
+    std::lock_guard<std::mutex> lock(mu_);
+    parseLocked(src->data(), src->size(), path);
+}
+
+void
+ResultStore::open(const std::string &path, StorageBackend backend)
+{
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(path, ec) && !ec;
+    if (exists) {
+        load(path, backend);
+    } else {
+        std::lock_guard<std::mutex> lock(mu_);
+        cells_.clear();
+        pairs_.clear();
+        cellIdx_.clear();
+        pairIdx_.clear();
+        superseded_ = 0;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = path;
+}
+
+void
+ResultStore::parseLocked(const std::uint8_t *data, std::size_t size,
+                         const std::string &path)
+{
+    std::size_t payloadSize = 0;
+    if (size < kHeaderBytes + checksumFooterBytes ||
+        !checksummedPayload(data, size, &payloadSize))
+        badStore(path, "truncated or missing checksum footer");
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        badStore(path, "bad magic");
+    if (getU64(data + 8) != kVersion)
+        badStore(path, "unsupported version");
+    if (getU64(data + 40) != fnv1a(data, 40))
+        badStore(path, "header checksum mismatch");
+    const std::uint64_t metaSize = getU64(data + 16);
+    const std::uint64_t nCells = getU64(data + 24);
+    const std::uint64_t nPairs = getU64(data + 32);
+    // Bound each section by the payload before multiplying, so a
+    // corrupt count can never overflow the size arithmetic.
+    if (metaSize > payloadSize || nCells > payloadSize ||
+        nPairs > payloadSize)
+        badStore(path, "section sizes exceed the file");
+    const std::uint64_t want = kHeaderBytes + metaSize + nCells * 8 +
+                               nCells * kCellBytes +
+                               nPairs * kPairBytes;
+    if (want != payloadSize)
+        badStore(path, "section sizes disagree with the file size");
+
+    const std::uint8_t *meta = data + kHeaderBytes;
+    try {
+        DerReader r(ByteSpan(meta, metaSize));
+        DerReader seq = r.getSequence();
+        if (seq.getString() != kRole)
+            badStore(path, "meta role mismatch");
+        if (seq.getUint() != kVersion || seq.getUint() != nCells ||
+            seq.getUint() != nPairs)
+            badStore(path, "meta disagrees with the header");
+    } catch (const IoError &) {
+        throw;
+    } catch (const std::exception &) {
+        badStore(path, "malformed DER meta");
+    }
+
+    const std::uint8_t *index = meta + metaSize;
+    const std::uint8_t *cellBase = index + nCells * 8;
+    const std::uint8_t *pairBase = cellBase + nCells * kCellBytes;
+
+    std::vector<CellRecord> cells;
+    std::vector<PairRecord> pairs;
+    cells.reserve(nCells);
+    pairs.reserve(nPairs);
+    for (std::uint64_t i = 0; i < nCells; ++i) {
+        CellRecord rec =
+            decodeCell(cellBase + i * kCellBytes, path);
+        if (getU64(index + i * 8) != rec.key.hash())
+            badStore(path, "index entry disagrees with its record");
+        cells.push_back(rec);
+    }
+    for (std::uint64_t i = 0; i < nPairs; ++i)
+        pairs.push_back(decodePair(pairBase + i * kPairBytes, path));
+
+    cells_ = std::move(cells);
+    pairs_ = std::move(pairs);
+    rebuildIndexLocked();
+}
+
+void
+ResultStore::rebuildIndexLocked()
+{
+    cellIdx_.clear();
+    pairIdx_.clear();
+    superseded_ = 0;
+    // Front-to-back insert with overwrite = last writer wins for
+    // duplicate keys, matching the container's append semantics.
+    // Distinct keys that collide on the 64-bit hash are rehashed into
+    // the next probe slot, so equality is always on the full key.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        std::uint64_t h = cells_[i].key.hash();
+        for (;;) {
+            auto it = cellIdx_.find(h);
+            if (it == cellIdx_.end()) {
+                cellIdx_.emplace(h, i);
+                break;
+            }
+            if (cells_[it->second].key == cells_[i].key) {
+                it->second = i;
+                ++superseded_;
+                break;
+            }
+            h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                      sizeof(h));
+        }
+    }
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+        std::uint64_t h = pairs_[i].hash();
+        for (;;) {
+            auto it = pairIdx_.find(h);
+            if (it == pairIdx_.end()) {
+                pairIdx_.emplace(h, i);
+                break;
+            }
+            if (pairIdentityEquals(pairs_[it->second], pairs_[i])) {
+                it->second = i;
+                ++superseded_;
+                break;
+            }
+            h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                      sizeof(h));
+        }
+    }
+}
+
+Blob
+ResultStore::serializeLocked() const
+{
+    DerWriter mw;
+    mw.beginSequence();
+    mw.putString(kRole);
+    mw.putUint(kVersion);
+    mw.putUint(cells_.size());
+    mw.putUint(pairs_.size());
+    mw.endSequence();
+    const Blob meta = mw.finish();
+
+    Blob out(kHeaderBytes + meta.size() + cells_.size() * 8 +
+             cells_.size() * kCellBytes + pairs_.size() * kPairBytes);
+    std::uint8_t *p = out.data();
+    std::memcpy(p, kMagic, sizeof(kMagic));
+    putU64(p + 8, kVersion);
+    putU64(p + 16, meta.size());
+    putU64(p + 24, cells_.size());
+    putU64(p + 32, pairs_.size());
+    putU64(p + 40, fnv1a(p, 40));
+    std::memcpy(p + kHeaderBytes, meta.data(), meta.size());
+    std::uint8_t *index = p + kHeaderBytes + meta.size();
+    std::uint8_t *cellBase = index + cells_.size() * 8;
+    std::uint8_t *pairBase = cellBase + cells_.size() * kCellBytes;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        putU64(index + i * 8, cells_[i].key.hash());
+        encodeCell(cellBase + i * kCellBytes, cells_[i]);
+    }
+    for (std::size_t i = 0; i < pairs_.size(); ++i)
+        encodePair(pairBase + i * kPairBytes, pairs_[i]);
+    appendChecksumFooter(out);
+    return out;
+}
+
+void
+ResultStore::save(const std::string &path) const
+{
+    // saveM_ serializes writers so snapshots land on disk in the
+    // order they were taken: without it, two concurrent publishers
+    // could rename an older snapshot over a newer one.
+    std::lock_guard<std::mutex> saveLock(saveM_);
+    Blob image;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        image = serializeLocked();
+    }
+    writeFileAtomic(path, image.data(), image.size(), "result store");
+}
+
+void
+ResultStore::save() const
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        path = path_;
+    }
+    if (path.empty())
+        throw IoError("result store save() without a prior open()", 0);
+    save(path);
+}
+
+void
+ResultStore::put(const CellRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t h = rec.key.hash();
+    for (;;) {
+        auto it = cellIdx_.find(h);
+        if (it == cellIdx_.end()) {
+            cellIdx_.emplace(h, cells_.size());
+            cells_.push_back(rec);
+            return;
+        }
+        if (cells_[it->second].key == rec.key) {
+            cells_[it->second] = rec;
+            return;
+        }
+        h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                  sizeof(h));
+    }
+}
+
+void
+ResultStore::putPair(const PairRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t h = rec.hash();
+    for (;;) {
+        auto it = pairIdx_.find(h);
+        if (it == pairIdx_.end()) {
+            pairIdx_.emplace(h, pairs_.size());
+            pairs_.push_back(rec);
+            return;
+        }
+        if (pairIdentityEquals(pairs_[it->second], rec)) {
+            pairs_[it->second] = rec;
+            return;
+        }
+        h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                  sizeof(h));
+    }
+}
+
+bool
+ResultStore::find(const ResultKey &key, CellRecord *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t h = key.hash();
+    for (;;) {
+        auto it = cellIdx_.find(h);
+        if (it == cellIdx_.end())
+            return false;
+        if (cells_[it->second].key == key) {
+            if (out)
+                *out = cells_[it->second];
+            return true;
+        }
+        h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                  sizeof(h));
+    }
+}
+
+bool
+ResultStore::findPair(const PairRecord &probe, PairRecord *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t h = probe.hash();
+    for (;;) {
+        auto it = pairIdx_.find(h);
+        if (it == pairIdx_.end())
+            return false;
+        if (pairIdentityEquals(pairs_[it->second], probe)) {
+            if (out)
+                *out = pairs_[it->second];
+            return true;
+        }
+        h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                  sizeof(h));
+    }
+}
+
+std::vector<CellRecord>
+ResultStore::cells() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cells_;
+}
+
+std::vector<PairRecord>
+ResultStore::pairs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pairs_;
+}
+
+std::size_t
+ResultStore::cellCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cells_.size();
+}
+
+std::size_t
+ResultStore::pairCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pairs_.size();
+}
+
+std::size_t
+ResultStore::supersededRecords() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return superseded_;
+}
+
+std::size_t
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<CellRecord> cells;
+    std::vector<PairRecord> pairs;
+    cells.reserve(cells_.size());
+    pairs.reserve(pairs_.size());
+    // Keep file order, dropping every record a later one shadows:
+    // a slot survives iff the index still points at it.
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        bool survives = false;
+        std::uint64_t h = cells_[i].key.hash();
+        for (;;) {
+            auto it = cellIdx_.find(h);
+            if (it == cellIdx_.end())
+                break;
+            if (cells_[it->second].key == cells_[i].key) {
+                survives = it->second == i;
+                break;
+            }
+            h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                      sizeof(h));
+        }
+        if (survives)
+            cells.push_back(cells_[i]);
+    }
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+        bool survives = false;
+        std::uint64_t h = pairs_[i].hash();
+        for (;;) {
+            auto it = pairIdx_.find(h);
+            if (it == pairIdx_.end())
+                break;
+            if (pairIdentityEquals(pairs_[it->second], pairs_[i])) {
+                survives = it->second == i;
+                break;
+            }
+            h = fnv1a(reinterpret_cast<const std::uint8_t *>(&h),
+                      sizeof(h));
+        }
+        if (survives)
+            pairs.push_back(pairs_[i]);
+    }
+    const std::size_t removed = (cells_.size() - cells.size()) +
+                                (pairs_.size() - pairs.size());
+    cells_ = std::move(cells);
+    pairs_ = std::move(pairs);
+    rebuildIndexLocked();
+    return removed;
+}
+
+std::string
+ResultStore::path() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+}
+
+} // namespace lp

@@ -1,5 +1,6 @@
 #include "svc/client.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -120,6 +121,12 @@ SvcClient::roundTrip(MsgType type, const Blob &payload)
         out.resultJson = s.getString();
         break;
     }
+    case MsgType::query: {
+        DerReader r(reply.payload);
+        DerReader s = r.getSequence();
+        out.resultJson = s.getString();
+        break;
+    }
     case MsgType::cancel: {
         DerReader r(reply.payload);
         DerReader s = r.getSequence();
@@ -136,6 +143,42 @@ SvcReply
 SvcClient::submit(const JobSpec &spec)
 {
     return roundTrip(MsgType::submit, encodeJobSpec(spec));
+}
+
+SvcReply
+SvcClient::submitWithRetry(const JobSpec &spec,
+                           const RetryPolicy &policy)
+{
+    // Same backoff shape and jitter stream as TransientRetry, but the
+    // "transient" signal is the daemon's retry-later reply and the
+    // daemon's own retryAfterMs hint is the delay floor.
+    Rng rng(policy.seed, "lp-retry-jitter");
+    SvcReply rep = submit(spec);
+    for (int used = 0; rep.retry && used < policy.attempts; ++used) {
+        std::uint64_t delayUs = policy.baseDelayUs;
+        for (int i = 0; i < used && delayUs < policy.maxDelayUs; ++i)
+            delayUs *= 2;
+        if (delayUs > policy.maxDelayUs)
+            delayUs = policy.maxDelayUs;
+        const std::uint64_t half = delayUs / 2;
+        delayUs = delayUs - delayUs / 4 + rng.nextBounded(half ? half : 1);
+        delayUs = std::max(delayUs, rep.retryAfterMs * 1000);
+        std::this_thread::sleep_for(std::chrono::microseconds(delayUs));
+        rep = submit(spec);
+    }
+    return rep;
+}
+
+SvcReply
+SvcClient::query(const std::string &workload,
+                 std::uint64_t configDigest)
+{
+    DerWriter w;
+    w.beginSequence();
+    w.putString(workload);
+    w.putUint(configDigest);
+    w.endSequence();
+    return roundTrip(MsgType::query, w.finish());
 }
 
 SvcReply

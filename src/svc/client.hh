@@ -15,6 +15,7 @@
 
 #include "svc/proto.hh"
 #include "svc/job.hh"
+#include "util/retry.hh"
 
 namespace lp
 {
@@ -48,6 +49,27 @@ class SvcClient
     SvcClient &operator=(const SvcClient &) = delete;
 
     SvcReply submit(const JobSpec &spec);
+
+    /**
+     * submit(), honoring the daemon's admission back-pressure with a
+     * bounded, deterministic retry loop: on a retry-later reply the
+     * client sleeps the larger of the daemon's retryAfterMs hint and
+     * the policy's (deterministically jittered) exponential backoff,
+     * then resubmits, for at most @p policy.attempts retries. Returns
+     * the final reply — still retry=true if the budget lapsed, so the
+     * caller always terminates.
+     */
+    SvcReply submitWithRetry(const JobSpec &spec,
+                             const RetryPolicy &policy = {});
+
+    /**
+     * Query the daemon's result store (zero simulation): stored cell
+     * records and pair deltas as JSON, filtered by workload shard
+     * name ("" = any) and config digest (0 = any).
+     */
+    SvcReply query(const std::string &workload = "",
+                   std::uint64_t configDigest = 0);
+
     SvcReply status(std::uint64_t id);
     SvcReply result(std::uint64_t id);
     SvcReply cancel(std::uint64_t id, const std::string &reason);

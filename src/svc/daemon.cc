@@ -209,6 +209,18 @@ SvcDaemon::handleFrame(int fd, const Frame &req)
                           encodeError(out.error));
             return true;
         }
+        case MsgType::query: {
+            DerReader r(req.payload);
+            DerReader s = r.getSequence();
+            const std::string workload = s.getString();
+            const std::uint64_t digest = s.getUint();
+            DerWriter w;
+            w.beginSequence();
+            w.putString(svc_.queryResults(workload, digest));
+            w.endSequence();
+            sendFrame(fd, MsgType::query, MsgStatus::ok, w.finish());
+            return true;
+        }
         case MsgType::drain: {
             svc_.drain();
             sendFrame(fd, MsgType::drain, MsgStatus::ok, Blob());

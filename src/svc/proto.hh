@@ -49,7 +49,14 @@ enum class MsgType : std::uint32_t
     result = 3, //!< req: {id}; ok: {state, resultJson}
     cancel = 4, //!< req: {id, reason}; ok: {found}
     drain = 5,  //!< req: {}; ok after the daemon stops accepting
-    resume = 6  //!< req: {id}; ok: {id} — re-enqueue a stopped job
+    resume = 6, //!< req: {id}; ok: {id} — re-enqueue a stopped job
+
+    /**
+     * Cross-campaign result-store query, answered with zero
+     * simulation. req: {workload ("" = any), configDigest (0 = any)};
+     * ok: {json} — see CampaignService::queryResults.
+     */
+    query = 7
 };
 
 enum class MsgStatus : std::uint32_t

@@ -15,6 +15,7 @@
 #include "core/campaign.hh"
 #include "io/atomic_file.hh"
 #include "io/io_error.hh"
+#include "store/result_store.hh"
 #include "uarch/config.hh"
 #include "util/cancel.hh"
 #include "util/log.hh"
@@ -70,35 +71,6 @@ trimToken(const std::string &s)
     while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
         --b;
     return s.substr(a, b - a);
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strfmt("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
 }
 
 /** The bundle a job runs from; programs must outlive the engine. */
@@ -167,6 +139,29 @@ CampaignService::CampaignService(const ServiceConfig &cfg)
     if (set_.recovery().degraded) {
         for (const std::string &note : set_.recovery().notes)
             logEvent("set_degraded", nullptr, note);
+    }
+    const std::string storePath =
+        cfg_.resultStorePath.empty() ? cfg_.jobsDir + "/results.lpres"
+                                     : cfg_.resultStorePath;
+    store_ = std::make_unique<ResultStore>();
+    try {
+        store_->open(storePath);
+        if (store_->supersededRecords() > 0)
+            store_->compact();
+        logEvent("result_store", nullptr,
+                 strfmt("%zu cells, %zu pairs", store_->cellCount(),
+                        store_->pairCount()));
+    } catch (const std::exception &e) {
+        // The store is a regenerable cache: a corrupt file is moved
+        // aside (evidence for forensics) and the service starts
+        // empty; the next save() writes a fresh valid store.
+        const std::string aside = storePath + ".corrupt";
+        std::rename(storePath.c_str(), aside.c_str());
+        store_ = std::make_unique<ResultStore>();
+        store_->open(storePath);
+        logEvent("result_store_corrupt", nullptr,
+                 strfmt("%s (moved aside to %s)", e.what(),
+                        aside.c_str()));
     }
     recoverJobs();
     scheduler_ = std::thread([this] { schedulerLoop(); });
@@ -503,6 +498,93 @@ CampaignService::waitForJob(std::uint64_t id, std::uint64_t timeoutMs)
                         terminal);
 }
 
+const ResultStore &
+CampaignService::resultStore() const
+{
+    return *store_;
+}
+
+std::string
+CampaignService::queryResults(const std::string &workload,
+                              std::uint64_t configDigest) const
+{
+    std::uint64_t libFilter = 0;
+    if (!workload.empty()) {
+        const std::size_t i = set_.find(workload);
+        if (i == LibrarySet::npos)
+            return strfmt(
+                "{\"error\": \"shard '%s' is not in the fleet set\"}\n",
+                jsonEscape(workload).c_str());
+        libFilter = set_.contentHash(i);
+    }
+    // libHash -> shard name, so rows read like the fleet set.
+    std::unordered_map<std::uint64_t, std::string> names;
+    for (std::size_t i = 0; i < set_.size(); ++i)
+        names.emplace(set_.contentHash(i), set_.name(i));
+    auto libLabel = [&](std::uint64_t h) {
+        auto it = names.find(h);
+        if (it != names.end())
+            return jsonEscape(it->second);
+        return strfmt("lib-%016llx",
+                      static_cast<unsigned long long>(h));
+    };
+
+    std::string out = "{\n  \"cells\": [";
+    std::size_t nCells = 0;
+    for (const CellRecord &c : store_->cells()) {
+        if (libFilter && c.key.libHash != libFilter)
+            continue;
+        if (configDigest && c.key.configDigest != configDigest)
+            continue;
+        out += nCells ? ",\n    " : "\n    ";
+        out += strfmt(
+            "{\"workload\": \"%s\", \"config_digest\": \"%016llx\", "
+            "\"shuffle_seed\": %llu, \"block_size\": %llu, "
+            "\"stop_at_confidence\": %s, \"approx_wrong_path\": %s, "
+            "\"lib_points\": %llu, \"processed\": %llu, "
+            "\"unavailable_loads\": %llu, \"converged\": %s, "
+            "\"cpi\": %.17g, \"cpi_bits\": \"%016llx\"}",
+            libLabel(c.key.libHash).c_str(),
+            static_cast<unsigned long long>(c.key.configDigest),
+            static_cast<unsigned long long>(c.key.shuffleSeed),
+            static_cast<unsigned long long>(c.key.blockSize),
+            c.key.stopAtConfidence ? "true" : "false",
+            c.key.approxWrongPath ? "true" : "false",
+            static_cast<unsigned long long>(c.libPoints),
+            static_cast<unsigned long long>(c.processed),
+            static_cast<unsigned long long>(c.unavailableLoads),
+            c.converged ? "true" : "false",
+            bitsFromDouble(c.cpiBits),
+            static_cast<unsigned long long>(c.cpiBits));
+        ++nCells;
+    }
+    out += nCells ? "\n  ],\n" : "],\n";
+    out += "  \"pairs\": [";
+    std::size_t nPairs = 0;
+    for (const PairRecord &p : store_->pairs()) {
+        if (libFilter && p.libHash != libFilter)
+            continue;
+        if (configDigest && p.baseDigest != configDigest &&
+            p.testDigest != configDigest)
+            continue;
+        out += nPairs ? ",\n    " : "\n    ";
+        out += strfmt(
+            "{\"workload\": \"%s\", \"base_digest\": \"%016llx\", "
+            "\"test_digest\": \"%016llx\", \"n\": %llu, "
+            "\"mean_delta\": %.17g}",
+            libLabel(p.libHash).c_str(),
+            static_cast<unsigned long long>(p.baseDigest),
+            static_cast<unsigned long long>(p.testDigest),
+            static_cast<unsigned long long>(p.delta.n),
+            p.delta.n ? p.delta.mean : 0.0);
+        ++nPairs;
+    }
+    out += nPairs ? "\n  ],\n" : "],\n";
+    out += strfmt("  \"cell_count\": %zu,\n  \"pair_count\": %zu\n}\n",
+                  nCells, nPairs);
+    return out;
+}
+
 std::vector<std::uint64_t>
 CampaignService::jobIds() const
 {
@@ -648,6 +730,9 @@ CampaignService::runJob(Job *j)
         o.unloadFinishedShards = false;
         o.control = &j->control;
         o.deadline = Deadline::inMs(spec.deadlineMs);
+        // Cells another job already published resolve from the store
+        // without replaying (bit-identical by the engine contract).
+        o.resultStore = store_.get();
 
         CampaignEngine engine(mat.workloads, mat.configs, mat.opt);
         const CampaignResult res = engine.run();
@@ -662,6 +747,16 @@ CampaignService::runJob(Job *j)
                 reinterpret_cast<const std::uint8_t *>(
                     resultJson.data()),
                 resultJson.size(), "job result");
+            // Publish the finished cells so a re-submitted or widened
+            // grid memoizes them; a failed save only costs the cache.
+            const std::size_t published = engine.publish(res, *store_);
+            try {
+                store_->save();
+                logEvent("published", j,
+                         strfmt("%zu records", published));
+            } catch (const std::exception &e) {
+                logEvent("store_save_failed", j, e.what());
+            }
         }
     } catch (const std::exception &e) {
         final = JobState::failed;

@@ -57,6 +57,8 @@
 namespace lp
 {
 
+class ResultStore;
+
 struct ServiceConfig
 {
     std::string jobsDir; //!< job directories + structured log
@@ -82,6 +84,16 @@ struct ServiceConfig
 
     /** Structured log path; "" = <jobsDir>/service.jsonl. */
     std::string logPath;
+
+    /**
+     * Fleet result store: every finished job publishes its completed
+     * cells here, and every job memoizes against it before replaying
+     * (see CampaignOptions::resultStore). "" = <jobsDir>/results.lpres.
+     * A corrupt store file is moved aside and the service starts with
+     * an empty store — it is a regenerable cache, never a reason to
+     * refuse service.
+     */
+    std::string resultStorePath;
 };
 
 /** What submit()/resume() decided. */
@@ -149,6 +161,21 @@ class CampaignService
     const LibrarySet &set() const { return set_; }
     const ServiceConfig &config() const { return cfg_; }
 
+    /** The shared fleet result store (memoization + queries). */
+    const ResultStore &resultStore() const;
+
+    /**
+     * Answer a cross-campaign result query from the store with zero
+     * simulation: a JSON object listing the stored cell records (and
+     * matched-pair deltas), optionally filtered by workload shard
+     * name (@p workload, "" = any) and config digest (@p configDigest,
+     * 0 = any). Shard names resolve through the fleet set; a stored
+     * record whose library is no longer in the set reports its raw
+     * content hash instead of a name.
+     */
+    std::string queryResults(const std::string &workload,
+                             std::uint64_t configDigest) const;
+
     /** All job ids, ascending (for status listings and tests). */
     std::vector<std::uint64_t> jobIds() const;
 
@@ -168,6 +195,7 @@ class CampaignService
 
     ServiceConfig cfg_;
     LibrarySet set_;
+    std::unique_ptr<ResultStore> store_;
 
     mutable std::mutex m_;
     std::condition_variable cv_;

@@ -86,4 +86,23 @@ strfmt(const char *fmt, ...)
     return out;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (u < 0x20) {
+            out += strfmt("\\u%04x", static_cast<unsigned>(u));
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
 } // namespace lp

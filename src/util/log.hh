@@ -32,6 +32,15 @@ panic(const char *fmt, ...);
 __attribute__((format(printf, 1, 2))) std::string
 strfmt(const char *fmt, ...);
 
+/**
+ * Escape a string for embedding in a JSON string literal: quotes and
+ * backslashes are backslash-escaped, control bytes below 0x20 become
+ * \uXXXX sequences. Every free-text field in a machine-readable
+ * report must pass through this, or a single strerror() message with
+ * a quote in it yields unparseable output.
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace lp
 
 #endif // LP_UTIL_LOG_HH

@@ -129,7 +129,7 @@ main()
     const std::vector<std::string> baseBits =
         extractAll(baseReport, "cpi_bits");
     CHECK_EQ(baseBits.size(), 4u);
-    CHECK(baseReport.find("\"schema_version\": 2") !=
+    CHECK(baseReport.find("\"schema_version\": 3") !=
           std::string::npos);
 
     // ---- Protocol: JobSpec codec round trip ------------------------
@@ -204,10 +204,25 @@ main()
             CHECK(svc.result(out.id, &state, &json));
             CHECK(state == JobState::done);
             CHECK(extractAll(json, "cpi_bits") == baseBits);
-            CHECK(json.find("\"schema_version\": 2") !=
+            CHECK(json.find("\"schema_version\": 3") !=
                   std::string::npos);
             CHECK(json.find("\"reason\": \"none\"") !=
                   std::string::npos);
+            // The first run populates the service's result store;
+            // identical resubmissions resolve every cell from it
+            // (zero replays) with the same bits — the daemon-side
+            // memoization contract at every thread count.
+            if (threads == 1u) {
+                CHECK(json.find("\"memoized_cells\": 0") !=
+                      std::string::npos);
+            } else {
+                CHECK(json.find("\"memoized\": true") !=
+                      std::string::npos);
+                CHECK(json.find("\"memoized_cells\": 4") !=
+                      std::string::npos);
+                CHECK(json.find("\"replays_executed\": 0") !=
+                      std::string::npos);
+            }
         }
 
         // Unknown jobs and invalid specs are rejected loudly.
@@ -320,33 +335,41 @@ main()
 
         // Deadline leg: the deadline lapses while the worker is
         // parked, so the stop is deterministic; each resume then has
-        // a fresh budget and finishes the job.
+        // a fresh budget and finishes the job. A fresh service (and
+        // jobs dir) keeps its result store empty — the cancel leg's
+        // completed job published this grid, and a memoized
+        // resubmission would finish before any deadline could lapse.
+        ServiceConfig dcfg = cfg;
+        dcfg.jobsDir = strfmt("svc-jobs-deadline-%u", threads);
+        std::filesystem::remove_all(dcfg.jobsDir);
+        CampaignService dsvc(dcfg);
         arm("replay.cell", FailpointSpec::Trigger::nth, 5,
             FailpointSpec::Action::hang);
         JobSpec dspec = makeSpec(threads);
         dspec.deadlineMs = 100;
-        const SubmitOutcome dout = svc.submit(dspec);
+        const SubmitOutcome dout = dsvc.submit(dspec);
         CHECK(dout.accepted);
-        while (svc.status(dout.id).state == JobState::queued)
+        while (dsvc.status(dout.id).state == JobState::queued)
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         std::this_thread::sleep_for(std::chrono::milliseconds(150));
         disarmAllFailpoints();
-        CHECK(svc.waitForJob(dout.id, 30'000));
-        st = svc.status(dout.id);
+        CHECK(dsvc.waitForJob(dout.id, 30'000));
+        st = dsvc.status(dout.id);
         CHECK(st.state == JobState::cancelled);
         CHECK(st.detail.find("deadline") != std::string::npos);
         // Every resume folds at least one more durable block, so the
         // job converges in a bounded number of rounds even against a
         // tight recurring deadline.
         int rounds = 0;
-        while (svc.status(dout.id).state == JobState::cancelled &&
+        while (dsvc.status(dout.id).state == JobState::cancelled &&
                rounds++ < 25) {
-            CHECK(svc.resume(dout.id).accepted);
-            CHECK(svc.waitForJob(dout.id, 30'000));
+            CHECK(dsvc.resume(dout.id).accepted);
+            CHECK(dsvc.waitForJob(dout.id, 30'000));
         }
-        CHECK(svc.result(dout.id, &state, &json));
+        CHECK(dsvc.result(dout.id, &state, &json));
         CHECK(state == JobState::done);
         CHECK(extractAll(json, "cpi_bits") == baseBits);
+        dsvc.drain();
         svc.drain();
         if (lpTestFailures)
             break;

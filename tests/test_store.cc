@@ -1,0 +1,458 @@
+/**
+ * The fleet result store's contracts: LPRES1 round-trips records
+ * bit-exactly, loading is corruption-strict (every single-byte
+ * truncation and byte flip throws, nothing loads partially),
+ * duplicate keys resolve last-writer-wins and compact() drops the
+ * shadowed records, campaign memoization restores cells bit-identical
+ * to replaying at every thread count, the stored-CPI cross-check
+ * catches a tampered record, and the campaign JSON report survives a
+ * strict parser even with hostile free-text fields.
+ */
+
+#include "test_util.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "core/campaign.hh"
+#include "io/atomic_file.hh"
+#include "io/io_error.hh"
+#include "store/result_store.hh"
+#include "util/log.hh"
+
+namespace
+{
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    CHECK(f != nullptr);
+    std::vector<std::uint8_t> out;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while (f && (n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    if (f)
+        std::fclose(f);
+    return out;
+}
+
+void
+writeAll(const std::string &path, const std::uint8_t *data,
+         std::size_t size)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    CHECK(f != nullptr);
+    if (f) {
+        CHECK_EQ(std::fwrite(data, 1, size, f), size);
+        std::fclose(f);
+    }
+}
+
+std::uint64_t
+leU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+putLeU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+lp::CellRecord
+sampleCell(std::uint64_t salt)
+{
+    lp::CellRecord r;
+    r.key.libHash = 0x1111 + salt;
+    r.key.configDigest = 0x2222 + salt;
+    r.key.shuffleSeed = 5;
+    r.key.blockSize = 8;
+    r.key.stopAtConfidence = (salt & 1) != 0;
+    r.key.approxWrongPath = false;
+    if (r.key.stopAtConfidence) {
+        r.key.levelBits = lp::doubleBits(0.997);
+        r.key.relErrBits = lp::doubleBits(0.03);
+    }
+    r.libPoints = 100 + salt;
+    r.processed = 90 + salt;
+    r.unavailableLoads = salt;
+    r.converged = r.key.stopAtConfidence;
+    r.cpiBits = lp::doubleBits(1.25 + 0.001 * static_cast<double>(salt));
+    r.stat.n = r.processed;
+    r.stat.mean = 1.25 + 0.001 * static_cast<double>(salt);
+    r.stat.m2 = 0.125;
+    r.stat.min = 0.5;
+    r.stat.max = 3.75;
+    return r;
+}
+
+bool
+cellsBitEqual(const lp::CellRecord &a, const lp::CellRecord &b)
+{
+    using lp::doubleBits;
+    return a.key == b.key && a.libPoints == b.libPoints &&
+           a.processed == b.processed &&
+           a.unavailableLoads == b.unavailableLoads &&
+           a.converged == b.converged && a.cpiBits == b.cpiBits &&
+           a.stat.n == b.stat.n &&
+           doubleBits(a.stat.mean) == doubleBits(b.stat.mean) &&
+           doubleBits(a.stat.m2) == doubleBits(b.stat.m2) &&
+           doubleBits(a.stat.min) == doubleBits(b.stat.min) &&
+           doubleBits(a.stat.max) == doubleBits(b.stat.max);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lp;
+    using namespace lptest;
+
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path() /
+        ("lp-test-store-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(tmp);
+    const std::string storePath = (tmp / "results.lpres").string();
+
+    // --- The validator itself must be strict before anything trusts
+    // it.
+    CHECK(jsonValidate("{\"a\": [1, 2.5, -3e-2], \"b\": \"x\\u0001\"}"));
+    CHECK(jsonValidate("[]"));
+    CHECK(!jsonValidate(""));
+    CHECK(!jsonValidate("{\"a\": 1,}"));     // trailing comma
+    CHECK(!jsonValidate("{\"a\": 01}"));     // leading zero
+    CHECK(!jsonValidate("{\"a\": nan}"));    // not a JSON number
+    CHECK(!jsonValidate("\"raw \x01 ctl\"")); // unescaped control byte
+    CHECK(!jsonValidate("\"bad \\x escape\""));
+    CHECK(!jsonValidate("{\"a\": 1} trailing"));
+
+    // --- Key canonicalization: a full-library run is spec-free.
+    {
+        ConfidenceSpec tight{0.997, 0.01}, loose{0.95, 0.10};
+        const ResultKey a =
+            ResultKey::make(1, 2, 3, 4, false, false, tight);
+        const ResultKey b =
+            ResultKey::make(1, 2, 3, 4, false, false, loose);
+        CHECK(a == b);
+        CHECK_EQ(a.levelBits, 0u);
+        const ResultKey c =
+            ResultKey::make(1, 2, 3, 4, true, false, tight);
+        const ResultKey d =
+            ResultKey::make(1, 2, 3, 4, true, false, loose);
+        CHECK(!(c == d));
+        CHECK(!(a == c));
+    }
+
+    // --- Round-trip: records come back bit for bit, probes hit and
+    // miss correctly.
+    {
+        ResultStore store;
+        for (std::uint64_t i = 0; i < 5; ++i)
+            store.put(sampleCell(i));
+        PairRecord p;
+        p.libHash = 0x1111;
+        p.baseDigest = 0x2222;
+        p.testDigest = 0x2223;
+        p.shuffleSeed = 5;
+        p.blockSize = 8;
+        p.delta.n = 90;
+        p.delta.mean = -0.001;
+        p.delta.m2 = 0.002;
+        p.delta.min = -0.1;
+        p.delta.max = 0.1;
+        store.putPair(p);
+        store.save(storePath);
+
+        ResultStore loaded;
+        loaded.load(storePath);
+        CHECK_EQ(loaded.cellCount(), 5u);
+        CHECK_EQ(loaded.pairCount(), 1u);
+        CHECK_EQ(loaded.supersededRecords(), 0u);
+        for (std::uint64_t i = 0; i < 5; ++i) {
+            CellRecord got;
+            CHECK(loaded.find(sampleCell(i).key, &got));
+            CHECK(cellsBitEqual(got, sampleCell(i)));
+        }
+        CellRecord miss;
+        CHECK(!loaded.find(sampleCell(17).key, &miss));
+        PairRecord gotPair;
+        CHECK(loaded.findPair(p, &gotPair));
+        CHECK_EQ(doubleBits(gotPair.delta.mean),
+                 doubleBits(p.delta.mean));
+        PairRecord wrongPair = p;
+        wrongPair.testDigest = 0x9999;
+        CHECK(!loaded.findPair(wrongPair, nullptr));
+
+        // put() overwrites in place: no duplicates accumulate.
+        CellRecord again = sampleCell(2);
+        again.cpiBits = doubleBits(9.0);
+        loaded.put(again);
+        CHECK_EQ(loaded.cellCount(), 5u);
+        CellRecord raced;
+        CHECK(loaded.find(again.key, &raced));
+        CHECK_EQ(raced.cpiBits, doubleBits(9.0));
+    }
+
+    // --- Corruption strictness: truncation at EVERY byte boundary
+    // and a flip of EVERY byte must throw; nothing loads partially.
+    {
+        ResultStore small;
+        small.put(sampleCell(0));
+        small.put(sampleCell(1));
+        PairRecord p;
+        p.libHash = 1;
+        p.baseDigest = 2;
+        p.testDigest = 3;
+        p.delta.n = 4;
+        small.putPair(p);
+        small.save(storePath);
+        const std::vector<std::uint8_t> image = readAll(storePath);
+        CHECK(image.size() > 48 + 16);
+
+        const std::string mut = (tmp / "mutant.lpres").string();
+        for (std::size_t len = 0; len < image.size(); ++len) {
+            writeAll(mut, image.data(), len);
+            ResultStore victim;
+            CHECK_THROWS(victim.load(mut));
+        }
+        for (std::size_t i = 0; i < image.size(); ++i) {
+            std::vector<std::uint8_t> flip = image;
+            flip[i] ^= 0x01;
+            writeAll(mut, flip.data(), flip.size());
+            ResultStore victim;
+            CHECK_THROWS(victim.load(mut));
+        }
+        std::remove(mut.c_str());
+    }
+
+    // --- Duplicate keys on disk: legal, last writer wins, compact()
+    // drops the shadowed record. Built by hand-patching record 1 into
+    // a duplicate of record 0 (new payload, recomputed record FNV,
+    // index entry, and footer), exactly what an append-style producer
+    // or crashed compaction leaves behind.
+    {
+        ResultStore two;
+        two.put(sampleCell(0));
+        two.put(sampleCell(1));
+        two.save(storePath);
+        std::vector<std::uint8_t> image = readAll(storePath);
+
+        const std::size_t metaSize =
+            static_cast<std::size_t>(leU64(image.data() + 16));
+        const std::size_t indexOff = 48 + metaSize;
+        const std::size_t cellBase = indexOff + 2 * 8;
+        constexpr std::size_t kCellBytes = 17 * 8;
+
+        // Record 1 := record 0's key with a different CPI + mean.
+        std::uint8_t *rec0 = image.data() + cellBase;
+        std::uint8_t *rec1 = rec0 + kCellBytes;
+        std::memcpy(rec1, rec0, kCellBytes);
+        putLeU64(rec1 + 80, doubleBits(2.5)); // cpiBits
+        putLeU64(rec1 + 96, doubleBits(2.5)); // stat mean bits
+        putLeU64(rec1 + 16 * 8, fnv1a(rec1, 16 * 8));
+        // Index entry 1 now carries record 0's key hash.
+        std::memcpy(image.data() + indexOff + 8,
+                    image.data() + indexOff, 8);
+        // Recompute the footer over the patched payload.
+        Blob patched(image.begin(),
+                     image.end() - checksumFooterBytes);
+        appendChecksumFooter(patched);
+        writeAll(storePath, patched.data(), patched.size());
+
+        ResultStore dup;
+        dup.load(storePath);
+        CHECK_EQ(dup.cellCount(), 2u); // both records load...
+        CHECK_EQ(dup.supersededRecords(), 1u);
+        CellRecord winner;
+        CHECK(dup.find(sampleCell(0).key, &winner));
+        CHECK_EQ(winner.cpiBits, doubleBits(2.5)); // ...last one wins
+        CHECK_EQ(dup.compact(), 1u);
+        CHECK_EQ(dup.cellCount(), 1u);
+        CHECK(dup.find(sampleCell(0).key, &winner));
+        CHECK_EQ(winner.cpiBits, doubleBits(2.5));
+        dup.save(storePath);
+        ResultStore clean;
+        clean.load(storePath);
+        CHECK_EQ(clean.cellCount(), 1u);
+        CHECK_EQ(clean.supersededRecords(), 0u);
+    }
+
+    // --- save() without open() must refuse (no remembered path).
+    {
+        ResultStore empty;
+        CHECK_THROWS(empty.save());
+    }
+
+    // --- Campaign memoization: a populated store resolves every
+    // overlapping cell without replaying, bit-identical to the fresh
+    // run at every thread count; a widened grid replays only the new
+    // column.
+    std::vector<CoreConfig> cfgs{baseConfig(), slowMemConfig()};
+    const TinyLib t =
+        buildTinyLibrary("store-w0", 150'000, 9, 24, cfgs, 3);
+    const std::vector<CampaignWorkload> grid{
+        {"store-w0", &t.prog, &t.lib}};
+
+    CampaignOptions copt;
+    copt.blockSize = 8;
+    copt.shuffleSeed = 5;
+    CampaignEngine fresh(grid, cfgs, copt);
+    const CampaignResult freshRes = fresh.run();
+    CHECK_EQ(freshRes.memoizedCells, 0u);
+
+    ResultStore store;
+    const std::size_t published = fresh.publish(freshRes, store);
+    CHECK_EQ(store.cellCount(), cfgs.size());
+    CHECK_EQ(store.pairCount(), 1u);
+    CHECK_EQ(published, cfgs.size() + 1);
+    // Republishing is idempotent.
+    CHECK_EQ(fresh.publish(freshRes, store), published);
+    CHECK_EQ(store.cellCount(), cfgs.size());
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        CampaignOptions mo = copt;
+        mo.threads = threads;
+        mo.resultStore = &store;
+        CampaignEngine memo(grid, cfgs, mo);
+        const CampaignResult mres = memo.run();
+        CHECK_EQ(mres.memoizedCells, cfgs.size());
+        CHECK_EQ(mres.pointsDecoded, 0u);
+        CHECK_EQ(mres.replaysExecuted, 0u);
+        CHECK_EQ(mres.memoizedReplays,
+                 static_cast<std::uint64_t>(t.lib.size()) *
+                     cfgs.size());
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            const CampaignCell &mc = mres.cell(0, c, cfgs.size());
+            const CampaignCell &fc = freshRes.cell(0, c, cfgs.size());
+            CHECK(mc.memoized);
+            CHECK_EQ(doubleBits(mc.cpi()), doubleBits(fc.cpi()));
+            CHECK_EQ(mc.processed, fc.processed);
+            CHECK_EQ(mc.unavailableLoads, fc.unavailableLoads);
+            CHECK_EQ(mc.stat.count(), fc.stat.count());
+            CHECK_EQ(doubleBits(mc.stat.mean()),
+                     doubleBits(fc.stat.mean()));
+        }
+        // Pairs between two memoized cells restore from the store.
+        const CampaignPair *mp = mres.pair(0, 0, 1);
+        const CampaignPair *fp = freshRes.pair(0, 0, 1);
+        CHECK(mp && fp);
+        CHECK_EQ(mp->delta.count(), fp->delta.count());
+        CHECK_EQ(doubleBits(mp->meanDelta()),
+                 doubleBits(fp->meanDelta()));
+        // The memoized report still parses strictly and says so.
+        const std::string report = memo.jsonReport(mres);
+        CHECK(jsonValidate(report));
+        CHECK(report.find("\"memoized\": true") != std::string::npos);
+    }
+
+    // --- Widened grid: the overlap memoizes, only the new column
+    // replays, and everything matches the from-scratch wide run.
+    {
+        std::vector<CoreConfig> wide = cfgs;
+        CoreConfig extra = baseConfig();
+        extra.name = "mem-140";
+        extra.mem.memLatency = 140;
+        wide.push_back(extra);
+
+        CampaignOptions wo = copt;
+        wo.resultStore = &store;
+        CampaignEngine memoWide(grid, wide, wo);
+        const CampaignResult wres = memoWide.run();
+        CampaignEngine scratchWide(grid, wide, copt);
+        const CampaignResult sres = scratchWide.run();
+
+        CHECK_EQ(wres.memoizedCells, cfgs.size());
+        CHECK_EQ(wres.foldedReplays,
+                 static_cast<std::uint64_t>(t.lib.size()));
+        for (std::size_t c = 0; c < wide.size(); ++c) {
+            const CampaignCell &wc = wres.cell(0, c, wide.size());
+            const CampaignCell &sc = sres.cell(0, c, wide.size());
+            CHECK_EQ(doubleBits(wc.cpi()), doubleBits(sc.cpi()));
+            CHECK_EQ(wc.processed, sc.processed);
+        }
+        CHECK_EQ(wres.cell(0, 2, wide.size()).memoized, false);
+        // Memoized-pair restore covers the memoized x memoized pair;
+        // memoized x fresh pairs stay empty (per-point deltas are not
+        // reconstructable from fold state — the documented limit).
+        CHECK_EQ(wres.pair(0, 0, 1)->delta.count(),
+                 sres.pair(0, 0, 1)->delta.count());
+        CHECK_EQ(wres.pair(0, 0, 2)->delta.count(), 0u);
+        CHECK(sres.pair(0, 0, 2)->delta.count() > 0u);
+
+        // Publishing the wide run completes the store for next time.
+        memoWide.publish(wres, store);
+        CHECK_EQ(store.cellCount(), wide.size());
+    }
+
+    // --- A store whose library size disagrees with the workload is
+    // ignored (fresh replay), and a tampered CPI bit pattern fails
+    // the restore cross-check loudly instead of being served.
+    {
+        ResultStore stale;
+        fresh.publish(freshRes, stale);
+        std::vector<CellRecord> recs = stale.cells();
+        for (CellRecord r : recs) {
+            r.libPoints += 1;
+            stale.put(r); // same key, wrong libPoints -> no memo hit
+        }
+        // Overwrite under the same keys happened in place: the
+        // records now disagree with the library, so nothing memoizes.
+        CampaignOptions so = copt;
+        so.resultStore = &stale;
+        CampaignEngine engine(grid, cfgs, so);
+        const CampaignResult r = engine.run();
+        CHECK_EQ(r.memoizedCells, 0u);
+        CHECK_EQ(doubleBits(r.cell(0, 0, cfgs.size()).cpi()),
+                 doubleBits(freshRes.cell(0, 0, cfgs.size()).cpi()));
+
+        ResultStore tampered;
+        fresh.publish(freshRes, tampered);
+        for (CellRecord rec : tampered.cells()) {
+            rec.cpiBits ^= 1; // no longer the fold state's mean
+            tampered.put(rec);
+        }
+        CampaignOptions to = copt;
+        to.resultStore = &tampered;
+        CampaignEngine victim(grid, cfgs, to);
+        CHECK_THROWS(victim.run());
+    }
+
+    // --- Hostile free text in the report: quotes, backslashes, and
+    // control bytes in every string field must still yield strictly
+    // parseable JSON (the IoError-detail regression).
+    {
+        std::vector<CoreConfig> evil = cfgs;
+        evil[0].name = "quote\" back\\slash";
+        evil[1].name = "ctl\x01\x02\ntab\t";
+        const std::vector<CampaignWorkload> egrid{
+            {"w\"0\\\x1f", &t.prog, &t.lib}};
+        CampaignEngine engine(egrid, evil, copt);
+        CampaignResult r = engine.run();
+        r.cells[0].failed = true;
+        r.cells[0].reason = CellFailReason::replayFault;
+        r.cells[0].failureReason =
+            "io error: \"inject\\path\" \x01\x02\x1f\n\t fault";
+        r.failedCells = 1;
+        r.cancelled = true;
+        r.cancelReason = "operator said \"stop\"\r\n";
+        const std::string report = engine.jsonReport(r);
+        CHECK(jsonValidate(report));
+        CHECK(report.find("\\u0001") != std::string::npos);
+        CHECK(report.find("\\\"inject\\\\path\\\"") !=
+              std::string::npos);
+    }
+
+    std::filesystem::remove_all(tmp);
+    return TEST_MAIN_RESULT();
+}

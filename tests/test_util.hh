@@ -12,6 +12,8 @@
 
 #include "harness.hh"
 
+#include <cctype>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -151,6 +153,205 @@ slowMemConfig()
     c.mem.memLatency = 400;
     c.mem.l2Latency = 40;
     return c;
+}
+
+namespace jsondetail
+{
+
+struct JsonCursor
+{
+    const char *p;
+    const char *e;
+};
+
+inline void
+jvSkipWs(JsonCursor &c)
+{
+    while (c.p < c.e && (*c.p == ' ' || *c.p == '\t' ||
+                         *c.p == '\n' || *c.p == '\r'))
+        ++c.p;
+}
+
+inline bool
+jvString(JsonCursor &c)
+{
+    if (c.p >= c.e || *c.p != '"')
+        return false;
+    ++c.p;
+    while (c.p < c.e) {
+        const unsigned char u = static_cast<unsigned char>(*c.p);
+        if (u == '"') {
+            ++c.p;
+            return true;
+        }
+        if (u < 0x20)
+            return false; // raw control byte: must be \uXXXX-escaped
+        if (u == '\\') {
+            ++c.p;
+            if (c.p >= c.e)
+                return false;
+            const char esc = *c.p;
+            if (esc == '"' || esc == '\\' || esc == '/' ||
+                esc == 'b' || esc == 'f' || esc == 'n' ||
+                esc == 'r' || esc == 't') {
+                ++c.p;
+                continue;
+            }
+            if (esc == 'u') {
+                ++c.p;
+                for (int i = 0; i < 4; ++i, ++c.p)
+                    if (c.p >= c.e ||
+                        !std::isxdigit(
+                            static_cast<unsigned char>(*c.p)))
+                        return false;
+                continue;
+            }
+            return false;
+        }
+        ++c.p;
+    }
+    return false;
+}
+
+inline bool
+jvNumber(JsonCursor &c)
+{
+    if (c.p < c.e && *c.p == '-')
+        ++c.p;
+    if (c.p >= c.e || !std::isdigit(static_cast<unsigned char>(*c.p)))
+        return false;
+    if (*c.p == '0')
+        ++c.p;
+    else
+        while (c.p < c.e &&
+               std::isdigit(static_cast<unsigned char>(*c.p)))
+            ++c.p;
+    if (c.p < c.e && *c.p == '.') {
+        ++c.p;
+        if (c.p >= c.e ||
+            !std::isdigit(static_cast<unsigned char>(*c.p)))
+            return false;
+        while (c.p < c.e &&
+               std::isdigit(static_cast<unsigned char>(*c.p)))
+            ++c.p;
+    }
+    if (c.p < c.e && (*c.p == 'e' || *c.p == 'E')) {
+        ++c.p;
+        if (c.p < c.e && (*c.p == '+' || *c.p == '-'))
+            ++c.p;
+        if (c.p >= c.e ||
+            !std::isdigit(static_cast<unsigned char>(*c.p)))
+            return false;
+        while (c.p < c.e &&
+               std::isdigit(static_cast<unsigned char>(*c.p)))
+            ++c.p;
+    }
+    return true;
+}
+
+inline bool
+jvLiteral(JsonCursor &c, const char *lit)
+{
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(c.e - c.p) < n ||
+        std::strncmp(c.p, lit, n) != 0)
+        return false;
+    c.p += n;
+    return true;
+}
+
+inline bool
+jvValue(JsonCursor &c, int depth)
+{
+    if (depth > 64)
+        return false;
+    jvSkipWs(c);
+    if (c.p >= c.e)
+        return false;
+    const char ch = *c.p;
+    if (ch == '{') {
+        ++c.p;
+        jvSkipWs(c);
+        if (c.p < c.e && *c.p == '}') {
+            ++c.p;
+            return true;
+        }
+        for (;;) {
+            jvSkipWs(c);
+            if (!jvString(c))
+                return false;
+            jvSkipWs(c);
+            if (c.p >= c.e || *c.p != ':')
+                return false;
+            ++c.p;
+            if (!jvValue(c, depth + 1))
+                return false;
+            jvSkipWs(c);
+            if (c.p >= c.e)
+                return false;
+            if (*c.p == ',') {
+                ++c.p;
+                continue;
+            }
+            if (*c.p == '}') {
+                ++c.p;
+                return true;
+            }
+            return false;
+        }
+    }
+    if (ch == '[') {
+        ++c.p;
+        jvSkipWs(c);
+        if (c.p < c.e && *c.p == ']') {
+            ++c.p;
+            return true;
+        }
+        for (;;) {
+            if (!jvValue(c, depth + 1))
+                return false;
+            jvSkipWs(c);
+            if (c.p >= c.e)
+                return false;
+            if (*c.p == ',') {
+                ++c.p;
+                continue;
+            }
+            if (*c.p == ']') {
+                ++c.p;
+                return true;
+            }
+            return false;
+        }
+    }
+    if (ch == '"')
+        return jvString(c);
+    if (ch == 't')
+        return jvLiteral(c, "true");
+    if (ch == 'f')
+        return jvLiteral(c, "false");
+    if (ch == 'n')
+        return jvLiteral(c, "null");
+    return jvNumber(c);
+}
+
+} // namespace jsondetail
+
+/**
+ * Strict RFC 8259 JSON validator: true iff @p s is exactly one valid
+ * JSON value plus optional trailing whitespace. No extensions — raw
+ * control bytes inside strings, bad escapes, trailing commas,
+ * leading zeros, NaN/Infinity all fail. This is the picky parser the
+ * campaign report must round-trip even with hostile failure details.
+ */
+inline bool
+jsonValidate(const std::string &s)
+{
+    jsondetail::JsonCursor c{s.data(), s.data() + s.size()};
+    if (!jsondetail::jvValue(c, 0))
+        return false;
+    jsondetail::jvSkipWs(c);
+    return c.p == c.e;
 }
 
 } // namespace lptest
