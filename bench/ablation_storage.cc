@@ -11,6 +11,23 @@
  * live). Also exercises the sharded fleet store: lazy open, shard
  * replay identity, and resident accounting.
  *
+ * The checkpoint-economics section builds the same design three ways
+ * — plain, shared-dictionary, and dictionary+delta — and measures
+ * bytes/point on disk, stored-order decode MB/s, and replays/s for
+ * each, verifying every variant replays bit-identically (with and
+ * without a resident budget). The dictionary+delta variant must cut
+ * bytes/point by >= 2x (hard floor), and the machine-normalized
+ * metrics (bytes_per_point_cut, decode_norm, replay_norm) gate
+ * against a committed baseline in the BENCH_6 style:
+ *
+ *   LP_BENCH_ECON_JSON=path write the checkpoint-economics numbers
+ *                           (CI publishes them as BENCH_10.json)
+ *   LP_BENCH_BASELINE=path  baseline JSON (default
+ *                           bench/BENCH_10.baseline.json); "none"
+ *                           skips the gate
+ *   LP_HUGEPAGES=1          request MADV_HUGEPAGE on mmap backings;
+ *                           whether it was applied is reported
+ *
  * With LP_BENCH_JSON set, emits BENCH_5-style machine-readable
  * numbers (load ms, replays/s, peak RSS, budget gate) so CI tracks
  * the storage trajectory. LP_BENCH_RESIDENT_BUDGET overrides the
@@ -19,7 +36,10 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -27,6 +47,7 @@
 #include "bench_util.hh"
 #include "core/library_set.hh"
 #include "core/runners.hh"
+#include "io/mapped_file.hh"
 #include "util/log.hh"
 
 using namespace lp;
@@ -51,6 +72,83 @@ sameResult(const LivePointRunResult &a, const LivePointRunResult &b)
            a.finalSnapshot.relHalfWidth ==
                b.finalSnapshot.relHalfWidth &&
            a.unavailableLoads == b.unavailableLoads;
+}
+
+/**
+ * Stored-order decode throughput (MB of raw bytes per second) through
+ * the replay-facing decodeInto path — the chain cache makes this the
+ * pattern a streaming replay pays. Best of repeated passes.
+ */
+double
+decodePassMBps(const LivePointLibrary &lib)
+{
+    std::uint64_t rawBytes = 0;
+    for (std::size_t i = 0; i < lib.size(); ++i)
+        rawBytes += lib.rawSize(i);
+    LivePointDecodeScratch scratch;
+    LivePoint pt;
+    double best = 0.0;
+    double elapsed = 0.0;
+    int passes = 0;
+    while (elapsed < 0.25 || passes < 3) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < lib.size(); ++i)
+            lib.decodeInto(i, scratch, pt);
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        best = std::max(best, static_cast<double>(rawBytes) / dt / 1e6);
+        elapsed += dt;
+        ++passes;
+    }
+    return best;
+}
+
+/** Best replays/s over a few runs (damps scheduler noise). */
+double
+bestReplaysPerSec(const Program &prog, const LivePointLibrary &lib,
+                  const CoreConfig &cfg, const LivePointRunOptions &opt,
+                  const LivePointRunResult &ref)
+{
+    double best = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+        const LivePointRunResult r = runLivePoints(prog, lib, cfg, opt);
+        if (!sameResult(r, ref))
+            panic("ablation_storage: encoded-library replay changed "
+                  "the estimate");
+        best = std::max(best, static_cast<double>(r.processed) /
+                                  r.wallSeconds);
+    }
+    return best;
+}
+
+/** Pull `"key": <number>` out of a JSON blob; nan when absent. */
+double
+jsonNumber(const std::string &json, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return std::nan("");
+    std::size_t p = at + needle.size();
+    while (p < json.size() && (json[p] == ':' || json[p] == ' '))
+        ++p;
+    return std::strtod(json.c_str() + p, nullptr);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
 }
 
 } // namespace
@@ -195,6 +293,86 @@ main()
                 fmtBytes(set.mappedBytes()).c_str(),
                 fmtBytes(set.pinnedBytes()).c_str());
 
+    // --- Checkpoint economics: shared dictionary + delta chains ----
+    // The same design built three ways. Encoding may only change
+    // where bytes go, never a decoded bit — every variant must
+    // reproduce the reference estimate exactly.
+    std::printf("\ncheckpoint economics (same design, three "
+                "encodings):\n");
+    std::printf("%14s | %10s | %11s | %10s | %10s\n", "encoding",
+                "file B/pt", "decode MB/s", "replays/s", "delta recs");
+
+    LivePointBuilderConfig bcDict = defaultBuilderConfig();
+    bcDict.sharedDictionary = true;
+    LivePointBuilderConfig bcDelta = bcDict;
+    bcDelta.deltaEncode = true;
+    const LivePointLibrary dictLib = cachedLibrary(b, design, bcDict, s);
+    const LivePointLibrary deltaLib =
+        cachedLibrary(b, design, bcDelta, s);
+
+    struct Variant
+    {
+        const char *name;
+        const LivePointLibrary *lib;
+        double bytesPerPoint = 0.0;
+        double decodeMbps = 0.0;
+        double rps = 0.0;
+    };
+    Variant variants[] = {{"plain", &refLib},
+                          {"dict", &dictLib},
+                          {"dict+delta", &deltaLib}};
+    for (Variant &v : variants) {
+        const std::string vpath =
+            s.cacheDir + "/ablation-storage-econ.lpl";
+        v.lib->save(vpath);
+        v.bytesPerPoint =
+            static_cast<double>(std::filesystem::file_size(vpath)) /
+            static_cast<double>(n);
+        v.decodeMbps = decodePassMBps(*v.lib);
+        v.rps = bestReplaysPerSec(b.prog, *v.lib, cfg, ropt, ref);
+        std::printf("%14s | %10.0f | %11.1f | %10.1f | %10zu\n",
+                    v.name, v.bytesPerPoint, v.decodeMbps, v.rps,
+                    v.lib->deltaCount());
+        std::filesystem::remove(vpath);
+    }
+
+    // Budgeted, loaded replay of the delta variant: chains charge
+    // their whole length, and the bits still match.
+    bool econHugepages = false;
+    {
+        const std::string dpath =
+            s.cacheDir + "/ablation-storage-delta.lpl";
+        deltaLib.save(dpath);
+        const LivePointLibrary loaded = LivePointLibrary::load(dpath);
+        econHugepages = loaded.hugepagesApplied();
+        std::uint64_t charge = 0;
+        for (std::size_t i = 0; i < loaded.size(); ++i)
+            charge += loaded.chargeBytes(i);
+        LivePointRunOptions dopt = ropt;
+        dopt.residentBudgetBytes = charge / 4;
+        if (!sameResult(runLivePoints(b.prog, loaded, cfg, dopt), ref))
+            panic("ablation_storage: budgeted delta replay changed "
+                  "the estimate");
+        dopt.threads = 2;
+        if (!sameResult(runLivePoints(b.prog, loaded, cfg, dopt), ref))
+            panic("ablation_storage: budgeted delta replay is not "
+                  "thread-count invariant");
+        std::filesystem::remove(dpath);
+    }
+
+    const double bppCut =
+        variants[0].bytesPerPoint / variants[2].bytesPerPoint;
+    const double decodeNorm =
+        variants[2].decodeMbps / variants[0].decodeMbps;
+    const double replayNorm = variants[2].rps / variants[0].rps;
+    std::printf("dictionary %s, bytes/point cut %.2fx, decode norm "
+                "%.2f, replay norm %.2f\n",
+                fmtBytes(deltaLib.dictionary().size()).c_str(), bppCut,
+                decodeNorm, replayNorm);
+    std::printf("hugepages: requested %s, applied %s (mmap backing)\n",
+                hugepagesRequestedByEnv() ? "yes" : "no",
+                econHugepages ? "yes" : "no");
+
     const std::string json = strfmt(
         "{\n  \"bench\": \"ablation_storage\",\n"
         "  \"benchmark\": \"%s\",\n  \"points\": %llu,\n"
@@ -224,10 +402,105 @@ main()
     if (writeBenchJson(s, json))
         std::printf("timings written to %s\n", s.jsonPath.c_str());
 
+    // BENCH_10: the checkpoint-economics trajectory numbers.
+    const std::string econJson = strfmt(
+        "{\n  \"bench\": \"ablation_storage_econ\",\n"
+        "  \"benchmark\": \"%s\",\n  \"points\": %llu,\n"
+        "  \"bytes_per_point_plain\": %.1f,\n"
+        "  \"bytes_per_point_dict\": %.1f,\n"
+        "  \"bytes_per_point_delta\": %.1f,\n"
+        "  \"bytes_per_point_cut\": %.3f,\n"
+        "  \"dictionary_bytes\": %zu,\n"
+        "  \"delta_records\": %zu,\n"
+        "  \"decode_mbps_plain\": %.2f,\n"
+        "  \"decode_mbps_delta\": %.2f,\n"
+        "  \"decode_norm\": %.4f,\n"
+        "  \"replays_per_sec_plain\": %.2f,\n"
+        "  \"replays_per_sec_delta\": %.2f,\n"
+        "  \"replay_norm\": %.4f,\n"
+        "  \"hugepages_requested\": %s,\n"
+        "  \"hugepages_applied\": %s,\n"
+        "  \"identical\": true\n}\n",
+        b.profile.name.c_str(), static_cast<unsigned long long>(n),
+        variants[0].bytesPerPoint, variants[1].bytesPerPoint,
+        variants[2].bytesPerPoint, bppCut,
+        deltaLib.dictionary().size(), deltaLib.deltaCount(),
+        variants[0].decodeMbps, variants[2].decodeMbps, decodeNorm,
+        variants[0].rps, variants[2].rps, replayNorm,
+        hugepagesRequestedByEnv() ? "true" : "false",
+        econHugepages ? "true" : "false");
+    if (const char *econPath = std::getenv("LP_BENCH_ECON_JSON")) {
+        BenchSettings es = s;
+        es.jsonPath = econPath;
+        if (writeBenchJson(es, econJson))
+            std::printf("economics written to %s\n", econPath);
+    }
+
     std::filesystem::remove_all(setDir);
     std::filesystem::remove(path);
-    std::printf("\nevery backend and budget setting reproduced the "
-                "owned-buffer estimate to the bit; only where the "
-                "bytes live differs.\n");
+
+    // --- Regression gates -------------------------------------------
+    // Hard floor first: the checkpoint-economics acceptance target.
+    if (bppCut < 2.0)
+        panic("ablation_storage: dictionary+delta bytes/point cut "
+              "%.2fx is below the 2x floor",
+              bppCut);
+
+    const char *baseEnv = std::getenv("LP_BENCH_BASELINE");
+    const std::string basePath =
+        baseEnv ? baseEnv : "bench/BENCH_10.baseline.json";
+    if (basePath != "none") {
+        const std::string baseline = readFile(basePath);
+        if (baseline.empty()) {
+            std::printf("baseline gate skipped: '%s' not found (set "
+                        "LP_BENCH_BASELINE, or run from the repo "
+                        "root)\n",
+                        basePath.c_str());
+        } else {
+            // Only machine-normalized ratios gate — absolute MB/s
+            // and replays/s track runner speed, the ratios track the
+            // code.
+            struct Gate
+            {
+                const char *key;
+                double now;
+            };
+            const Gate gates[] = {
+                {"bytes_per_point_cut", bppCut},
+                {"decode_norm", decodeNorm},
+                {"replay_norm", replayNorm},
+            };
+            bool failed = false;
+            for (const Gate &g : gates) {
+                const double base = jsonNumber(baseline, g.key);
+                if (std::isnan(base) || base <= 0) {
+                    std::printf("baseline gate: '%s' missing from "
+                                "%s, skipped\n",
+                                g.key, basePath.c_str());
+                    continue;
+                }
+                const double rel = g.now / base;
+                const bool ok = rel >= 0.9;
+                std::printf("baseline gate: %-20s %8.3f vs %8.3f "
+                            "baseline (%+.1f%%)%s\n",
+                            g.key, g.now, base, (rel - 1.0) * 100.0,
+                            ok ? "" : "  ** REGRESSION **");
+                failed = failed || !ok;
+            }
+            if (failed) {
+                std::fprintf(stderr,
+                             "ablation_storage: >10%% regression "
+                             "against %s\n",
+                             basePath.c_str());
+                return 1;
+            }
+        }
+    } else {
+        std::printf("baseline gate skipped (LP_BENCH_BASELINE=none)\n");
+    }
+
+    std::printf("\nevery backend, budget setting, and encoding "
+                "variant reproduced the owned-buffer estimate to the "
+                "bit; only where (and how many) bytes live differs.\n");
     return 0;
 }

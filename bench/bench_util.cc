@@ -174,13 +174,23 @@ cachedLibrary(const PreparedBench &b, const SampleDesign &design,
         shardKey = strfmt("-S%u.p%llu", cfg.buildThreads,
                           static_cast<unsigned long long>(
                               cfg.shardPrefixInsts));
+    // Encoding variants (shared dictionary, delta chains) and
+    // restricted-tier geometries store different bytes: key them
+    // apart so a bench never replays the wrong variant from cache.
+    std::string encKey;
+    if (cfg.sharedDictionary)
+        encKey += strfmt("-D%llu", static_cast<unsigned long long>(
+                                       cfg.dictionaryBytes));
+    if (cfg.deltaEncode)
+        encKey += strfmt("-d%u", cfg.maxDeltaChain);
     const std::string path = strfmt(
-        "%s/lib-%s-n%llu-w%llu-L2.%llu%s%s.lpl", s.cacheDir.c_str(),
+        "%s/lib-%s-n%llu-w%llu-L2.%llu.%u%s%s%s.lpl", s.cacheDir.c_str(),
         b.profile.name.c_str(),
         static_cast<unsigned long long>(design.count),
         static_cast<unsigned long long>(design.warmLen),
         static_cast<unsigned long long>(bc.maxL2.sizeBytes),
-        bpKeys.c_str(), shardKey.c_str());
+        bc.maxL2.assoc, bpKeys.c_str(), shardKey.c_str(),
+        encKey.c_str());
     if (std::filesystem::exists(path)) {
         try {
             LivePointLibrary lib = LivePointLibrary::load(path);

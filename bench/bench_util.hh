@@ -24,6 +24,15 @@
  *                      (benches that replay honor it; 0 = off)
  *   LP_NO_MMAP=1       force the owned-buffer storage backend (read
  *                      by the io layer itself; affects every binary)
+ *   LP_HUGEPAGES=1     request MADV_HUGEPAGE on mmap'ed library
+ *                      backings (read by the io layer; benches that
+ *                      replay mapped libraries report whether the
+ *                      hint was applied)
+ *   LP_BENCH_ECON_JSON=path  checkpoint-economics numbers from
+ *                      ablation_storage (CI publishes BENCH_10.json)
+ *   LP_BENCH_BASELINE=path  committed baseline JSON for the benches
+ *                      that gate (ablation_hotpath: BENCH_6,
+ *                      ablation_storage: BENCH_10); "none" skips
  */
 
 #ifndef LP_BENCH_BENCH_UTIL_HH

@@ -10,8 +10,17 @@
  * run it once per benchmark to grow a multi-workload set a campaign
  * can open lazily, shard by shard.
  *
+ * Checkpoint-economics options: --dict trains a shared per-library
+ * compression dictionary, --delta delta-encodes consecutive points
+ * against their predecessor (both cut bytes/point, neither changes a
+ * single decoded bit), and --restricted stores only the live state
+ * the 8-way Table 1 baseline consumes (the restricted tier) instead
+ * of the full 16-way maxima — smaller, but it no longer serves the
+ * 16-way configuration.
+ *
  * Usage: create_library <benchmark> [output.lpl] [--n <windows>]
- *                       [--set <dir>]
+ *                       [--set <dir>] [--dict] [--delta]
+ *                       [--restricted]
  *        create_library --list
  */
 
@@ -57,11 +66,20 @@ run(int argc, char **argv)
     std::string output = name + ".lpl";
     std::string setDir;
     std::uint64_t forcedN = 0;
+    bool dict = false;
+    bool delta = false;
+    bool restricted = false;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc)
             forcedN = std::strtoull(argv[++i], nullptr, 10);
         else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc)
             setDir = argv[++i];
+        else if (std::strcmp(argv[i], "--dict") == 0)
+            dict = true;
+        else if (std::strcmp(argv[i], "--delta") == 0)
+            delta = true;
+        else if (std::strcmp(argv[i], "--restricted") == 0)
+            restricted = true;
         else
             output = argv[i];
     }
@@ -109,6 +127,19 @@ run(int argc, char **argv)
     bc.maxItlb = cfg16.mem.itlb;
     bc.maxDtlb = cfg16.mem.dtlb;
     bc.bpredConfigs = {cfg8.bpred, cfg16.bpred};
+    if (restricted) {
+        // Store only the live state the 8-way baseline consumes —
+        // the restricted tier. Replaying the baseline stays exact
+        // (LRU inclusion); the 16-way configuration is no longer
+        // served by this library.
+        bc = restrictedBuilderConfig({cfg8}, bc);
+        inform("restricted tier: L2 maxima %lluKB %u-way",
+               static_cast<unsigned long long>(
+                   bc.maxL2.sizeBytes / 1024),
+               bc.maxL2.assoc);
+    }
+    bc.sharedDictionary = dict;
+    bc.deltaEncode = delta;
     LivePointBuilder builder(bc);
     inform("step 2: creating %llu live-points (one full-warming "
            "pass)...",

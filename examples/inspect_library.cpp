@@ -78,6 +78,12 @@ run(int argc, char **argv)
                     static_cast<double>(
                         std::max<std::uint64_t>(
                             lib.totalCompressedBytes(), 1)));
+    if (!lib.dictionary().empty() || lib.deltaCount() > 0)
+        std::printf("checkpoint econ    %.1f KB shared dictionary, "
+                    "%zu/%zu delta records\n",
+                    static_cast<double>(lib.dictionary().size()) /
+                        1024.0,
+                    lib.deltaCount(), lib.size());
 
     if (lib.size() == 0)
         return 0;
@@ -88,7 +94,7 @@ run(int argc, char **argv)
     // the stored raw bytes (the encoding is canonical, so any
     // payload damage that still parses shows up here).
     if (verify) {
-        Blob scratch;
+        LivePointDecodeScratch scratch;
         LivePoint pt;
         std::size_t bad = 0;
         RunningStat decodeNs;
@@ -105,7 +111,7 @@ run(int argc, char **argv)
                 decodeNs.add(dt * 1e9);
                 decodeSeconds += dt;
                 decodedBytes += lib.rawSize(i);
-                if (pt.serialize() != scratch)
+                if (pt.serialize() != scratch.payload)
                     throw std::runtime_error(
                         "re-encode differs from stored bytes");
             } catch (const std::exception &e) {
@@ -134,7 +140,7 @@ run(int argc, char **argv)
     RunningStat memData;
     RunningStat l2Tags;
     RunningStat bpred;
-    Blob firstScratch;
+    LivePointDecodeScratch firstScratch;
     LivePoint first;
     lib.decodeInto(0, firstScratch, first);
     std::printf("\nmaximum geometry   L2 %lluKB %u-way (line %llu); "
@@ -148,7 +154,7 @@ run(int argc, char **argv)
     for (const auto &kv : first.bpredImages)
         std::printf("                   - %s\n", kv.first.c_str());
 
-    Blob scratch;
+    LivePointDecodeScratch scratch;
     LivePoint pt;
     for (std::size_t i = 0; i < lib.size(); ++i) {
         lib.decodeInto(i, scratch, pt);
@@ -171,14 +177,18 @@ run(int argc, char **argv)
 
     std::printf("\nfirst %zu points (in stored order):\n",
                 std::min(showPoints, lib.size()));
-    std::printf("  %6s %12s %12s %10s\n", "rec", "window idx",
-                "win start", "zipped B");
+    std::printf("  %6s %12s %12s %10s %6s\n", "rec", "window idx",
+                "win start", "zipped B", "enc");
     for (std::size_t i = 0; i < std::min(showPoints, lib.size()); ++i) {
         lib.decodeInto(i, scratch, pt);
-        std::printf("  %6zu %12llu %12llu %10zu\n", i,
+        const std::uint8_t f = lib.recordFlags(i);
+        std::printf("  %6zu %12llu %12llu %10zu %6s\n", i,
                     static_cast<unsigned long long>(pt.index),
                     static_cast<unsigned long long>(pt.windowStart),
-                    lib.compressedSize(i));
+                    lib.compressedSize(i),
+                    (f & LivePointLibrary::kFlagDelta)  ? "delta"
+                    : (f & LivePointLibrary::kFlagDict) ? "dict"
+                                                        : "plain");
     }
     return 0;
 }

@@ -122,8 +122,8 @@ hash4(const std::uint8_t *p)
 class MatchFinder
 {
   public:
-    explicit MatchFinder(const Blob &raw)
-        : raw_(raw.data()), n_(raw.size()), head_(1u << kHashBits, kNil),
+    MatchFinder(const std::uint8_t *data, std::size_t n)
+        : raw_(data), n_(n), head_(1u << kHashBits, kNil),
           scanHead_(1u << kHashBits, kNil),
           chain_(n_ >= kMinMatch ? n_ - (kMinMatch - 1) : 0)
     {
@@ -233,22 +233,20 @@ class MatchFinder
     std::vector<std::uint32_t> chain_;
 };
 
-} // namespace
-
-Blob
-zipCompress(const Blob &raw)
+/**
+ * Tokenize @p data[start, total) into @p out (which already carries
+ * the LEB raw-size header, so a recorded flag position is never 0).
+ * Positions [0, start) are the preset dictionary: they are indexed as
+ * match candidates but emit nothing, which is the whole dictionary
+ * mechanism — with start == 0 this is the original single-buffer
+ * compressor, byte for byte.
+ */
+void
+compressBody(const std::uint8_t *data, std::size_t total,
+             std::size_t start, Blob &out)
 {
-    if (failpointsArmed()) {
-        const FailpointOutcome o = failpointFire("codec.compress");
-        if (o.fail)
-            throw std::runtime_error(
-                "zip: injected encode fault (codec.compress)");
-    }
-    Blob out;
-    out.reserve(raw.size() / 2 + 16);
-    putLeb(out, raw.size());
-
-    MatchFinder mf(raw);
+    MatchFinder mf(data, total);
+    mf.insertUpTo(start);
 
     std::size_t flagPos = 0;
     unsigned flagBit = 8; // force new flag byte on first item
@@ -268,13 +266,13 @@ zipCompress(const Blob &raw)
         ++flagBit;
     };
 
-    std::size_t i = 0;
-    while (i < raw.size()) {
+    std::size_t i = start;
+    while (i < total) {
         std::size_t matchPos = 0;
         std::size_t matchLen = mf.findAndInsert(i, matchPos);
         if (!matchLen) {
             beginItem(false);
-            out.push_back(raw[i]);
+            out.push_back(data[i]);
             ++i;
             continue;
         }
@@ -282,13 +280,13 @@ zipCompress(const Blob &raw)
         // longer match, emit this byte as a literal and slide
         // forward. A nice-length match is taken as-is — the probe
         // rarely beats it and costs a full chain walk.
-        while (matchLen < kNiceMatch && i + 1 < raw.size()) {
+        while (matchLen < kNiceMatch && i + 1 < total) {
             std::size_t nextPos = 0;
             const std::size_t nextLen = mf.findAndInsert(i + 1, nextPos);
             if (nextLen <= matchLen)
                 break;
             beginItem(false);
-            out.push_back(raw[i]);
+            out.push_back(data[i]);
             ++i;
             matchLen = nextLen;
             matchPos = nextPos;
@@ -303,7 +301,51 @@ zipCompress(const Blob &raw)
     }
     if (flagPos)
         out[flagPos] = flags;
+}
+
+/**
+ * Compress @p n bytes at @p raw primed with @p dict (its last 64KB —
+ * deeper bytes are unreachable through 16-bit offsets anyway). The
+ * dictionary is staged in front of the payload in one scratch buffer
+ * so the match finder sees a single address space.
+ */
+Blob
+compressWithDict(const std::uint8_t *raw, std::size_t n, ByteSpan dict)
+{
+    Blob out;
+    out.reserve(n / 2 + 16);
+    putLeb(out, n);
+    const std::size_t dictUse = std::min(dict.size, kWindow);
+    if (!dictUse) {
+        compressBody(raw, n, 0, out);
+        return out;
+    }
+    Blob cat(dictUse + n);
+    std::memcpy(cat.data(), dict.data + (dict.size - dictUse), dictUse);
+    if (n)
+        std::memcpy(cat.data() + dictUse, raw, n);
+    compressBody(cat.data(), cat.size(), dictUse, out);
     return out;
+}
+
+} // namespace
+
+Blob
+zipCompress(const Blob &raw)
+{
+    return zipCompress(raw, ByteSpan());
+}
+
+Blob
+zipCompress(const Blob &raw, ByteSpan dict)
+{
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("codec.compress");
+        if (o.fail)
+            throw std::runtime_error(
+                "zip: injected encode fault (codec.compress)");
+    }
+    return compressWithDict(raw.data(), raw.size(), dict);
 }
 
 Blob
@@ -363,34 +405,42 @@ copyMatch(std::uint8_t *dst, std::size_t off, std::size_t len)
  */
 constexpr std::uint64_t kMaxExpansionPerByte = 83;
 
-} // namespace
-
-void
-zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
-                  Blob &out)
+/**
+ * Copy @p len match bytes at @p op for an offset reaching @p fromDict
+ * bytes into the preset dictionary's tail: the dictionary part is a
+ * straight copy (dictionary and output never overlap), any remainder
+ * continues from the start of the output region. Out-of-line — the
+ * hot loops only pay a compare for it on dictionary-free streams.
+ */
+inline std::uint8_t *
+copyMatchFromDict(std::uint8_t *op, std::uint8_t *obase, ByteSpan dict,
+                  std::size_t fromDict, std::size_t len)
 {
-    // Fault-injection site at the record boundary (never inside the
-    // token loop): an armed `codec.decompress` makes this record
-    // decode fail exactly like a corrupt stream would, so the layers
-    // above prove they contain a bad record instead of aborting.
-    if (failpointsArmed()) {
-        const FailpointOutcome o = failpointFire("codec.decompress");
-        if (o.fail)
-            throw std::runtime_error(
-                "zip: injected decode fault (codec.decompress)");
+    if (fromDict > dict.size)
+        throw std::runtime_error("zip: bad match offset");
+    const std::size_t n1 = std::min(len, fromDict);
+    std::memcpy(op, dict.data + (dict.size - fromDict), n1);
+    op += n1;
+    if (len > n1) {
+        copyMatch(op, static_cast<std::size_t>(op - obase), len - n1);
+        op += len - n1;
     }
-    std::size_t pos = 0;
-    const std::uint64_t rawSize = getLeb(compressed, size, pos);
-    if (rawSize > (size - pos) * kMaxExpansionPerByte + 8 * kMaxMatch)
-        throw std::runtime_error("zip: truncated stream");
-    // One up-front size: the body writes through raw cursors, no
-    // per-literal push_back. On a recycled buffer only the growth
-    // delta (if any) is value-initialized.
-    out.resize(rawSize);
+    return op;
+}
 
+/**
+ * Decode the token stream at @p compressed[pos, size) into the
+ * @p rawSize-byte region at @p obase, with @p dict priming the match
+ * window. The batched hot path: whole flag groups with hoisted bounds
+ * checks, then a strict per-token tail.
+ */
+void
+decodeBody(const std::uint8_t *compressed, std::size_t size,
+           std::size_t pos, std::uint8_t *obase, std::size_t rawSize,
+           ByteSpan dict)
+{
     const std::uint8_t *ip = compressed + pos;
     const std::uint8_t *const iend = compressed + size;
-    std::uint8_t *const obase = out.data();
     std::uint8_t *op = obase;
     std::uint8_t *const oend = obase + rawSize;
 
@@ -438,11 +488,16 @@ zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
             const std::size_t len =
                 static_cast<std::size_t>(ip[2]) + kMinMatch;
             ip += 3;
-            if (off == 0 ||
-                off > static_cast<std::size_t>(op - obase))
+            if (off == 0)
                 throw std::runtime_error("zip: bad match offset");
-            copyMatch(op, off, len);
-            op += len;
+            if (off > static_cast<std::size_t>(op - obase)) {
+                op = copyMatchFromDict(
+                    op, obase, dict,
+                    off - static_cast<std::size_t>(op - obase), len);
+            } else {
+                copyMatch(op, off, len);
+                op += len;
+            }
             ++b;
         }
     }
@@ -472,13 +527,18 @@ zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
                 static_cast<std::size_t>(compressed[tpos + 2]) +
                 kMinMatch;
             tpos += 3;
-            if (off == 0 ||
-                off > static_cast<std::size_t>(op - obase))
+            if (off == 0)
                 throw std::runtime_error("zip: bad match offset");
             if (len > static_cast<std::size_t>(oend - op))
                 throw std::runtime_error("zip: size mismatch");
-            copyMatch(op, off, len);
-            op += len;
+            if (off > static_cast<std::size_t>(op - obase)) {
+                op = copyMatchFromDict(
+                    op, obase, dict,
+                    off - static_cast<std::size_t>(op - obase), len);
+            } else {
+                copyMatch(op, off, len);
+                op += len;
+            }
         } else {
             if (tpos >= size)
                 throw std::runtime_error("zip: truncated literal");
@@ -487,9 +547,50 @@ zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
     }
 }
 
+} // namespace
+
+void
+zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
+                  Blob &out)
+{
+    zipDecompressInto(compressed, size, out, ByteSpan());
+}
+
+void
+zipDecompressInto(const std::uint8_t *compressed, std::size_t size,
+                  Blob &out, ByteSpan dict)
+{
+    // Fault-injection site at the record boundary (never inside the
+    // token loop): an armed `codec.decompress` makes this record
+    // decode fail exactly like a corrupt stream would, so the layers
+    // above prove they contain a bad record instead of aborting.
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("codec.decompress");
+        if (o.fail)
+            throw std::runtime_error(
+                "zip: injected decode fault (codec.decompress)");
+    }
+    std::size_t pos = 0;
+    const std::uint64_t rawSize = getLeb(compressed, size, pos);
+    if (rawSize > (size - pos) * kMaxExpansionPerByte + 8 * kMaxMatch)
+        throw std::runtime_error("zip: truncated stream");
+    // One up-front size: the body writes through raw cursors, no
+    // per-literal push_back. On a recycled buffer only the growth
+    // delta (if any) is value-initialized.
+    out.resize(rawSize);
+    decodeBody(compressed, size, pos, out.data(), rawSize, dict);
+}
+
 void
 zipDecompressReferenceInto(const std::uint8_t *compressed,
                            std::size_t size, Blob &out)
+{
+    zipDecompressReferenceInto(compressed, size, out, ByteSpan());
+}
+
+void
+zipDecompressReferenceInto(const std::uint8_t *compressed,
+                           std::size_t size, Blob &out, ByteSpan dict)
 {
     std::size_t pos = 0;
     const std::uint64_t rawSize = getLeb(compressed, size, pos);
@@ -516,18 +617,26 @@ zipDecompressReferenceInto(const std::uint8_t *compressed,
             const std::size_t len =
                 static_cast<std::size_t>(compressed[pos + 2]) + kMinMatch;
             pos += 3;
-            if (off == 0 || off > out.size())
-                throw std::runtime_error("zip: bad match offset");
             const std::size_t dst = out.size();
-            const std::size_t src = dst - off;
+            if (off == 0 || off > dst + dict.size)
+                throw std::runtime_error("zip: bad match offset");
             out.resize(dst + len);
-            if (off >= len) {
-                std::memcpy(&out[dst], &out[src], len);
+            if (off > dst) {
+                // Reaches into the preset dictionary's tail: resolve
+                // each byte against the virtual [dict | out] stream.
+                for (std::size_t k = 0; k < len; ++k) {
+                    const std::size_t vdst = dst + k;
+                    out[vdst] = vdst >= off
+                                    ? out[vdst - off]
+                                    : dict.data[dict.size - (off - vdst)];
+                }
+            } else if (off >= len) {
+                std::memcpy(&out[dst], &out[dst - off], len);
             } else {
                 // Overlapping match (RLE-style): copy forward so each
                 // byte reads one already written.
                 for (std::size_t k = 0; k < len; ++k)
-                    out[dst + k] = out[src + k];
+                    out[dst + k] = out[dst - off + k];
             }
         } else {
             if (pos >= size)
@@ -537,6 +646,218 @@ zipDecompressReferenceInto(const std::uint8_t *compressed,
     }
     if (out.size() != rawSize)
         throw std::runtime_error("zip: size mismatch");
+}
+
+namespace
+{
+
+// Delta streams chunk the payload so every chunk plus its preset
+// window fits the 16-bit offset reach: a 32KB chunk primed with up to
+// 48KB of the predecessor keeps the whole window addressable from the
+// first chunk byte. The pad absorbs section drift between successive
+// points (variable-length sections shift later ones by a few KB).
+constexpr std::size_t kDeltaChunk = 32768;
+constexpr std::size_t kDeltaPad = 8192;
+
+/**
+ * The predecessor region priming the chunk at @p chunkStart:
+ * proportionally aligned (global size drift between points shifts
+ * sections roughly linearly) and padded both ways. Integer math only
+ * — encoder and decoder must agree bit-for-bit.
+ */
+ByteSpan
+deltaDict(ByteSpan prev, std::size_t chunkStart, std::size_t rawSize)
+{
+    if (prev.empty())
+        return ByteSpan();
+    const std::size_t center =
+        rawSize ? static_cast<std::size_t>(
+                      (static_cast<std::uint64_t>(chunkStart) *
+                       prev.size) /
+                      rawSize)
+                : 0;
+    const std::size_t lo = center > kDeltaPad ? center - kDeltaPad : 0;
+    const std::size_t hi =
+        std::min(prev.size, center + kDeltaChunk + kDeltaPad);
+    return ByteSpan(prev.data + lo, hi - lo);
+}
+
+std::size_t
+deltaChunkCount(std::size_t rawSize)
+{
+    return (rawSize + kDeltaChunk - 1) / kDeltaChunk;
+}
+
+} // namespace
+
+Blob
+zipCompressDelta(const Blob &raw, ByteSpan prevRaw)
+{
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("codec.compress");
+        if (o.fail)
+            throw std::runtime_error(
+                "zip: injected encode fault (codec.compress)");
+    }
+    const std::size_t n = raw.size();
+    const std::size_t chunks = deltaChunkCount(n);
+    std::vector<Blob> streams;
+    streams.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t start = c * kDeltaChunk;
+        const std::size_t len = std::min(kDeltaChunk, n - start);
+        streams.push_back(compressWithDict(raw.data() + start, len,
+                                           deltaDict(prevRaw, start, n)));
+    }
+    Blob out;
+    out.reserve(n / 2 + 16);
+    putLeb(out, n);
+    putLeb(out, chunks);
+    for (const Blob &s : streams)
+        putLeb(out, s.size());
+    for (const Blob &s : streams)
+        out.insert(out.end(), s.begin(), s.end());
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Shared header walk for both delta decoders: validates the raw size
+ * against the expansion bound, the chunk count against the raw size,
+ * and every chunk's compressed extent against the remaining input.
+ * Returns the chunk sizes and leaves @p pos at the first stream byte.
+ */
+std::uint64_t
+parseDeltaHeader(const std::uint8_t *compressed, std::size_t size,
+                 std::size_t &pos, std::vector<std::size_t> &chunkSizes)
+{
+    const std::uint64_t rawSize = getLeb(compressed, size, pos);
+    const std::uint64_t chunks = getLeb(compressed, size, pos);
+    // Every chunk needs at least one header byte, so the count is
+    // bounded by the input size — check that before trusting it in
+    // the expansion bound (per-chunk slack: each chunk stream carries
+    // its own header and strict tail).
+    if (chunks > size)
+        throw std::runtime_error("zip: truncated stream");
+    if (chunks != deltaChunkCount(rawSize))
+        throw std::runtime_error("zip: bad delta chunk count");
+    if (rawSize > size * kMaxExpansionPerByte +
+                      (chunks + 1) * 8 * kMaxMatch)
+        throw std::runtime_error("zip: truncated stream");
+    chunkSizes.clear();
+    chunkSizes.reserve(static_cast<std::size_t>(chunks));
+    std::uint64_t total = 0;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        const std::uint64_t s = getLeb(compressed, size, pos);
+        total += s;
+        chunkSizes.push_back(static_cast<std::size_t>(s));
+    }
+    if (total > size - pos)
+        throw std::runtime_error("zip: truncated stream");
+    return rawSize;
+}
+
+} // namespace
+
+void
+zipDecompressDeltaInto(const std::uint8_t *compressed, std::size_t size,
+                       ByteSpan prevRaw, Blob &out)
+{
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("codec.decompress");
+        if (o.fail)
+            throw std::runtime_error(
+                "zip: injected decode fault (codec.decompress)");
+    }
+    std::size_t pos = 0;
+    std::vector<std::size_t> chunkSizes;
+    const std::uint64_t rawSize =
+        parseDeltaHeader(compressed, size, pos, chunkSizes);
+    out.resize(rawSize);
+    for (std::size_t c = 0; c < chunkSizes.size(); ++c) {
+        const std::size_t start = c * kDeltaChunk;
+        const std::size_t expect =
+            std::min(kDeltaChunk, static_cast<std::size_t>(rawSize) -
+                                      start);
+        std::size_t cpos = pos;
+        const std::uint64_t crs =
+            getLeb(compressed, pos + chunkSizes[c], cpos);
+        if (crs != expect)
+            throw std::runtime_error("zip: delta chunk size mismatch");
+        decodeBody(compressed, pos + chunkSizes[c], cpos,
+                   out.data() + start, expect,
+                   deltaDict(prevRaw, start, rawSize));
+        pos += chunkSizes[c];
+    }
+}
+
+void
+zipDecompressDeltaReferenceInto(const std::uint8_t *compressed,
+                                std::size_t size, ByteSpan prevRaw,
+                                Blob &out)
+{
+    std::size_t pos = 0;
+    std::vector<std::size_t> chunkSizes;
+    const std::uint64_t rawSize =
+        parseDeltaHeader(compressed, size, pos, chunkSizes);
+    out.clear();
+    out.reserve(rawSize);
+    Blob chunk;
+    for (std::size_t c = 0; c < chunkSizes.size(); ++c) {
+        const std::size_t start = c * kDeltaChunk;
+        const std::size_t expect =
+            std::min(kDeltaChunk, static_cast<std::size_t>(rawSize) -
+                                      start);
+        zipDecompressReferenceInto(compressed + pos, chunkSizes[c],
+                                   chunk,
+                                   deltaDict(prevRaw, start, rawSize));
+        if (chunk.size() != expect)
+            throw std::runtime_error("zip: delta chunk size mismatch");
+        out.insert(out.end(), chunk.begin(), chunk.end());
+        pos += chunkSizes[c];
+    }
+    if (out.size() != rawSize)
+        throw std::runtime_error("zip: size mismatch");
+}
+
+Blob
+zipTrainDictionary(const std::vector<ByteSpan> &samples,
+                   std::size_t dictBytes)
+{
+    Blob dict;
+    if (!dictBytes || samples.empty())
+        return dict;
+    dict.reserve(dictBytes);
+    // Evenly-strided 2KB slices from every sample: structural
+    // boilerplate (section headers, geometry prefixes, hot varint
+    // patterns) recurs at every scale, so stride sampling captures it
+    // without any frequency modelling — and deterministically.
+    constexpr std::size_t kSlice = 2048;
+    const std::size_t perSample =
+        std::max<std::size_t>(kSlice, dictBytes / samples.size());
+    for (const ByteSpan &s : samples) {
+        if (dict.size() >= dictBytes)
+            break;
+        const std::size_t want =
+            std::min(std::min(perSample, dictBytes - dict.size()),
+                     s.size);
+        if (!want)
+            continue;
+        const std::size_t slices = (want + kSlice - 1) / kSlice;
+        for (std::size_t k = 0; k < slices; ++k) {
+            const std::size_t take =
+                std::min(kSlice, want - k * kSlice);
+            // Spread slice starts across the sample; the last slice
+            // ends flush with the sample's tail.
+            const std::size_t span = s.size - take;
+            const std::size_t at =
+                slices > 1 ? (span * k) / (slices - 1) : span / 2;
+            dict.insert(dict.end(), s.data + at, s.data + at + take);
+        }
+    }
+    return dict;
 }
 
 } // namespace lp

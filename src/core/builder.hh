@@ -72,7 +72,47 @@ struct LivePointBuilderConfig
      * meaningful with buildThreads == 1).
      */
     bool pipelineEncode = true;
+
+    /**
+     * Train a shared preset dictionary from the first few points'
+     * payloads (a deterministic sequential pre-pass) and prime every
+     * non-delta record with it. Saves as LPLIB4.
+     */
+    bool sharedDictionary = false;
+
+    /** Dictionary size; the codec window caps the useful reach at 64KB. */
+    std::size_t dictionaryBytes = 32 * 1024;
+
+    /** Points sampled (and pre-warmed) for dictionary training. */
+    std::size_t dictionarySamples = 4;
+
+    /**
+     * Delta-encode each point against its predecessor's raw payload
+     * (successive points share most warm state). Each record keeps
+     * whichever encoding is smaller, so delta never costs bytes; a
+     * keyframe every maxDeltaChain points (and at every shard start)
+     * bounds the chain a replay must rebuild. Saves as LPLIB4.
+     */
+    bool deltaEncode = false;
+
+    /** Keyframe cadence: at most this many records per delta chain. */
+    unsigned maxDeltaChain = 8;
 };
+
+/**
+ * Restricted live-state as a build option: a builder configuration
+ * whose warm state covers exactly the geometry/predictor range of
+ * @p configs instead of the library-wide maximum — a campaign that
+ * only replays those configurations stores (and decodes) far fewer
+ * warm-state bytes, at the price of not covering anything larger.
+ * Geometries are combined per level (max size/assoc; line sizes must
+ * agree — the set-record covering relation requires it) and the
+ * distinct branch predictors of @p configs become the covered set.
+ * Encoding/threading knobs are taken from @p base.
+ */
+LivePointBuilderConfig
+restrictedBuilderConfig(const std::vector<CoreConfig> &configs,
+                        const LivePointBuilderConfig &base = {});
 
 struct BuilderStats
 {

@@ -27,6 +27,18 @@ constexpr std::uint64_t kLpl3Version = 1;
 constexpr std::size_t kLpl3HeaderBytes = 64;
 constexpr std::size_t kLpl3TableEntryBytes = 32;
 
+// LPLIB4: LPLIB3 plus a shared-dictionary section between meta and
+// table, and a wider table row carrying per-record encoding flags,
+// the delta base's position, and a raw-payload checksum.
+constexpr std::uint8_t kMagic4[8] = {'L', 'P', 'L', 'I',
+                                     'B', '4', '\n', '\0'};
+constexpr std::uint64_t kLpl4Version = 1;
+constexpr std::size_t kLpl4HeaderBytes = 80;
+constexpr std::size_t kLpl4TableEntryBytes = 56;
+constexpr std::uint64_t kNoBase = ~std::uint64_t(0);
+constexpr std::uint8_t kAllFlags = LivePointLibrary::kFlagDict |
+                                   LivePointLibrary::kFlagDelta;
+
 void
 putU64le(std::uint8_t *out, std::uint64_t v)
 {
@@ -175,14 +187,44 @@ LivePointLibrary::LivePointLibrary(std::string benchmark,
 {
 }
 
-ByteSpan
-LivePointLibrary::record(std::size_t i) const
+std::uint64_t
+livePointRawHash(const std::uint8_t *data, std::size_t n)
 {
-    const RecordRef &r = refs_[i];
+    // Word-at-a-time multiply/xorshift mix: ~8 bytes per multiply, so
+    // verifying a record costs a small fraction of decompressing it.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+    while (n >= 8) {
+        std::uint64_t v;
+        std::memcpy(&v, data, 8);
+        h = (h ^ v) * 0x2545f4914f6cdd1dull;
+        h ^= h >> 29;
+        data += 8;
+        n -= 8;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+    h = (h ^ v) * 0x2545f4914f6cdd1dull;
+    h ^= h >> 32;
+    // 0 means "no checksum stored" in the record table; remap the one
+    // colliding value so every real checksum verifies.
+    return h ? h : 1;
+}
+
+ByteSpan
+LivePointLibrary::recordAt(std::size_t filePos) const
+{
+    const RecordRef &r = refs_[filePos];
     const std::uint8_t *base =
         r.inArena ? arena_.data() : source_->data();
     return ByteSpan(base + r.offset,
                     static_cast<std::size_t>(r.size));
+}
+
+ByteSpan
+LivePointLibrary::record(std::size_t i) const
+{
+    return recordAt(pos(i));
 }
 
 std::string
@@ -200,16 +242,25 @@ LivePointLibrary::storageKind() const
 void
 LivePointLibrary::prefetchRecord(std::size_t i) const
 {
-    const RecordRef &r = refs_[i];
-    if (!r.inArena && source_)
-        source_->prefetch(static_cast<std::size_t>(r.offset),
-                          static_cast<std::size_t>(r.size));
+    // A delta record's decode touches its whole chain; hint it all.
+    std::size_t p = pos(i);
+    for (std::size_t depth = 0; depth <= refs_.size(); ++depth) {
+        const RecordRef &r = refs_[p];
+        if (!r.inArena && source_)
+            source_->prefetch(static_cast<std::size_t>(r.offset),
+                              static_cast<std::size_t>(r.size));
+        if (!(r.flags & kFlagDelta))
+            break;
+        p = static_cast<std::size_t>(r.basePos);
+    }
 }
 
 void
 LivePointLibrary::releaseRecord(std::size_t i) const
 {
-    const RecordRef &r = refs_[i];
+    // Release only the record itself: chain bases may serve later
+    // points, and the admission budget already accounts for them.
+    const RecordRef &r = refs_[pos(i)];
     if (!r.inArena && source_)
         source_->release(static_cast<std::size_t>(r.offset),
                          static_cast<std::size_t>(r.size));
@@ -225,31 +276,144 @@ LivePointLibrary::get(std::size_t i) const
 }
 
 void
-LivePointLibrary::decodeInto(std::size_t i, Blob &scratch,
+LivePointLibrary::decodeOne(std::size_t filePos, Blob &out,
+                            ByteSpan prev) const
+{
+    const RecordRef &r = refs_[filePos];
+    const ByteSpan rec = recordAt(filePos);
+    if (r.flags & kFlagDelta)
+        zipDecompressDeltaInto(rec.data, rec.size, prev, out);
+    else if (r.flags & kFlagDict)
+        zipDecompressInto(rec.data, rec.size, out, ByteSpan(dict_));
+    else
+        zipDecompressInto(rec.data, rec.size, out);
+    // Cross-check the decoded bytes against the index table's
+    // accounting: rawSize catches torn records through every path,
+    // and the raw checksum makes dictionary/delta corruption — a
+    // flipped dictionary byte, a broken chain — fail loudly instead
+    // of deserializing garbage.
+    if (out.size() != r.rawSize)
+        throw std::runtime_error(
+            strfmt("live-point %zu: record size mismatch", filePos));
+    if (r.flags && r.rawHash &&
+        livePointRawHash(out.data(), out.size()) != r.rawHash)
+        throw std::runtime_error(
+            strfmt("live-point %zu: raw checksum mismatch", filePos));
+}
+
+void
+LivePointLibrary::materializeRaw(std::size_t filePos,
+                                 LivePointDecodeScratch &scratch) const
+{
+    const RecordRef &r0 = refs_[filePos];
+    if (!(r0.flags & kFlagDelta)) {
+        decodeOne(filePos, scratch.payload, ByteSpan());
+        return;
+    }
+    // Collect the chain top-down, stopping at a keyframe or at the
+    // scratch cache (stored-order replay hits the cache every time —
+    // the previous point is this one's base).
+    scratch.chain.clear();
+    std::size_t p = filePos;
+    bool fromCache = false;
+    while (true) {
+        if (p == scratch.cachedPos) {
+            fromCache = true;
+            break;
+        }
+        scratch.chain.push_back(p);
+        const RecordRef &r = refs_[p];
+        if (!(r.flags & kFlagDelta))
+            break;
+        p = static_cast<std::size_t>(r.basePos);
+    }
+    // Decode bottom-up, ping-ponging between the two work buffers.
+    // The cache lives in payload and is only ever *read* (as the
+    // first delta's base); the finished record is swapped into
+    // payload at the end, becoming the next call's cache.
+    std::size_t k = scratch.chain.size();
+    Blob *cur;
+    if (fromCache) {
+        cur = &scratch.payload;
+    } else {
+        --k;
+        decodeOne(static_cast<std::size_t>(scratch.chain[k]),
+                  scratch.tmp, ByteSpan());
+        cur = &scratch.tmp;
+    }
+    while (k--) {
+        Blob *dst =
+            cur == &scratch.tmp ? &scratch.prevRaw : &scratch.tmp;
+        decodeOne(static_cast<std::size_t>(scratch.chain[k]), *dst,
+                  ByteSpan(*cur));
+        cur = dst;
+    }
+    if (cur != &scratch.payload)
+        std::swap(scratch.payload, *cur);
+}
+
+void
+LivePointLibrary::decodeInto(std::size_t i,
+                             LivePointDecodeScratch &scratch,
                              LivePoint &out) const
 {
-    const RecordRef &ref = refs_[i];
-    const ByteSpan rec = record(i);
-    zipDecompressInto(rec.data, rec.size, scratch);
-    // Cross-check the decoded point against the index table's
-    // accounting: rawSize and windowIndex are the two table fields
-    // the layout checks in load() cannot validate, so a corrupted
-    // container fails here on first decode instead of yielding a
-    // silently wrong point.
-    if (scratch.size() != ref.rawSize)
-        throw std::runtime_error(
-            strfmt("live-point %zu: record size mismatch", i));
-    LivePoint::deserializeInto(scratch, out);
+    const std::size_t p = pos(i);
+    const RecordRef &ref = refs_[p];
+    materializeRaw(p, scratch);
+    LivePoint::deserializeInto(scratch.payload, out);
     if (out.index != ref.index)
         throw std::runtime_error(
             strfmt("live-point %zu: window index mismatch", i));
+    if (anyDelta_) {
+        // payload now holds this record's raw bytes — which is
+        // exactly the chain cache the next stored-order decode needs
+        // (its base is this record). Plain libraries skip the
+        // bookkeeping; their payload is never read as a base.
+        scratch.cachedPos = p;
+    }
+}
+
+void
+LivePointLibrary::decodeInto(std::size_t i, Blob &scratch,
+                             LivePoint &out) const
+{
+    LivePointDecodeScratch s;
+    s.payload.swap(scratch);
+    decodeInto(i, s, out);
+    s.payload.swap(scratch);
 }
 
 void
 LivePointLibrary::add(const LivePoint &point)
 {
     const Blob raw = point.serialize();
-    addCompressed(zipCompress(raw), raw.size(), point.index);
+    if (dict_.empty()) {
+        addCompressed(zipCompress(raw), raw.size(), point.index);
+        return;
+    }
+    addEncoded(zipCompress(raw, ByteSpan(dict_)), raw.size(),
+               point.index, kFlagDict,
+               livePointRawHash(raw.data(), raw.size()));
+}
+
+void
+LivePointLibrary::setDictionary(Blob dict)
+{
+    for (const RecordRef &r : refs_)
+        if (r.flags & kFlagDict)
+            throw std::runtime_error(
+                "library: dictionary change after dictionary-primed "
+                "records were added");
+    dict_ = std::move(dict);
+}
+
+std::size_t
+LivePointLibrary::deltaCount() const
+{
+    std::size_t n = 0;
+    for (const RecordRef &r : refs_)
+        n += (r.flags & kFlagDelta) != 0;
+    return n;
 }
 
 void
@@ -264,12 +428,42 @@ LivePointLibrary::addCompressed(const Blob &compressed,
                                 std::uint64_t rawSize,
                                 std::uint64_t windowIndex)
 {
+    addEncoded(compressed, rawSize, windowIndex, 0, 0);
+}
+
+void
+LivePointLibrary::addEncoded(const Blob &compressed,
+                             std::uint64_t rawSize,
+                             std::uint64_t windowIndex,
+                             std::uint8_t flags, std::uint64_t rawHash)
+{
+    if (flags & ~kAllFlags)
+        throw std::runtime_error("library: unknown record flags");
+    if ((flags & kFlagDict) && dict_.empty())
+        throw std::runtime_error(
+            "library: dictionary-primed record without a dictionary");
+    if ((flags & kFlagDelta) && refs_.empty())
+        throw std::runtime_error(
+            "library: delta record without a predecessor");
+    // Appending to a shuffled library: the new record lands at the
+    // end of both the file order and the stored-order view.
+    if (!order_.empty())
+        order_.push_back(static_cast<std::uint32_t>(refs_.size()));
     RecordRef r;
     r.offset = arena_.size();
     r.size = compressed.size();
     r.rawSize = rawSize;
     r.index = windowIndex;
+    r.flags = flags;
+    r.rawHash = rawHash;
     r.inArena = true;
+    if (flags & kFlagDelta) {
+        r.basePos = refs_.size() - 1;
+        r.chainBytes = refs_.back().chainBytes + r.size + r.rawSize;
+        anyDelta_ = true;
+    } else {
+        r.chainBytes = r.size + r.rawSize;
+    }
     arena_.insert(arena_.end(), compressed.begin(), compressed.end());
     refs_.push_back(r);
 }
@@ -302,8 +496,16 @@ LivePointLibrary::contentHash() const
     h = hashCombine(h, design_.count);
     h = hashCombine(h, design_.measureLen);
     h = hashCombine(h, design_.warmLen);
+    if (!dict_.empty()) {
+        std::uint64_t f = 0xcbf29ce484222325ull;
+        for (const std::uint8_t b : dict_)
+            f = (f ^ b) * 0x100000001b3ull;
+        h = hashCombine(h, f);
+    }
+    std::vector<std::uint32_t> inv;
     for (std::size_t i = 0; i < refs_.size(); ++i) {
-        h = hashCombine(h, refs_[i].index);
+        const RecordRef &r = refs_[pos(i)];
+        h = hashCombine(h, r.index);
         const ByteSpan rec = record(i);
         // FNV-1a over the record, folded in; cheap relative to one
         // decompression and touching every byte keeps corruption and
@@ -312,25 +514,70 @@ LivePointLibrary::contentHash() const
         for (std::size_t j = 0; j < rec.size; ++j)
             f = (f ^ rec.data[j]) * 0x100000001b3ull;
         h = hashCombine(h, f);
+        // Encoding metadata is load-bearing for dict/delta records
+        // (the delta base in *stored* order, so the hash survives a
+        // save/load round-trip of a shuffled library). Plain records
+        // fold nothing extra — their hash matches older releases.
+        if (r.flags) {
+            h = hashCombine(h, r.flags);
+            if (r.flags & kFlagDelta) {
+                if (inv.empty())
+                    inv = inverseOrder();
+                h = hashCombine(h, inv[static_cast<std::size_t>(
+                                       r.basePos)]);
+            }
+        }
     }
     return h;
+}
+
+std::vector<std::uint32_t>
+LivePointLibrary::inverseOrder() const
+{
+    std::vector<std::uint32_t> inv(refs_.size());
+    for (std::size_t i = 0; i < refs_.size(); ++i)
+        inv[pos(i)] = static_cast<std::uint32_t>(i);
+    return inv;
 }
 
 void
 LivePointLibrary::shuffle(Rng &rng)
 {
-    for (std::size_t i = refs_.size(); i > 1; --i) {
+    if (order_.empty()) {
+        order_.resize(refs_.size());
+        for (std::size_t i = 0; i < order_.size(); ++i)
+            order_[i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = order_.size(); i > 1; --i) {
         const std::size_t j =
             static_cast<std::size_t>(rng.nextBounded(i));
-        std::swap(refs_[i - 1], refs_[j]);
+        std::swap(order_[i - 1], order_[j]);
     }
+}
+
+bool
+LivePointLibrary::usesCrossPointFeatures() const
+{
+    if (!dict_.empty())
+        return true;
+    for (const RecordRef &r : refs_)
+        if (r.flags)
+            return true;
+    return false;
 }
 
 void
 LivePointLibrary::save(const std::string &path, Format format) const
 {
+    if (format == Format::autoSelect)
+        format = usesCrossPointFeatures() ? Format::lpl4 : Format::lpl3;
+    if (format != Format::lpl4 && usesCrossPointFeatures())
+        throw std::runtime_error(
+            "library: dictionary/delta records need the LPLIB4 format");
     if (format == Format::lpl2)
         saveLpl2(path);
+    else if (format == Format::lpl4)
+        saveLpl4(path);
     else
         saveLpl3(path);
 }
@@ -375,14 +622,83 @@ LivePointLibrary::saveLpl3(const std::string &path) const
     f.write(meta.data(), meta.size());
 
     // Index table, then the records, streamed straight from their
-    // resident storage — the save never stages the library twice.
+    // resident storage in stored (view) order — the save never stages
+    // the library twice.
     std::uint64_t rel = 0;
-    for (const RecordRef &r : refs_) {
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        const RecordRef &r = refs_[pos(i)];
         std::uint8_t row[kLpl3TableEntryBytes];
         putU64le(row + 0, rel);
         putU64le(row + 8, r.size);
         putU64le(row + 16, r.rawSize);
         putU64le(row + 24, r.index);
+        f.write(row, sizeof(row));
+        rel += r.size;
+    }
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        const ByteSpan rec = record(i);
+        f.write(rec.data, rec.size);
+    }
+    f.commit();
+}
+
+void
+LivePointLibrary::saveLpl4(const std::string &path) const
+{
+    if (failpointsArmed()) {
+        const FailpointOutcome o = failpointFire("library.save");
+        if (o.fail)
+            throwIoError("save", "library", path, o.err);
+    }
+    DerWriter mw;
+    mw.putString(benchmark_);
+    serializeDesign(mw, design_);
+    const Blob meta = mw.finish();
+
+    const std::uint64_t count = refs_.size();
+    const std::uint64_t metaOffset = kLpl4HeaderBytes;
+    const std::uint64_t dictOffset = metaOffset + meta.size();
+    const std::uint64_t tableOffset = dictOffset + dict_.size();
+    const std::uint64_t dataOffset =
+        tableOffset + count * kLpl4TableEntryBytes;
+    const std::uint64_t fileSize =
+        dataOffset + totalCompressedBytes();
+
+    AtomicFileWriter f(path, "library");
+
+    std::uint8_t header[kLpl4HeaderBytes] = {};
+    std::memcpy(header, kMagic4, sizeof(kMagic4));
+    putU64le(header + 8, kLpl4Version);
+    putU64le(header + 16, count);
+    putU64le(header + 24, metaOffset);
+    putU64le(header + 32, meta.size());
+    putU64le(header + 40, dictOffset);
+    putU64le(header + 48, dict_.size());
+    putU64le(header + 56, tableOffset);
+    putU64le(header + 64, dataOffset);
+    putU64le(header + 72, fileSize);
+    f.write(header, sizeof(header));
+    f.write(meta.data(), meta.size());
+    f.write(dict_.data(), dict_.size());
+
+    // Records land in stored (view) order; a delta base's table field
+    // is therefore remapped to the base's stored position, so the
+    // loaded file reproduces the chains regardless of any shuffle.
+    const std::vector<std::uint32_t> inv = inverseOrder();
+    std::uint64_t rel = 0;
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        const RecordRef &r = refs_[pos(i)];
+        std::uint8_t row[kLpl4TableEntryBytes];
+        putU64le(row + 0, rel);
+        putU64le(row + 8, r.size);
+        putU64le(row + 16, r.rawSize);
+        putU64le(row + 24, r.index);
+        putU64le(row + 32, r.flags);
+        putU64le(row + 40,
+                 (r.flags & kFlagDelta)
+                     ? inv[static_cast<std::size_t>(r.basePos)]
+                     : kNoBase);
+        putU64le(row + 48, r.rawHash);
         f.write(row, sizeof(row));
         rel += r.size;
     }
@@ -409,8 +725,8 @@ LivePointLibrary::saveLpl2(const std::string &path) const
     w.putUint(refs_.size());
     for (std::size_t i = 0; i < refs_.size(); ++i) {
         const ByteSpan rec = record(i);
-        w.putUint(refs_[i].rawSize);
-        w.putUint(refs_[i].index);
+        w.putUint(rawSize(i));
+        w.putUint(windowIndex(i));
         w.putBytes(rec.data, rec.size);
     }
     w.endSequence();
@@ -428,10 +744,131 @@ LivePointLibrary::load(const std::string &path, StorageBackend backend)
     }
     std::shared_ptr<const LibrarySource> source =
         openLibrarySource(path, backend);
+    if (source->size() >= sizeof(kMagic4) &&
+        std::memcmp(source->data(), kMagic4, sizeof(kMagic4)) == 0)
+        return loadLpl4(std::move(source), path);
     if (source->size() >= sizeof(kMagic3) &&
         std::memcmp(source->data(), kMagic3, sizeof(kMagic3)) == 0)
         return loadLpl3(std::move(source), path);
     return loadLpl2(std::move(source), path);
+}
+
+void
+LivePointLibrary::validateChains()
+{
+    // Every delta chain must bottom out at a keyframe — a cycle (only
+    // possible through table corruption) would hang decode. The walk
+    // also precomputes each record's chain charge for the replay
+    // engine's resident budget. Memoized: linear in the point count.
+    std::vector<std::uint8_t> state(refs_.size(), 0);
+    std::vector<std::size_t> chainStack;
+    for (std::size_t i = 0; i < refs_.size(); ++i) {
+        if (state[i] == 2)
+            continue;
+        chainStack.clear();
+        std::size_t p = i;
+        std::uint64_t below = 0;
+        while (true) {
+            if (state[p] == 2) {
+                below = refs_[p].chainBytes;
+                break;
+            }
+            if (state[p] == 1)
+                throw std::runtime_error(
+                    "library: delta chain cycle");
+            state[p] = 1;
+            chainStack.push_back(p);
+            if (!(refs_[p].flags & kFlagDelta))
+                break;
+            p = static_cast<std::size_t>(refs_[p].basePos);
+        }
+        for (auto it = chainStack.rbegin(); it != chainStack.rend();
+             ++it) {
+            RecordRef &r = refs_[*it];
+            below += r.size + r.rawSize;
+            r.chainBytes = below;
+            state[*it] = 2;
+        }
+    }
+}
+
+LivePointLibrary
+LivePointLibrary::loadLpl4(std::shared_ptr<const LibrarySource> source,
+                           const std::string &path)
+{
+    auto malformed = [&path]() {
+        return std::runtime_error(
+            strfmt("'%s' is not a valid LPLIB4 library", path.c_str()));
+    };
+    if (source->size() < kLpl4HeaderBytes)
+        throw malformed();
+    const std::uint8_t *h = source->data();
+    const std::uint64_t version = getU64le(h + 8);
+    const std::uint64_t count = getU64le(h + 16);
+    const std::uint64_t metaOffset = getU64le(h + 24);
+    const std::uint64_t metaSize = getU64le(h + 32);
+    const std::uint64_t dictOffset = getU64le(h + 40);
+    const std::uint64_t dictSize = getU64le(h + 48);
+    const std::uint64_t tableOffset = getU64le(h + 56);
+    const std::uint64_t dataOffset = getU64le(h + 64);
+    const std::uint64_t fileSize = getU64le(h + 72);
+    // Overflow-safe layout checks, section by section.
+    if (version != kLpl4Version || fileSize != source->size() ||
+        metaOffset != kLpl4HeaderBytes ||
+        metaSize > fileSize - metaOffset ||
+        dictOffset != metaOffset + metaSize ||
+        dictSize > fileSize - dictOffset ||
+        tableOffset != dictOffset + dictSize ||
+        count > (fileSize - tableOffset) / kLpl4TableEntryBytes ||
+        dataOffset != tableOffset + count * kLpl4TableEntryBytes)
+        throw malformed();
+
+    LivePointLibrary lib;
+    {
+        DerReader mr(ByteSpan(h + metaOffset,
+                              static_cast<std::size_t>(metaSize)));
+        lib.benchmark_ = mr.getString();
+        lib.design_ = deserializeDesign(mr);
+    }
+    lib.dict_.assign(h + dictOffset, h + dictOffset + dictSize);
+    lib.refs_.reserve(count);
+    const std::uint64_t dataBytes = fileSize - dataOffset;
+    std::uint64_t running = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t *row =
+            h + tableOffset + i * kLpl4TableEntryBytes;
+        RecordRef r;
+        const std::uint64_t rel = getU64le(row + 0);
+        r.size = getU64le(row + 8);
+        r.rawSize = getU64le(row + 16);
+        r.index = getU64le(row + 24);
+        const std::uint64_t flags = getU64le(row + 32);
+        r.basePos = getU64le(row + 40);
+        r.rawHash = getU64le(row + 48);
+        if (rel != running || r.size > dataBytes - rel)
+            throw malformed();
+        if (flags & ~static_cast<std::uint64_t>(kAllFlags))
+            throw malformed();
+        r.flags = static_cast<std::uint8_t>(flags);
+        if ((r.flags & kFlagDict) && !dictSize)
+            throw malformed();
+        if (r.flags & kFlagDelta) {
+            if (r.basePos >= count || r.basePos == i)
+                throw malformed();
+            lib.anyDelta_ = true;
+        } else if (r.basePos != kNoBase) {
+            throw malformed();
+        }
+        running = rel + r.size;
+        r.offset = dataOffset + rel;
+        r.inArena = false;
+        lib.refs_.push_back(r);
+    }
+    if (running != dataBytes)
+        throw malformed();
+    lib.validateChains();
+    lib.source_ = std::move(source);
+    return lib;
 }
 
 LivePointLibrary
@@ -488,6 +925,7 @@ LivePointLibrary::loadLpl3(std::shared_ptr<const LibrarySource> source,
             throw malformed();
         running = rel + r.size;
         r.offset = dataOffset + rel;
+        r.chainBytes = r.size + r.rawSize;
         r.inArena = false;
         lib.refs_.push_back(r);
     }
@@ -505,13 +943,31 @@ identicalRecords(const LivePointLibrary &a, const LivePointLibrary &b)
 {
     if (a.size() != b.size())
         return false;
+    if (a.dict_ != b.dict_)
+        return false;
+    std::vector<std::uint32_t> invA;
+    std::vector<std::uint32_t> invB;
     for (std::size_t i = 0; i < a.size(); ++i) {
         if (a.windowIndex(i) != b.windowIndex(i))
             return false;
-        const ByteSpan ra = a.record(i);
-        const ByteSpan rb = b.record(i);
-        if (ra.size != rb.size ||
-            std::memcmp(ra.data, rb.data, ra.size) != 0)
+        const auto &ra = a.refs_[a.pos(i)];
+        const auto &rb = b.refs_[b.pos(i)];
+        if (ra.flags != rb.flags)
+            return false;
+        if (ra.flags & LivePointLibrary::kFlagDelta) {
+            // Chains must link the same stored positions.
+            if (invA.empty()) {
+                invA = a.inverseOrder();
+                invB = b.inverseOrder();
+            }
+            if (invA[static_cast<std::size_t>(ra.basePos)] !=
+                invB[static_cast<std::size_t>(rb.basePos)])
+                return false;
+        }
+        const ByteSpan sa = a.record(i);
+        const ByteSpan sb = b.record(i);
+        if (sa.size != sb.size ||
+            std::memcmp(sa.data, sb.data, sa.size) != 0)
             return false;
     }
     return true;
@@ -542,6 +998,7 @@ LivePointLibrary::loadLpl2(std::shared_ptr<const LibrarySource> source,
         r.offset =
             static_cast<std::uint64_t>(rec.data - source->data());
         r.size = rec.size;
+        r.chainBytes = r.size + r.rawSize;
         r.inArena = false;
         lib.refs_.push_back(r);
     }

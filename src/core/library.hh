@@ -17,6 +17,18 @@
  * an owned heap buffer or a read-only mmap, with records exposed as
  * zero-copy spans into either. Older DER-blob libraries (LPLIB2) are
  * detected by magic and load through the same backends.
+ *
+ * Cross-point compression (LPLIB4): successive live-points share most
+ * of their warm state, so the container can optionally carry a shared
+ * preset dictionary (trained from sampled payloads, priming every
+ * keyframe record) and per-record *delta* encoding (a record's
+ * serialized state compressed against its predecessor's raw bytes).
+ * Each record carries flags, the file position of its delta base, and
+ * a checksum of its raw bytes — decode verifies the checksum for
+ * dictionary/delta records, so a corrupt dictionary or a broken chain
+ * fails loudly instead of yielding a silently wrong point. Plain
+ * libraries keep saving as LPLIB3 bit-identically; all three formats
+ * load through the same backends.
  */
 
 #ifndef LP_CORE_LIBRARY_HH
@@ -81,15 +93,45 @@ struct LivePoint
     static void deserializeInto(const Blob &data, LivePoint &out);
 };
 
+/**
+ * Reusable per-consumer decode state for LivePointLibrary::decodeInto:
+ * the decompressed payload, which doubles as the chain cache a delta
+ * library needs — after a decode, @c payload holds the raw bytes of
+ * the record just decoded (@c cachedPos), so replaying records in
+ * stored order rebuilds each delta from its already-materialized base
+ * instead of re-walking the whole chain. Plain libraries use only
+ * @c payload; the work buffers stay empty.
+ */
+struct LivePointDecodeScratch
+{
+    Blob payload; //!< decoded raw bytes of the last requested record
+    Blob prevRaw; //!< chain-walk work buffer
+    Blob tmp;     //!< chain-walk work buffer
+
+    /** Chain-walk scratch (reused so delta decode allocates nothing). */
+    std::vector<std::uint64_t> chain;
+
+    /** File position whose raw bytes payload holds (~0: none). */
+    std::uint64_t cachedPos = ~std::uint64_t(0);
+
+    void resetCache() { cachedPos = ~std::uint64_t(0); }
+};
+
 class LivePointLibrary
 {
   public:
     /** On-disk container format. */
     enum class Format
     {
-        lpl3, //!< indexed, streaming, zero-copy load (default)
-        lpl2  //!< legacy single-DER-blob container
+        autoSelect, //!< lpl4 when dict/delta features are used, else lpl3
+        lpl4,       //!< indexed + shared dictionary + delta records
+        lpl3,       //!< indexed, streaming, zero-copy load
+        lpl2        //!< legacy single-DER-blob container
     };
+
+    /** Record encoding flags (table metadata, kept per record). */
+    static constexpr std::uint8_t kFlagDict = 1;  //!< preset dictionary
+    static constexpr std::uint8_t kFlagDelta = 2; //!< delta vs base record
 
     LivePointLibrary() = default;
     LivePointLibrary(std::string benchmark, const SampleDesign &design);
@@ -109,11 +151,23 @@ class LivePointLibrary
      * Decompress and decode the @p i-th stored point into
      * caller-owned buffers, reusing their storage. @p scratch holds
      * the decompressed bytes between calls; thread-safe for
-     * concurrent calls with distinct buffers.
+     * concurrent calls with distinct buffers. For a delta record the
+     * chain is rebuilt from its nearest keyframe (or from the scratch
+     * cache when the caller last decoded the base — the stored-order
+     * replay pattern), and dictionary/delta records are verified
+     * against their stored raw checksum before deserializing.
+     */
+    void decodeInto(std::size_t i, LivePointDecodeScratch &scratch,
+                    LivePoint &out) const;
+
+    /**
+     * Compatibility overload with a bare payload buffer. Identical
+     * for plain records; a delta record allocates chain buffers per
+     * call — hot paths use the scratch-struct overload.
      */
     void decodeInto(std::size_t i, Blob &scratch, LivePoint &out) const;
 
-    /** Compress and append a point. */
+    /** Compress and append a point (primed with the dictionary, if set). */
     void add(const LivePoint &point);
 
     /**
@@ -124,6 +178,47 @@ class LivePointLibrary
      */
     void addCompressed(const Blob &compressed, std::uint64_t rawSize,
                        std::uint64_t windowIndex);
+
+    /**
+     * Append a record with explicit encoding metadata: @p flags marks
+     * dictionary priming and/or delta encoding (a delta record's base
+     * is the previously appended record — builders emit chains in
+     * append order), @p rawHash is the checksum of the uncompressed
+     * payload (0: absent; decode then skips verification).
+     */
+    void addEncoded(const Blob &compressed, std::uint64_t rawSize,
+                    std::uint64_t windowIndex, std::uint8_t flags,
+                    std::uint64_t rawHash);
+
+    /**
+     * Install the shared preset dictionary. Must be set before any
+     * dictionary-flagged record is appended and never changed after —
+     * records compressed against it are unreadable with any other.
+     */
+    void setDictionary(Blob dict);
+
+    /** The shared preset dictionary (empty when the library has none). */
+    const Blob &dictionary() const { return dict_; }
+
+    /** Encoding flags of the @p i-th stored point. */
+    std::uint8_t recordFlags(std::size_t i) const
+    {
+        return refs_[pos(i)].flags;
+    }
+
+    /** Stored points that are delta-encoded. */
+    std::size_t deltaCount() const;
+
+    /**
+     * Resident-budget charge of the @p i-th stored point: compressed
+     * plus decoded bytes of the record *and every record on its delta
+     * chain* — admitting a delta point pins its bases, and the budget
+     * must account for the worst case (a cold chain walk).
+     */
+    std::uint64_t chargeBytes(std::size_t i) const
+    {
+        return refs_[pos(i)].chainBytes;
+    }
 
     /**
      * Pre-size the arena for @p count records totalling
@@ -143,13 +238,13 @@ class LivePointLibrary
     /** Stored (compressed) bytes of the @p i-th point. */
     std::size_t compressedSize(std::size_t i) const
     {
-        return refs_[i].size;
+        return refs_[pos(i)].size;
     }
 
     /** Uncompressed bytes of the @p i-th point (index metadata). */
     std::uint64_t rawSize(std::size_t i) const
     {
-        return refs_[i].rawSize;
+        return refs_[pos(i)].rawSize;
     }
 
     /**
@@ -158,7 +253,7 @@ class LivePointLibrary
      */
     std::uint64_t windowIndex(std::size_t i) const
     {
-        return refs_[i].index;
+        return refs_[pos(i)].index;
     }
 
     /**
@@ -173,6 +268,15 @@ class LivePointLibrary
     bool mappedBacking() const
     {
         return source_ && source_->mapped();
+    }
+
+    /**
+     * True when the LP_HUGEPAGES hint was requested and applied to
+     * the backing mapping (always false for heap-backed storage).
+     */
+    bool hugepagesApplied() const
+    {
+        return source_ && source_->hugepagesApplied();
     }
 
     /** Bytes of the loaded container file (0 for in-memory builds). */
@@ -212,18 +316,24 @@ class LivePointLibrary
 
     /**
      * Permute the stored order (Fisher-Yates with @p rng). Only the
-     * record references move; the compressed bytes stay put.
+     * view order moves (an indirection over the record references);
+     * the compressed bytes — and the delta chains linking them — stay
+     * put, so a shuffled delta library decodes exactly as before.
      */
     void shuffle(Rng &rng);
 
     /**
-     * Write the container. The default (LPLIB3) streams records to
-     * the file — peak memory stays at the library's resident size,
-     * not double it. The legacy format is kept for compatibility
-     * tests and older readers.
+     * Write the container. The default picks the format from the
+     * library's features: LPLIB3 (bit-identical to previous releases)
+     * when no dictionary/delta encoding is present, LPLIB4 otherwise.
+     * Records stream to the file — peak memory stays at the library's
+     * resident size, not double it. Requesting lpl3/lpl2 for a
+     * dictionary/delta library throws (those formats cannot represent
+     * it). The legacy format is kept for compatibility tests and
+     * older readers.
      */
     void save(const std::string &path,
-              Format format = Format::lpl3) const;
+              Format format = Format::autoSelect) const;
 
     /**
      * Load either container format (dispatched on the file magic)
@@ -238,22 +348,46 @@ class LivePointLibrary
          StorageBackend backend = StorageBackend::autoSelect);
 
   private:
-    /** Where one compressed record lives. */
+    /** Where one compressed record lives, in file (append) order. */
     struct RecordRef
     {
         std::uint64_t offset = 0; //!< into source_ or arena_
         std::uint64_t size = 0;
         std::uint64_t rawSize = 0; //!< uncompressed size
         std::uint64_t index = 0;   //!< window index
-        bool inArena = false;      //!< offset is into arena_
+        std::uint64_t basePos = ~std::uint64_t(0); //!< delta base (file pos)
+        std::uint64_t rawHash = 0;   //!< checksum of raw bytes (0: absent)
+        std::uint64_t chainBytes = 0; //!< size+rawSize summed over chain
+        std::uint8_t flags = 0;      //!< kFlagDict | kFlagDelta
+        bool inArena = false;        //!< offset is into arena_
     };
 
+    /** File position of the @p i-th stored (view-order) record. */
+    std::size_t pos(std::size_t i) const
+    {
+        return order_.empty() ? i : order_[i];
+    }
+
+    /** Stored (view-order) position of file position @p p. */
+    std::vector<std::uint32_t> inverseOrder() const;
+
+    ByteSpan recordAt(std::size_t filePos) const;
+    void materializeRaw(std::size_t filePos,
+                        LivePointDecodeScratch &scratch) const;
+    void decodeOne(std::size_t filePos, Blob &out, ByteSpan prev) const;
+    void validateChains();
+    bool usesCrossPointFeatures() const;
+
+    static LivePointLibrary
+    loadLpl4(std::shared_ptr<const LibrarySource> source,
+             const std::string &path);
     static LivePointLibrary
     loadLpl3(std::shared_ptr<const LibrarySource> source,
              const std::string &path);
     static LivePointLibrary
     loadLpl2(std::shared_ptr<const LibrarySource> source,
              const std::string &path);
+    void saveLpl4(const std::string &path) const;
     void saveLpl3(const std::string &path) const;
     void saveLpl2(const std::string &path) const;
 
@@ -262,8 +396,18 @@ class LivePointLibrary
     /** Backend holding the loaded container file (shared on copy). */
     std::shared_ptr<const LibrarySource> source_;
     Blob arena_; //!< appended compressed records, back-to-back
-    std::vector<RecordRef> refs_;
+    Blob dict_;  //!< shared preset dictionary ("" = none)
+    std::vector<RecordRef> refs_; //!< file order, never permuted
+    /** Stored-order view: order_[i] = file position (empty: identity). */
+    std::vector<std::uint32_t> order_;
+    bool anyDelta_ = false; //!< any record carries kFlagDelta
+
+    friend bool identicalRecords(const LivePointLibrary &a,
+                                 const LivePointLibrary &b);
 };
+
+/** Deterministic 64-bit checksum of a raw payload (word-at-a-time). */
+std::uint64_t livePointRawHash(const std::uint8_t *data, std::size_t n);
 
 /**
  * True when two libraries store byte-identical records in the same

@@ -311,7 +311,7 @@ ReplayEngine::simulateOne(const LivePointLibrary &lib, std::size_t pos,
         callerCtx_[cfgIdx] =
             std::make_unique<ReplayContext>(prog_, cfgs_[cfgIdx]);
     lib.decodeInto(pos, callerScratch_, callerPoint_);
-    bytesDecoded_.fetch_add(callerScratch_.size(),
+    bytesDecoded_.fetch_add(callerScratch_.payload.size(),
                             std::memory_order_relaxed);
     pointsDecoded_.fetch_add(1, std::memory_order_relaxed);
     replaysExecuted_.fetch_add(1, std::memory_order_relaxed);
@@ -347,7 +347,7 @@ ReplayEngine::run(
     struct Slot
     {
         LivePoint point;
-        Blob raw;
+        LivePointDecodeScratch scratch;
         std::size_t holds = 0;
         std::size_t nextFill = 0;
         bool full = false;
@@ -377,8 +377,11 @@ ReplayEngine::run(
     std::uint64_t residentNow = 0;   //!< guarded by gateM
     std::atomic<std::size_t> foldFloor{first}; //!< fold frontier
     auto pointBytes = [&lib, &order](std::size_t k) -> std::uint64_t {
-        const std::size_t i = order[k];
-        return lib.compressedSize(i) + lib.rawSize(i);
+        // Compressed + raw bytes over the whole delta chain — a delta
+        // point's decode materializes its bases, and the budget must
+        // cover the cold chain walk (equals compressed + raw of the
+        // record alone for plain libraries).
+        return lib.chargeBytes(order[k]);
     };
 
     std::atomic<std::size_t> decodeNext{first};
@@ -469,8 +472,8 @@ ReplayEngine::run(
                     return;
             }
             // The slot is exclusively ours until marked full.
-            lib.decodeInto(order[k], s.raw, s.point);
-            bytesDecoded_.fetch_add(s.raw.size(),
+            lib.decodeInto(order[k], s.scratch, s.point);
+            bytesDecoded_.fetch_add(s.scratch.payload.size(),
                                     std::memory_order_relaxed);
             pointsDecoded_.fetch_add(1, std::memory_order_relaxed);
             {

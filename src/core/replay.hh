@@ -79,7 +79,9 @@ struct ReplayEngineOptions
     /**
      * Resident-budget streaming mode (0 = off). A nonzero budget
      * bounds the engine's in-flight window: each point is charged
-     * its compressed + raw bytes when a decode producer admits it
+     * its compressed + raw bytes — summed over its delta chain when
+     * the library delta-encodes, since decoding a delta point
+     * materializes its bases — when a decode producer admits it
      * (with a backend prefetch hint issued ahead of the simulation
      * claim counter) and credited back when the fold barrier passes
      * it (with a release hint, so a mapped backend's pages can be
@@ -349,7 +351,7 @@ class ReplayEngine
     std::size_t ringSlots_;
     std::vector<std::unique_ptr<ReplayContext>> ctx_; //!< one per worker
     std::vector<std::unique_ptr<ReplayContext>> callerCtx_;
-    Blob callerScratch_;
+    LivePointDecodeScratch callerScratch_;
     LivePoint callerPoint_;
     std::uint64_t residentBudget_;
     std::atomic<std::uint64_t> bytesDecoded_{0};

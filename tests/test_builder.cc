@@ -166,5 +166,112 @@ main()
         CHECK(identicalRecords(l1, l2));
     }
 
+    // --- Checkpoint economics: the dictionary+delta build obeys the
+    // same contracts — S=1 pipelined bit-identical to sequential
+    // (including on disk), and a sharded build stores different bytes
+    // but decodes to exactly the points of the plain build at the
+    // same shard count. ---
+    {
+        LivePointBuilderConfig bcCross = bcSeq;
+        bcCross.sharedDictionary = true;
+        bcCross.deltaEncode = true;
+        bcCross.pipelineEncode = false;
+        LivePointBuilder crossSeq(bcCross);
+        const LivePointLibrary crossSeqLib = crossSeq.build(prog, design);
+        CHECK(crossSeqLib.deltaCount() > 0);
+        CHECK(!crossSeqLib.dictionary().empty());
+        CHECK(crossSeqLib.totalCompressedBytes() <
+              seqLib.totalCompressedBytes());
+
+        LivePointBuilderConfig bcPipe = bcCross;
+        bcPipe.pipelineEncode = true;
+        LivePointBuilder crossPipe(bcPipe);
+        const LivePointLibrary pipeLib = crossPipe.build(prog, design);
+        CHECK(identicalRecords(crossSeqLib, pipeLib));
+        const std::string pa = "buildtest-cross-seq.lpl";
+        const std::string pb = "buildtest-cross-pipe.lpl";
+        crossSeqLib.save(pa);
+        pipeLib.save(pb);
+        CHECK(sameFileBytes(pa, pb));
+        std::remove(pa.c_str());
+        std::remove(pb.c_str());
+
+        // Every point decodes to the sequential plain build's bytes
+        // (encoding never changes content).
+        LivePointDecodeScratch scratch;
+        Blob plainScratch;
+        LivePoint pc, pp;
+        for (std::size_t i = 0; i < crossSeqLib.size(); ++i) {
+            crossSeqLib.decodeInto(i, scratch, pc);
+            seqLib.decodeInto(i, plainScratch, pp);
+            CHECK(pc.serialize() == pp.serialize());
+        }
+
+        // Sharded: delta chains restart at shard boundaries, content
+        // still matches the plain sharded build point-for-point, and
+        // the build stays deterministic.
+        {
+            LivePointBuilderConfig bcShard = bcSeq;
+            bcShard.pipelineEncode = true;
+            bcShard.buildThreads = 3;
+            LivePointBuilder plain3(bcShard);
+            const LivePointLibrary plainLib3 = plain3.build(prog, design);
+            bcShard.sharedDictionary = true;
+            bcShard.deltaEncode = true;
+            LivePointBuilder cross3a(bcShard);
+            LivePointBuilder cross3b(bcShard);
+            const LivePointLibrary crossLib3 = cross3a.build(prog, design);
+            CHECK(identicalRecords(crossLib3, cross3b.build(prog, design)));
+            CHECK(crossLib3.deltaCount() > 0);
+            for (std::size_t i = 0; i < crossLib3.size(); ++i) {
+                crossLib3.decodeInto(i, scratch, pc);
+                plainLib3.decodeInto(i, plainScratch, pp);
+                CHECK(pc.serialize() == pp.serialize());
+            }
+        }
+    }
+
+    // --- Restricted live-state tier: a builder configuration derived
+    // from the campaign's configurations stores less warm state, and
+    // replaying a covered configuration reconstructs the *exact* same
+    // state as the full-geometry library (LRU inclusion), so the
+    // estimates agree exactly. ---
+    {
+        const LivePointBuilderConfig restricted =
+            restrictedBuilderConfig({cfg, slowMemConfig()}, bcSeq);
+        // Both inputs share eightWay geometry, so the cover is it.
+        CHECK(restricted.maxL2 == cfg.mem.l2);
+        CHECK(restricted.maxL1d == cfg.mem.l1d);
+        CHECK(restricted.maxL1i == cfg.mem.l1i);
+        CHECK(restricted.maxItlb == cfg.mem.itlb);
+        CHECK(restricted.maxDtlb == cfg.mem.dtlb);
+        CHECK_EQ(restricted.bpredConfigs.size(), 1u);
+        // Distinct geometries combine into the per-level cover.
+        {
+            CoreConfig big = cfg;
+            big.mem.l2 = CacheGeometry{2ull << 20, 2, 128};
+            const LivePointBuilderConfig two =
+                restrictedBuilderConfig({cfg, big}, bcSeq);
+            // Covering needs max sets *and* max assoc per level:
+            // 1MB/4w has 2048 sets, 2MB/2w has 8192 -> 8192 * 4 * 128.
+            CHECK_EQ(two.maxL2.numSets(), 8192u);
+            CHECK_EQ(two.maxL2.assoc, 4u);
+            CHECK_EQ(two.maxL2.lineBytes, 128u);
+            CoreConfig badLine = cfg;
+            badLine.mem.l2.lineBytes = 64;
+            CHECK_THROWS(restrictedBuilderConfig({cfg, badLine}, bcSeq));
+            CHECK_THROWS(restrictedBuilderConfig({}, bcSeq));
+        }
+
+        LivePointBuilder rbuilder(restricted);
+        const LivePointLibrary rlib = rbuilder.build(prog, design);
+        CHECK(rlib.totalUncompressedBytes() <
+              seqLib.totalUncompressedBytes());
+        const LivePointRunResult rrun =
+            runLivePoints(prog, rlib, cfg, ropt);
+        CHECK_EQ(rrun.processed, seqRun.processed);
+        CHECK(rrun.cpi() == seqRun.cpi()); // exact, not approximate
+    }
+
     return TEST_MAIN_RESULT();
 }

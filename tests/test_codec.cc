@@ -132,6 +132,113 @@ main()
         CHECK(ratio <= 0.66);
     }
 
+    // zip+dict: a dictionary sharing content with the buffer turns
+    // that content into matches — smaller than plain compression —
+    // and round-trips through both decoders. An empty dictionary is
+    // byte-identical to plain compression (back-compat contract).
+    {
+        Rng rng(8, "zip-dict");
+        Blob dict(24 * 1024);
+        for (auto &b : dict)
+            b = static_cast<std::uint8_t>(rng.next());
+        Blob data;
+        // Recurring slices of the dictionary with incompressible glue.
+        for (int rep = 0; rep < 40; ++rep) {
+            const std::size_t at = rng.nextBounded(dict.size() - 512);
+            data.insert(data.end(), dict.begin() + at,
+                        dict.begin() + at + 512);
+            for (int j = 0; j < 40; ++j)
+                data.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        const Blob plain = zipCompress(data);
+        const Blob primed = zipCompress(data, ByteSpan(dict));
+        CHECK(primed.size() < plain.size());
+        Blob out;
+        zipDecompressInto(primed.data(), primed.size(), out,
+                          ByteSpan(dict));
+        CHECK(out == data);
+        zipDecompressReferenceInto(primed.data(), primed.size(), out,
+                                   ByteSpan(dict));
+        CHECK(out == data);
+        CHECK(zipCompress(data, ByteSpan()) == plain);
+        // Determinism with a dictionary, and oversized-dictionary
+        // clamping: only the window-reachable tail can matter.
+        CHECK(zipCompress(data, ByteSpan(dict)) == primed);
+        Blob big(100 * 1024);
+        for (auto &b : big)
+            b = static_cast<std::uint8_t>(rng.next());
+        const Blob z2 = zipCompress(data, ByteSpan(big));
+        zipDecompressInto(z2.data(), z2.size(), out, ByteSpan(big));
+        CHECK(out == data);
+    }
+
+    // zip+delta: a buffer delta-compressed against a near-identical
+    // predecessor collapses to a fraction of its plain size — the
+    // cross-point redundancy the live-point library exploits — and
+    // round-trips through both decoders, including with size drift.
+    {
+        Rng rng(9, "zip-delta");
+        Blob prev(200 * 1024);
+        for (std::size_t i = 0; i < prev.size(); ++i)
+            prev[i] =
+                static_cast<std::uint8_t>((i >> 3) ^ (rng.next() & 7));
+        Blob data = prev;
+        for (int e = 0; e < 20; ++e)
+            data[rng.nextBounded(data.size())] ^= 0x5a;
+        // Insert a run so every later chunk is misaligned vs prev.
+        data.insert(data.begin() + 50'000, 700, 0xee);
+        const Blob plain = zipCompress(data);
+        const Blob delta = zipCompressDelta(data, ByteSpan(prev));
+        CHECK(delta.size() * 4 < plain.size());
+        Blob out;
+        zipDecompressDeltaInto(delta.data(), delta.size(),
+                               ByteSpan(prev), out);
+        CHECK(out == data);
+        zipDecompressDeltaReferenceInto(delta.data(), delta.size(),
+                                        ByteSpan(prev), out);
+        CHECK(out == data);
+        CHECK(zipCompressDelta(data, ByteSpan(prev)) == delta);
+        // Degenerate shapes: empty payload, empty predecessor, and a
+        // payload far longer than its predecessor.
+        const Blob e0 = zipCompressDelta(Blob{}, ByteSpan(prev));
+        zipDecompressDeltaInto(e0.data(), e0.size(), ByteSpan(prev),
+                               out);
+        CHECK(out.empty());
+        const Blob e1 = zipCompressDelta(data, ByteSpan());
+        zipDecompressDeltaInto(e1.data(), e1.size(), ByteSpan(), out);
+        CHECK(out == data);
+        Blob shortPrev(prev.begin(), prev.begin() + 1000);
+        const Blob e2 = zipCompressDelta(data, ByteSpan(shortPrev));
+        zipDecompressDeltaInto(e2.data(), e2.size(),
+                               ByteSpan(shortPrev), out);
+        CHECK(out == data);
+    }
+
+    // zipTrainDictionary: deterministic, size-capped, and effective —
+    // a dictionary trained on sibling payloads beats plain
+    // compression on a payload they resemble.
+    {
+        const TinyLib t = buildTinyLibrary("codec-dict", 120'000, 3, 8);
+        std::vector<Blob> raws;
+        for (std::size_t i = 0; i + 1 < t.lib.size(); ++i)
+            raws.push_back(t.lib.get(i).serialize());
+        std::vector<ByteSpan> samples;
+        for (const Blob &r : raws)
+            samples.emplace_back(r);
+        const Blob dict = zipTrainDictionary(samples, 32 * 1024);
+        CHECK(dict.size() <= 32 * 1024);
+        CHECK(!dict.empty());
+        CHECK(zipTrainDictionary(samples, 32 * 1024) == dict);
+        const Blob target = t.lib.get(t.lib.size() - 1).serialize();
+        const Blob plain = zipCompress(target);
+        const Blob primed = zipCompress(target, ByteSpan(dict));
+        CHECK(primed.size() < plain.size());
+        Blob out;
+        zipDecompressInto(primed.data(), primed.size(), out,
+                          ByteSpan(dict));
+        CHECK(out == target);
+    }
+
     // der: nested sequences with every value type.
     {
         DerWriter w;

@@ -363,6 +363,251 @@ main()
         std::remove(pbad.c_str());
     }
 
+    // Checkpoint economics: a shared-dictionary + delta library
+    // (LPLIB4) decodes point-for-point identically to the plain
+    // build, stores fewer bytes, and survives save/load/shuffle
+    // through every backend with strict corruption detection.
+    {
+        TinyLib tc = buildTinyLibrary(
+            "libtest", 400'000, 5, 40, {cfg}, 0,
+            [](LivePointBuilderConfig &bc) {
+                bc.sharedDictionary = true;
+                bc.deltaEncode = true;
+            });
+        LivePointLibrary &clib = tc.lib;
+        CHECK(!clib.dictionary().empty());
+        CHECK(clib.deltaCount() > 0);
+        CHECK(clib.deltaCount() < clib.size()); // keyframes remain
+        CHECK(clib.totalCompressedBytes() < lib.totalCompressedBytes());
+        for (std::size_t i = 0; i < lib.size(); ++i) {
+            CHECK(clib.get(i).serialize() == lib.get(i).serialize());
+            CHECK_EQ(clib.rawSize(i), lib.rawSize(i));
+            // The budget charge covers the record plus its chain.
+            CHECK(clib.chargeBytes(i) >=
+                  clib.compressedSize(i) + clib.rawSize(i));
+        }
+
+        // The scratch decoder in stored order (the replay producer
+        // pattern, chain cache hot) and in random order (cold chain
+        // walks) must both reproduce the plain build's points.
+        {
+            LivePointDecodeScratch scratch;
+            LivePoint p;
+            for (std::size_t i = 0; i < clib.size(); ++i) {
+                clib.decodeInto(i, scratch, p);
+                CHECK(p.serialize() == lib.get(i).serialize());
+            }
+            Rng rng(11, "lpl4-order");
+            for (int k = 0; k < 40; ++k) {
+                const std::size_t i = rng.nextBounded(clib.size());
+                clib.decodeInto(i, scratch, p);
+                CHECK(p.serialize() == lib.get(i).serialize());
+            }
+        }
+
+        // autoSelect writes LPLIB4 (a plain library stays LPLIB3);
+        // the legacy formats cannot represent dictionary/delta.
+        const std::string p4 = "libtest-lpl4.lpl";
+        clib.save(p4);
+        {
+            const Blob head = slurpFile(p4);
+            CHECK(head.size() > 80);
+            CHECK(std::memcmp(head.data(), "LPLIB4\n", 7) == 0);
+            const std::string p3 = "libtest-magic3.lpl";
+            lib.save(p3);
+            const Blob plainHead = slurpFile(p3);
+            CHECK(std::memcmp(plainHead.data(), "LPLIB3\n", 7) == 0);
+            std::remove(p3.c_str());
+        }
+        CHECK_THROWS(clib.save("libtest-nope.lpl",
+                               LivePointLibrary::Format::lpl3));
+        CHECK_THROWS(clib.save("libtest-nope.lpl",
+                               LivePointLibrary::Format::lpl2));
+
+        for (const StorageBackend backend : backends) {
+            const LivePointLibrary b =
+                LivePointLibrary::load(p4, backend);
+            CHECK(identicalRecords(b, clib));
+            CHECK_EQ(b.contentHash(), clib.contentHash());
+            CHECK_EQ(b.deltaCount(), clib.deltaCount());
+            CHECK(b.dictionary() == clib.dictionary());
+            LivePointDecodeScratch scratch;
+            LivePoint p;
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                CHECK_EQ(b.recordFlags(i), clib.recordFlags(i));
+                CHECK_EQ(b.chargeBytes(i), clib.chargeBytes(i));
+                b.prefetchRecord(i);
+                b.decodeInto(i, scratch, p);
+                b.releaseRecord(i);
+                CHECK(p.serialize() == lib.get(i).serialize());
+            }
+        }
+
+        // Shuffle -> save -> reload: delta chains link records by
+        // file position, not view position, so the permuted library
+        // must decode identically (matched via its window indices).
+        {
+            LivePointLibrary sh = clib;
+            Rng rng(21, "lpl4-shuffle");
+            sh.shuffle(rng);
+            CHECK_EQ(sh.deltaCount(), clib.deltaCount());
+            const std::string psh = "libtest-lpl4-shuffled.lpl";
+            sh.save(psh);
+            for (const StorageBackend backend : backends) {
+                const LivePointLibrary b =
+                    LivePointLibrary::load(psh, backend);
+                CHECK(identicalRecords(b, sh));
+                CHECK_EQ(b.contentHash(), sh.contentHash());
+                LivePointDecodeScratch scratch;
+                LivePoint p;
+                for (std::size_t i = 0; i < b.size(); ++i) {
+                    CHECK_EQ(b.windowIndex(i), sh.windowIndex(i));
+                    b.decodeInto(i, scratch, p);
+                    CHECK(p.serialize() ==
+                          lib.get(b.windowIndex(i)).serialize());
+                }
+            }
+            std::remove(psh.c_str());
+        }
+
+        // Corruption strictness: a flipped byte in the dictionary, a
+        // delta record's stream, or a record's table metadata must be
+        // rejected at load or at decode — never a silently different
+        // point (every dict/delta record carries a raw checksum).
+        {
+            const Blob good = slurpFile(p4);
+            auto u64At = [&good](std::size_t off) {
+                std::size_t v = 0;
+                for (unsigned j = 0; j < 8; ++j)
+                    v |= static_cast<std::size_t>(good[off + j])
+                         << (8 * j);
+                return v;
+            };
+            const std::size_t count = u64At(16);
+            const std::size_t dictAt = u64At(40);
+            const std::size_t dictSize = u64At(48);
+            const std::size_t tableAt = u64At(56);
+            const std::size_t dataAt = u64At(64);
+            CHECK(dictSize > 0);
+            CHECK_EQ(count, clib.size());
+            const std::string pbad = "libtest-lpl4-bad.lpl";
+
+            // The file must fail loudly: load throws, or at least one
+            // decode throws — and no decode may return wrong bytes.
+            auto mustFail = [&](const Blob &bad) {
+                spewFile(pbad, bad);
+                for (const StorageBackend backend : backends) {
+                    LivePointDecodeScratch scratch;
+                    LivePoint p;
+                    bool anyThrew = false;
+                    bool wrongBytes = false;
+                    try {
+                        const LivePointLibrary damaged =
+                            LivePointLibrary::load(pbad, backend);
+                        for (std::size_t i = 0; i < damaged.size();
+                             ++i) {
+                            try {
+                                damaged.decodeInto(i, scratch, p);
+                                if (p.serialize() !=
+                                    lib.get(damaged.windowIndex(i))
+                                        .serialize())
+                                    wrongBytes = true;
+                            } catch (const std::exception &) {
+                                anyThrew = true;
+                            }
+                        }
+                    } catch (const std::exception &) {
+                        anyThrew = true;
+                    }
+                    CHECK(anyThrew);
+                    CHECK(!wrongBytes);
+                }
+            };
+
+            // The dictionary section (a single flipped byte is only
+            // detectable if some record's match reads it, so corrupt
+            // all of it — any dictionary-primed record then fails its
+            // raw checksum).
+            {
+                Blob bad = good;
+                for (std::size_t j = 0; j < dictSize; ++j)
+                    bad[dictAt + j] ^= 0x5a;
+                mustFail(bad);
+            }
+            // A delta record's compressed stream.
+            {
+                std::size_t deltaRow = count;
+                for (std::size_t i = 0; i < count; ++i)
+                    if (good[tableAt + i * 56 + 32] &
+                        LivePointLibrary::kFlagDelta) {
+                        deltaRow = i;
+                        break;
+                    }
+                CHECK(deltaRow < count);
+                const std::size_t off =
+                    u64At(tableAt + deltaRow * 56);
+                const std::size_t sz =
+                    u64At(tableAt + deltaRow * 56 + 8);
+                Blob bad = good;
+                bad[dataAt + off + sz / 2] ^= 0x01;
+                mustFail(bad);
+                // Its raw checksum, its base link, and its flags.
+                bad = good;
+                bad[tableAt + deltaRow * 56 + 48] ^= 0x01;
+                mustFail(bad);
+                bad = good;
+                bad[tableAt + deltaRow * 56 + 40] ^= 0x01;
+                mustFail(bad);
+                bad = good;
+                bad[tableAt + deltaRow * 56 + 32] |= 0x80;
+                mustFail(bad);
+            }
+            // Truncation at the section boundaries.
+            for (const std::size_t cut :
+                 {std::size_t{40}, dictAt, tableAt, dataAt,
+                  good.size() - 1}) {
+                const Blob bad(
+                    good.begin(),
+                    good.begin() + static_cast<std::ptrdiff_t>(cut));
+                spewFile(pbad, bad);
+                for (const StorageBackend backend : backends)
+                    CHECK_THROWS(LivePointLibrary::load(pbad, backend));
+            }
+            // Pristine bytes still load and decode (harness sanity).
+            spewFile(pbad, good);
+            {
+                const LivePointLibrary ok =
+                    LivePointLibrary::load(pbad);
+                CHECK(ok.get(0).serialize() == lib.get(0).serialize());
+            }
+            std::remove(pbad.c_str());
+        }
+        std::remove(p4.c_str());
+
+        // Dictionary-only and delta-only variants round-trip too.
+        for (const int mode : {0, 1}) {
+            TinyLib tv = buildTinyLibrary(
+                "libtest", 400'000, 5, 40, {cfg}, 0,
+                [mode](LivePointBuilderConfig &bc) {
+                    bc.sharedDictionary = mode == 0;
+                    bc.deltaEncode = mode == 1;
+                });
+            CHECK_EQ(tv.lib.dictionary().empty(), mode == 1);
+            CHECK_EQ(tv.lib.deltaCount() > 0, mode == 1);
+            const std::string pv = "libtest-lpl4-variant.lpl";
+            tv.lib.save(pv);
+            const LivePointLibrary b = LivePointLibrary::load(pv);
+            CHECK(identicalRecords(b, tv.lib));
+            LivePointDecodeScratch scratch;
+            LivePoint p;
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                b.decodeInto(i, scratch, p);
+                CHECK(p.serialize() == lib.get(i).serialize());
+            }
+            std::remove(pv.c_str());
+        }
+    }
+
     // Shuffling is a seed-deterministic permutation.
     {
         LivePointLibrary a = lib;
@@ -513,6 +758,41 @@ main()
             CHECK(threw);
             spewFile(idx, good);
             CHECK((LibrarySet::open(dir), true));
+        }
+
+        // An LPLIB4 (dictionary+delta) shard flows through the fleet
+        // store unchanged: save picks the format, open dispatches on
+        // the magic, the index hash still matches, and the decoded
+        // points equal the plain build of the same benchmark.
+        {
+            const std::string dir4 = "libtest-set-lpl4";
+            std::filesystem::remove_all(dir4);
+            const TinyLib cross = buildTinyLibrary(
+                "libtest-b", 300'000, 9, 24,
+                {CoreConfig::eightWay()}, 0,
+                [](LivePointBuilderConfig &bc) {
+                    bc.sharedDictionary = true;
+                    bc.deltaEncode = true;
+                });
+            CHECK(cross.lib.deltaCount() > 0);
+            {
+                LibrarySetWriter writer(dir4);
+                writer.addShard("wl-cross", cross.lib);
+            }
+            const LibrarySet set4 = LibrarySet::open(dir4);
+            CHECK_EQ(set4.contentHash(0), cross.lib.contentHash());
+            const LivePointLibrary &s4 = set4.shard(0);
+            CHECK(identicalRecords(s4, cross.lib));
+            CHECK(s4.deltaCount() > 0);
+            LivePointDecodeScratch sa;
+            Blob sb;
+            LivePoint pa, pb;
+            for (std::size_t i = 0; i < s4.size(); ++i) {
+                s4.decodeInto(i, sa, pa);
+                other.lib.decodeInto(i, sb, pb);
+                CHECK(pa.serialize() == pb.serialize());
+            }
+            std::filesystem::remove_all(dir4);
         }
 
         std::filesystem::remove_all(dir);

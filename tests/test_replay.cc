@@ -224,6 +224,77 @@ main()
         std::remove(path.c_str());
     }
 
+    // Checkpoint economics: a dictionary+delta library must replay
+    // bit-identically to the plain library — same program, same
+    // design, same shuffle — through every backend, at threads 1/2/4,
+    // with and without a resident budget. Delta records charge their
+    // whole chain against the budget, so the peak stays bounded even
+    // though decoding a delta pins its base.
+    {
+        TinyLib tc = buildTinyLibrary(
+            "replaytest", 500'000, 17, 64, {cfg}, 11,
+            [](LivePointBuilderConfig &bc) {
+                bc.sharedDictionary = true;
+                bc.deltaEncode = true;
+            });
+        const LivePointLibrary &clib = tc.lib;
+        CHECK(clib.deltaCount() > 0);
+        CHECK_EQ(clib.size(), lib.size());
+
+        const std::string path = "replaytest-cross.lpl";
+        clib.save(path);
+
+        std::vector<StorageBackend> backends{StorageBackend::buffer};
+        if (mmapSupported() && !mmapDisabledByEnv())
+            backends.push_back(StorageBackend::mapped);
+
+        for (const bool stopping : {false, true}) {
+            LivePointRunOptions ref;
+            ref.shuffleSeed = 5;
+            ref.stopAtConfidence = stopping;
+            ref.blockSize = 8;
+            ref.spec = ConfidenceSpec{0.95, 0.20};
+            // The reference is the *plain* library: encoding must
+            // never change an estimate, only where bytes live.
+            const LivePointRunResult base =
+                runLivePoints(prog, lib, cfg, ref);
+
+            for (const StorageBackend backend : backends) {
+                const LivePointLibrary loaded =
+                    LivePointLibrary::load(path, backend);
+                CHECK_EQ(loaded.contentHash(), clib.contentHash());
+                CHECK(loaded.deltaCount() > 0);
+                // Budget sized off the chain charges (what the gate
+                // actually accounts), from generous down to 4x under
+                // the library's charge total; 0 = off.
+                std::uint64_t window = 0;
+                for (std::size_t i = 0; i < loaded.size(); ++i)
+                    window += loaded.chargeBytes(i);
+                for (const std::uint64_t budget :
+                     {std::uint64_t{0}, window / 2, window / 4}) {
+                    for (const unsigned threads : {1u, 2u, 4u}) {
+                        LivePointRunOptions opt = ref;
+                        opt.threads = threads;
+                        opt.residentBudgetBytes = budget;
+                        const LivePointRunResult r =
+                            runLivePoints(prog, loaded, cfg, opt);
+                        CHECK_EQ(r.processed, base.processed);
+                        CHECK_NEAR(r.cpi(), base.cpi(), 0.0);
+                        CHECK_NEAR(r.finalSnapshot.relHalfWidth,
+                                   base.finalSnapshot.relHalfWidth,
+                                   0.0);
+                        CHECK_EQ(r.unavailableLoads,
+                                 base.unavailableLoads);
+                        if (budget >= window / 4)
+                            CHECK(r.peakResidentBytes <=
+                                  (budget ? budget : window));
+                    }
+                }
+            }
+        }
+        std::remove(path.c_str());
+    }
+
     // Stratified: the parallel pilot leaves every greedy decision —
     // and so the whole outcome — unchanged.
     {

@@ -14,6 +14,7 @@
 
 #include <cctype>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -103,14 +104,18 @@ struct TinyLib
  * lay a systematic design over it, and build its live-point library
  * covering every predictor in @p cfgs (all of @p cfgs must share the
  * detailed-warming length of cfgs[0], which sizes the windows).
- * @p shuffleSeed != 0 also shuffles the library.
+ * @p shuffleSeed != 0 also shuffles the library. @p tweak (optional)
+ * edits the builder configuration before the build — the hook the
+ * dictionary/delta and threading variants use.
  */
 inline TinyLib
-buildTinyLibrary(const std::string &name, lp::InstCount insts,
-                 std::uint64_t seed, std::uint64_t windows,
-                 const std::vector<lp::CoreConfig> &cfgs =
-                     {lp::CoreConfig::eightWay()},
-                 std::uint64_t shuffleSeed = 0)
+buildTinyLibrary(
+    const std::string &name, lp::InstCount insts, std::uint64_t seed,
+    std::uint64_t windows,
+    const std::vector<lp::CoreConfig> &cfgs =
+        {lp::CoreConfig::eightWay()},
+    std::uint64_t shuffleSeed = 0,
+    const std::function<void(lp::LivePointBuilderConfig &)> &tweak = {})
 {
     TinyLib t;
     TinyBench b = makeTinyBench(name, insts, seed, windows,
@@ -128,6 +133,8 @@ buildTinyLibrary(const std::string &name, lp::InstCount insts,
         if (!seen)
             bc.bpredConfigs.push_back(c.bpred);
     }
+    if (tweak)
+        tweak(bc);
     lp::LivePointBuilder builder(bc);
     t.lib = builder.build(t.prog, t.design);
     if (shuffleSeed) {
